@@ -1,0 +1,43 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark corresponds to a row of the experiment index in DESIGN.md
+(and a paper-claim record in EXPERIMENTS.md).  Measured quantities beyond
+wall-clock time — probe counts, error ratios, chain counts — are attached
+to each benchmark's ``extra_info`` so they appear in pytest-benchmark's
+output and JSON exports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    """Keep the suite fast: several benchmarks run multi-second pipelines.
+
+    One round per benchmark is enough for the claim-shaped quantities
+    (probes, ratios, chain counts) recorded in ``extra_info``; wall-clock
+    numbers remain indicative.  Command-line overrides still win.
+    """
+    if config.option.benchmark_min_rounds == 5:  # the plugin default
+        config.option.benchmark_min_rounds = 1
+    if config.option.benchmark_max_time == 1.0:  # the plugin default
+        config.option.benchmark_max_time = 0.2
+    if config.option.benchmark_warmup == "auto":
+        config.option.benchmark_warmup = "off"
+
+
+def pytest_collection_modifyitems(items):
+    """Keep benchmark ordering stable: figures first, ablations last."""
+    order = {
+        "test_bench_figures": 0,
+        "test_bench_passive": 1,
+        "test_bench_active": 2,
+        "test_bench_baselines": 3,
+        "test_bench_lowerbound": 4,
+        "test_bench_poset": 5,
+        "test_bench_flow": 6,
+        "test_bench_entity": 7,
+        "test_bench_ablations": 8,
+    }
+    items.sort(key=lambda item: order.get(item.module.__name__, 99))

@@ -1,0 +1,61 @@
+"""Benchmarks A1/A2/A3: the design-choice ablations from DESIGN.md."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import LabelOracle, active_classify, error_count, solve_passive
+from repro.datasets.synthetic import planted_monotone, planted_threshold_1d, width_controlled
+from repro.stats.estimation import SamplingPlan
+
+
+@pytest.mark.parametrize("use_reduction", [True, False])
+def test_A1_contending_reduction(benchmark, use_reduction):
+    points = planted_monotone(1_200, 3, noise=0.05, rng=0, weights="random")
+    result = benchmark(solve_passive, points,
+                       use_contending_reduction=use_reduction)
+    benchmark.extra_info.update({
+        "use_reduction": use_reduction,
+        "graph_points": result.num_contending,
+        "optimal_error": result.optimal_error,
+    })
+
+
+@pytest.mark.parametrize("method", ["exact", "greedy"])
+def test_A2_decomposition_method(benchmark, method):
+    points = width_controlled(8_000, 8, noise=0.05, rng=1)
+    hidden = points.with_hidden_labels()
+
+    def job():
+        oracle = LabelOracle(points)
+        return active_classify(hidden, oracle, epsilon=1.0,
+                               decomposition=method, rng=2)
+
+    result = benchmark(job)
+    benchmark.extra_info.update({
+        "method": method,
+        "chains_used": result.num_chains,
+        "probes": result.probing_cost,
+    })
+
+
+@pytest.mark.parametrize("constant", [2.0, 6.0, 18.0])
+def test_A3_sampling_constant(benchmark, constant):
+    from repro import active_classify_1d, solve_passive_1d
+
+    points = planted_threshold_1d(50_000, noise=0.1, rng=3)
+    optimum = solve_passive_1d(points).optimal_error
+    hidden = points.with_hidden_labels()
+    plan = SamplingPlan(practical_constant=constant)
+
+    def job():
+        oracle = LabelOracle(points)
+        return active_classify_1d(hidden, oracle, epsilon=0.5, plan=plan, rng=4)
+
+    result = benchmark(job)
+    err = error_count(points, result.classifier)
+    benchmark.extra_info.update({
+        "constant": constant,
+        "probes": result.probing_cost,
+        "error_ratio": round(err / optimum, 4) if optimum else 1.0,
+    })

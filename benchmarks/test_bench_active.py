@@ -1,0 +1,76 @@
+"""Benchmarks E4/E5/E6: active probing cost vs n, w, eps (Theorem 2).
+
+Each benchmark runs the full active pipeline on a width-controlled workload
+and records probes and achieved error ratio in ``extra_info`` — those are
+the quantities the paper's Theorem 2 speaks about; wall-clock confirms the
+polynomial CPU claim of Theorem 3.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import LabelOracle, active_classify, error_count
+from repro.datasets.synthetic import width_controlled
+from repro.experiments._common import chainwise_optimum
+
+
+def _run_and_annotate(benchmark, n, width, epsilon, seed=0, noise=0.05):
+    points = width_controlled(n, width, noise=noise, rng=seed)
+    optimum = chainwise_optimum(points)
+    hidden = points.with_hidden_labels()
+
+    def job():
+        oracle = LabelOracle(points)
+        return active_classify(hidden, oracle, epsilon=epsilon, rng=seed + 1)
+
+    result = benchmark(job)
+    err = error_count(points, result.classifier)
+    ratio = err / optimum if optimum else 1.0
+    assert ratio <= 1 + epsilon + 1e-9
+    benchmark.extra_info.update({
+        "n": n, "w": width, "eps": epsilon,
+        "probes": result.probing_cost,
+        "probe_fraction": round(result.probing_cost / n, 4),
+        "error_ratio": round(ratio, 4),
+        "k_star": optimum,
+    })
+    return result
+
+
+@pytest.mark.parametrize("n", [2_000, 8_000, 32_000])
+def test_active_E4_n_sweep(benchmark, n):
+    _run_and_annotate(benchmark, n=n, width=8, epsilon=1.0)
+
+
+@pytest.mark.parametrize("width", [2, 8, 32])
+def test_active_E5_w_sweep(benchmark, width):
+    _run_and_annotate(benchmark, n=16_000, width=width, epsilon=1.0)
+
+
+@pytest.mark.parametrize("epsilon", [1.0, 0.5, 0.25])
+def test_active_E6_eps_sweep(benchmark, epsilon):
+    _run_and_annotate(benchmark, n=16_000, width=8, epsilon=epsilon)
+
+
+def test_active_1d_large(benchmark):
+    """Lemma 9's 1-D algorithm at n = 200k: strongly sublinear probing."""
+    from repro import active_classify_1d, solve_passive_1d
+    from repro.datasets.synthetic import planted_threshold_1d
+
+    points = planted_threshold_1d(200_000, noise=0.05, rng=4)
+    hidden = points.with_hidden_labels()
+
+    def job():
+        oracle = LabelOracle(points)
+        return active_classify_1d(hidden, oracle, epsilon=1.0, rng=5)
+
+    result = benchmark(job)
+    optimum = solve_passive_1d(points).optimal_error
+    err = error_count(points, result.classifier)
+    assert result.probing_cost < 20_000
+    benchmark.extra_info.update({
+        "n": 200_000,
+        "probes": result.probing_cost,
+        "error_ratio": round(err / optimum, 4) if optimum else 1.0,
+    })

@@ -1,0 +1,79 @@
+"""Benchmark E7: Theorem 2 vs the Section 1.2 baselines.
+
+One benchmark per method on the same workload; probes and error ratios in
+``extra_info`` reproduce the qualitative ordering the paper claims.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import LabelOracle, active_classify, error_count
+from repro.baselines import a2_classify, probe_all_classify, tao2018_classify
+from repro.datasets.synthetic import width_controlled
+from repro.experiments._common import chainwise_optimum
+
+N, WIDTH, EPS, NOISE, SEED = 8_000, 4, 0.5, 0.08, 0
+
+
+@pytest.fixture(scope="module")
+def workload():
+    points = width_controlled(N, WIDTH, noise=NOISE, rng=SEED)
+    return points, chainwise_optimum(points), points.with_hidden_labels()
+
+
+def _annotate(benchmark, points, optimum, probes, classifier):
+    err = error_count(points, classifier)
+    benchmark.extra_info.update({
+        "probes": probes,
+        "probe_fraction": round(probes / N, 4),
+        "error_ratio": round(err / optimum, 4) if optimum else 1.0,
+    })
+
+
+def test_baseline_theorem2(benchmark, workload):
+    points, optimum, hidden = workload
+
+    def job():
+        oracle = LabelOracle(points)
+        return active_classify(hidden, oracle, epsilon=EPS, rng=SEED + 1)
+
+    result = benchmark(job)
+    _annotate(benchmark, points, optimum, result.probing_cost, result.classifier)
+    assert benchmark.extra_info["error_ratio"] <= 1 + EPS + 1e-9
+
+
+def test_baseline_probe_all(benchmark, workload):
+    points, optimum, hidden = workload
+
+    def job():
+        oracle = LabelOracle(points)
+        return probe_all_classify(hidden, oracle)
+
+    result = benchmark(job)
+    _annotate(benchmark, points, optimum, result.probing_cost, result.classifier)
+    assert result.probing_cost == N
+    assert benchmark.extra_info["error_ratio"] == pytest.approx(1.0)
+
+
+def test_baseline_tao2018(benchmark, workload):
+    points, optimum, hidden = workload
+
+    def job():
+        oracle = LabelOracle(points)
+        return tao2018_classify(hidden, oracle, rng=SEED + 2)
+
+    result = benchmark(job)
+    _annotate(benchmark, points, optimum, result.probing_cost, result.classifier)
+    assert result.probing_cost < N // 20  # logarithmic probing
+
+
+def test_baseline_a2(benchmark, workload):
+    points, optimum, hidden = workload
+
+    def job():
+        oracle = LabelOracle(points)
+        return a2_classify(hidden, oracle, epsilon=EPS, rng=SEED + 3)
+
+    result = benchmark(job)
+    _annotate(benchmark, points, optimum, result.probing_cost, result.classifier)

@@ -1,0 +1,17 @@
+"""Benchmark E12: empirical failure probability (Theorem 2 confidence)."""
+
+from __future__ import annotations
+
+from repro.experiments import confidence
+
+
+def test_confidence_sweep(benchmark):
+    rows = benchmark(confidence.run, 8_000, 0.1, ((1.0, 0.1),), 10, 1)
+    row = rows[0]
+    assert row["within_delta"]
+    benchmark.extra_info.update({
+        "runs": row["runs"],
+        "failures": row["failures"],
+        "delta": row["delta"],
+        "mean_probes": row["mean_probes"],
+    })

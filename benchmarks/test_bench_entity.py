@@ -1,0 +1,66 @@
+"""Benchmark E11: end-to-end entity matching under a label budget."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import LabelOracle, active_classify, error_count, solve_passive
+from repro.baselines import tao2018_classify
+from repro.datasets.entity_matching import generate_entity_matching
+from repro.experiments.entity_matching_exp import match_f1
+
+N_PAIRS, DIM, NOISE, SEED = 3_000, 3, 0.05, 0
+
+
+@pytest.fixture(scope="module")
+def workload():
+    wl = generate_entity_matching(N_PAIRS, dim=DIM, label_noise=NOISE, rng=SEED)
+    optimum = solve_passive(wl.points).optimal_error
+    return wl, optimum
+
+
+@pytest.mark.parametrize("epsilon", [1.0, 0.5])
+def test_entity_active(benchmark, workload, epsilon):
+    wl, optimum = workload
+    hidden = wl.hidden()
+
+    def job():
+        oracle = wl.oracle()
+        return active_classify(hidden, oracle, epsilon=epsilon, rng=SEED + 1)
+
+    result = benchmark(job)
+    err = error_count(wl.points, result.classifier)
+    benchmark.extra_info.update({
+        "labels_spent": result.probing_cost,
+        "error_ratio": round(err / optimum, 4) if optimum else 1.0,
+        "match_f1": round(match_f1(wl.points, result.classifier), 4),
+        "width_w": result.num_chains,
+    })
+    assert err <= (1 + epsilon) * optimum + 1e-9
+
+
+def test_entity_tao2018(benchmark, workload):
+    wl, optimum = workload
+    hidden = wl.hidden()
+
+    def job():
+        oracle = wl.oracle()
+        return tao2018_classify(hidden, oracle, rng=SEED + 2)
+
+    result = benchmark(job)
+    err = error_count(wl.points, result.classifier)
+    benchmark.extra_info.update({
+        "labels_spent": result.probing_cost,
+        "error_ratio": round(err / optimum, 4) if optimum else 1.0,
+        "match_f1": round(match_f1(wl.points, result.classifier), 4),
+    })
+
+
+def test_entity_full_information(benchmark, workload):
+    wl, optimum = workload
+    result = benchmark(solve_passive, wl.points)
+    assert result.optimal_error == pytest.approx(optimum)
+    benchmark.extra_info.update({
+        "labels_spent": N_PAIRS,
+        "match_f1": round(match_f1(wl.points, result.classifier), 4),
+    })

@@ -1,0 +1,46 @@
+"""Benchmark E1/E2: the Figure 1 worked example (DESIGN.md experiment index).
+
+Regenerates every published number of the paper's running example and
+asserts exact agreement; the benchmark clock measures the full pipeline
+(width + unweighted optimum + weighted optimum) on the 16-point input.
+"""
+
+from __future__ import annotations
+
+from repro import dominance_width, solve_passive
+from repro.datasets.figures import (
+    FIGURE1_OPTIMAL_UNWEIGHTED_ERROR,
+    FIGURE1_OPTIMAL_WEIGHTED_ERROR,
+    FIGURE1_WIDTH,
+    figure1_point_set,
+    figure1_weighted_point_set,
+)
+from repro.experiments import figure1
+
+
+def test_figure1_full_example(benchmark):
+    points = figure1_point_set()
+    weighted = figure1_weighted_point_set()
+
+    def pipeline():
+        return (
+            dominance_width(points),
+            solve_passive(points).optimal_error,
+            solve_passive(weighted).optimal_error,
+        )
+
+    width, k_star, weighted_opt = benchmark(pipeline)
+    assert width == FIGURE1_WIDTH
+    assert k_star == FIGURE1_OPTIMAL_UNWEIGHTED_ERROR
+    assert weighted_opt == FIGURE1_OPTIMAL_WEIGHTED_ERROR
+    benchmark.extra_info.update({
+        "paper_width": FIGURE1_WIDTH,
+        "paper_k_star": FIGURE1_OPTIMAL_UNWEIGHTED_ERROR,
+        "paper_weighted_opt": FIGURE1_OPTIMAL_WEIGHTED_ERROR,
+    })
+
+
+def test_figure1_experiment_rows(benchmark):
+    rows = benchmark(figure1.run)
+    assert all(row["match"] for row in rows)
+    benchmark.extra_info["verified_quantities"] = len(rows)

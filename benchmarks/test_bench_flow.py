@@ -1,0 +1,64 @@
+"""Benchmark E10: max-flow backend agreement and runtime (Lemmas 7-8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.flow_backends import random_flow_network
+from repro.flow import FLOW_BACKENDS, solve_max_flow, solve_min_cut
+
+
+@pytest.mark.parametrize("backend", sorted(FLOW_BACKENDS))
+@pytest.mark.parametrize("size", [200, 600])
+def test_flow_backend_runtime(benchmark, backend, size):
+    reference = None
+    for other in FLOW_BACKENDS:
+        net = random_flow_network(size, 0.08, seed=7)
+        value = solve_max_flow(net, 0, size - 1, backend=other)
+        if reference is None:
+            reference = value
+        assert value == pytest.approx(reference, rel=1e-9)
+
+    def job():
+        net = random_flow_network(size, 0.08, seed=7)
+        return solve_max_flow(net, 0, size - 1, backend=backend)
+
+    value = benchmark(job)
+    assert value == pytest.approx(reference, rel=1e-9)
+    benchmark.extra_info.update({"V": size, "flow_value": round(value, 4)})
+
+
+def test_flow_against_networkx(benchmark):
+    nx = pytest.importorskip("networkx")
+    size = 300
+    net = random_flow_network(size, 0.08, seed=8)
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(size))
+    for _arc, arc in net.forward_arcs():
+        if graph.has_edge(arc.tail, arc.head):
+            graph[arc.tail][arc.head]["capacity"] += arc.capacity
+        else:
+            graph.add_edge(arc.tail, arc.head, capacity=arc.capacity)
+    expected = nx.maximum_flow_value(graph, 0, size - 1)
+
+    def job():
+        fresh = random_flow_network(size, 0.08, seed=8)
+        return solve_max_flow(fresh, 0, size - 1, backend="dinic")
+
+    value = benchmark(job)
+    assert value == pytest.approx(expected, rel=1e-9)
+    benchmark.extra_info["networkx_value"] = round(expected, 4)
+
+
+def test_min_cut_extraction(benchmark):
+    size = 400
+
+    def job():
+        net = random_flow_network(size, 0.08, seed=9)
+        return solve_min_cut(net, 0, size - 1)
+
+    cut = benchmark(job)
+    benchmark.extra_info.update({
+        "cut_value": round(cut.value, 4),
+        "cut_edges": len(cut.cut_arcs),
+    })

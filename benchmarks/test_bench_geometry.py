@@ -1,0 +1,18 @@
+"""Benchmark E14: recursion geometry aggregation (Lemma 10 empirics)."""
+
+from __future__ import annotations
+
+from repro.experiments import recursion_geometry
+
+
+def test_recursion_geometry_sweep(benchmark):
+    rows = benchmark(recursion_geometry.run, 20_000, 0.1, 0.5, 5, 3)
+    summary = rows[-1]
+    assert summary["level"] == "summary"
+    # mean shrink factor (stored in mean_sample of the summary row) stays
+    # below the Lemma 10 bound of 5/8.
+    assert summary["mean_sample"] <= 5 / 8
+    benchmark.extra_info.update({
+        "mean_shrink": round(summary["mean_sample"], 4),
+        "mean_depth": round(summary["mean_population"], 2),
+    })

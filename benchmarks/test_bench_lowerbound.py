@@ -1,0 +1,59 @@
+"""Benchmark E8: the Theorem 1 lower-bound family (Section 6).
+
+Sweeps prober length over the adversarial family, asserting the measured
+totals equal the Lemma 19 closed forms, and times the full-family
+evaluation.  The Ω(n²) growth of accurate probers' total cost is recorded
+across two family sizes in ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    ConstantClassifier,
+    DeterministicPairProber,
+    evaluate_on_family,
+    theoretical_nonoptcnt_lower_bound,
+    theoretical_totalcost,
+)
+from repro.experiments import lowerbound_exp
+
+
+@pytest.mark.parametrize("n", [64, 128])
+def test_lowerbound_full_accuracy_prober(benchmark, n):
+    """The fully-accurate prober (ell = n/2) pays Theta(n^2) in total."""
+    prober = DeterministicPairProber(tuple(range(1, n // 2 + 1)),
+                                     ConstantClassifier(0))
+    evaluation = benchmark(evaluate_on_family, prober, n)
+    assert evaluation.nonoptcnt == 0
+    assert evaluation.totalcost == theoretical_totalcost(n, n // 2)
+    assert evaluation.totalcost >= n * n / 8
+    benchmark.extra_info.update({
+        "n": n,
+        "totalcost": evaluation.totalcost,
+        "quadratic_floor": n * n / 8,
+    })
+
+
+def test_lowerbound_tradeoff_sweep(benchmark):
+    rows = benchmark(lowerbound_exp.run, 96)
+    assert all(row["cost_match"] for row in rows)
+    assert all(row["lb_holds"] for row in rows)
+    benchmark.extra_info["rows"] = len(rows)
+
+
+def test_lowerbound_formulas(benchmark):
+    """Micro-bench of the closed forms plus an exhaustive equality sweep."""
+    def sweep():
+        n = 48
+        for ell in range(0, n // 2 + 1):
+            prober = DeterministicPairProber(tuple(range(1, ell + 1)),
+                                             ConstantClassifier(0))
+            evaluation = evaluate_on_family(prober, n)
+            assert evaluation.totalcost == theoretical_totalcost(n, ell)
+            assert evaluation.nonoptcnt >= \
+                theoretical_nonoptcnt_lower_bound(n, ell)
+        return n
+
+    assert benchmark(sweep) == 48

@@ -1,0 +1,33 @@
+"""Benchmark E13: noise-model robustness of the active algorithm."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import LabelOracle, active_classify, error_count
+from repro.datasets.noise import NOISE_MODELS
+from repro.datasets.synthetic import width_controlled
+from repro.experiments._common import chainwise_optimum
+
+
+@pytest.mark.parametrize("model", sorted(NOISE_MODELS))
+def test_robustness_per_noise_model(benchmark, model):
+    clean = width_controlled(6_000, 4, noise=0.0, rng=0)
+    noisy = NOISE_MODELS[model](clean, 0.08, rng=1)
+    optimum = chainwise_optimum(noisy)
+    hidden = noisy.with_hidden_labels()
+
+    def job():
+        oracle = LabelOracle(noisy)
+        return active_classify(hidden, oracle, epsilon=0.5, rng=2)
+
+    result = benchmark(job)
+    err = error_count(noisy, result.classifier)
+    ratio = err / optimum if optimum else 1.0
+    assert ratio <= 1.5 + 1e-9
+    benchmark.extra_info.update({
+        "noise_model": model,
+        "probes": result.probing_cost,
+        "error_ratio": round(ratio, 4),
+        "k_star": optimum,
+    })

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Seeing Theorem 2's probing bound in action: O((w/eps^2) log n log(n/w)).
+
+Sweeps input size, dominance width, and accuracy target on width-controlled
+workloads, printing how the probe count moves with each factor while the
+achieved error always stays within (1 + eps) of optimal.
+
+Run:  python examples/active_scaling_demo.py
+"""
+
+from repro import LabelOracle, active_classify, error_count
+from repro._util import format_table
+from repro.datasets.synthetic import width_controlled
+from repro.experiments._common import chainwise_optimum
+
+
+def one_row(n: int, width: int, eps: float, seed: int = 0) -> dict:
+    points = width_controlled(n, width, noise=0.05, rng=seed)
+    optimum = chainwise_optimum(points)
+    oracle = LabelOracle(points)
+    result = active_classify(points.with_hidden_labels(), oracle,
+                             epsilon=eps, rng=seed + 1)
+    err = error_count(points, result.classifier)
+    return {
+        "n": n,
+        "w": width,
+        "eps": eps,
+        "probes": result.probing_cost,
+        "probed%": f"{result.probing_cost / n:.1%}",
+        "err/k*": f"{err / optimum:.3f}" if optimum else "exact",
+        "bound(1+eps)": 1 + eps,
+    }
+
+
+def main() -> None:
+    print("1. Growing n (w=8, eps=1): the probed FRACTION shrinks —")
+    print("   cost is polylogarithmic in n, not linear:")
+    print(format_table([one_row(n, 8, 1.0) for n in
+                        (2_000, 8_000, 32_000)]))
+
+    print("\n2. Growing w (n=16000, eps=1): cost scales ~linearly with the")
+    print("   dominance width, the paper's key hardness parameter:")
+    print(format_table([one_row(16_000, w, 1.0) for w in (2, 8, 32)]))
+
+    print("\n3. Tightening eps (n=16000, w=8): accuracy costs 1/eps^2:")
+    print(format_table([one_row(16_000, 8, eps) for eps in (1.0, 0.5, 0.25)]))
+
+
+if __name__ == "__main__":
+    main()

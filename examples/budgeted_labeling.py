@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Budget-first active learning: "we can afford 3,000 labels — go."
+
+Teams plan in budgets, not epsilons.  `active_classify_budgeted` inverts
+the Theorem 2 cost bound to pick the tightest accuracy target the budget
+can buy, enforces the budget *hard* (the oracle refuses probe #B+1), and
+degrades gracefully when the budget is tiny.
+
+Run:  python examples/budgeted_labeling.py
+"""
+
+from repro import LabelOracle, active_classify_budgeted, error_count
+from repro._util import format_table
+from repro.datasets.synthetic import width_controlled
+from repro.experiments._common import chainwise_optimum
+
+
+def main() -> None:
+    n, w = 24_000, 4
+    points = width_controlled(n, w, noise=0.06, rng=13)
+    optimum = chainwise_optimum(points)
+    print(f"workload: n={n}, dominance width w={w}, "
+          f"full-information optimum k*={optimum:.0f}\n")
+
+    rows = []
+    for budget in (100, 2_000, 6_000, 12_000, n):
+        oracle = LabelOracle(points)
+        result = active_classify_budgeted(points.with_hidden_labels(), oracle,
+                                          budget=budget, rng=14)
+        err = error_count(points, result.classifier)
+        rows.append({
+            "budget": budget,
+            "mode": result.mode,
+            "eps_chosen": result.epsilon if result.epsilon else "-",
+            "labels_spent": result.probing_cost,
+            "errors": err,
+            "vs_optimum": f"{err / optimum:.2f}x" if optimum else "-",
+        })
+        assert result.probing_cost <= budget  # the budget is a hard wall
+    print(format_table(rows))
+
+    print(
+        "\nReading the table: with the full budget the answer is exactly\n"
+        "optimal; workable budgets run the Theorem 2 algorithm at the\n"
+        "tightest epsilon the budget affords; tiny budgets fall back to a\n"
+        "uniform sample + passive solve.  No mode ever exceeds its budget."
+    )
+
+
+if __name__ == "__main__":
+    main()

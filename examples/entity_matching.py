@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Entity matching on a label budget — the paper's motivating scenario.
+
+A record-linkage team has 20,000 candidate record pairs with two
+(grid-quantized) similarity scores each.  Human verdicts cost money, so
+the team compares labeling strategies:
+
+* spend everything (probe all 20,000 pairs, exact optimum);
+* the paper's Theorem 2 algorithm at several accuracy targets eps;
+* the cheap Tao'18-style per-chain binary search.
+
+Run:  python examples/entity_matching.py
+"""
+
+from repro import LabelOracle, active_classify, error_count, solve_passive
+from repro._util import format_table
+from repro.baselines import tao2018_classify
+from repro.datasets.entity_matching import generate_entity_matching
+from repro.experiments.entity_matching_exp import match_f1
+
+
+def main() -> None:
+    # Similarity scores are quantized to a 0.05 grid, as practical matchers
+    # do; that caps the dominance width w — the quantity Theorem 2 charges
+    # probes for — far below what continuous scores would give.
+    workload = generate_entity_matching(
+        n_pairs=20_000, dim=2, match_rate=0.3, label_noise=0.05,
+        quantize=20, rng=11)
+    points = workload.points
+    from repro.poset import dominance_width
+
+    print(f"workload: {points.n} record pairs, {points.dim} similarity "
+          f"metrics, {int((points.labels == 1).sum())} true matches, "
+          f"dominance width w = {dominance_width(points)}")
+
+    # Full-information reference: what unlimited labeling budget buys.
+    optimum = solve_passive(points).optimal_error
+    print(f"full-information optimum k* = {optimum:.0f} "
+          f"(annotator noise makes it non-zero)\n")
+
+    rows = []
+    for eps in (1.0, 0.5, 0.25):
+        oracle = workload.oracle()
+        result = active_classify(workload.hidden(), oracle,
+                                 epsilon=eps, rng=3)
+        err = error_count(points, result.classifier)
+        rows.append({
+            "strategy": f"theorem2 eps={eps}",
+            "labels": result.probing_cost,
+            "budget_used": f"{result.probing_cost / points.n:.1%}",
+            "errors": err,
+            "vs_optimum": f"{err / optimum:.3f}x" if optimum else "-",
+            "match_F1": f"{match_f1(points, result.classifier):.3f}",
+        })
+
+    oracle = workload.oracle()
+    tao = tao2018_classify(workload.hidden(), oracle, rng=4)
+    err = error_count(points, tao.classifier)
+    rows.append({
+        "strategy": "tao2018 binary-search",
+        "labels": tao.probing_cost,
+        "budget_used": f"{tao.probing_cost / points.n:.1%}",
+        "errors": err,
+        "vs_optimum": f"{err / optimum:.3f}x" if optimum else "-",
+        "match_F1": f"{match_f1(points, tao.classifier):.3f}",
+    })
+
+    full = solve_passive(points)  # the strategy that probes everything
+    err = error_count(points, full.classifier)
+    rows.append({
+        "strategy": "probe everything",
+        "labels": points.n,
+        "budget_used": "100.0%",
+        "errors": err,
+        "vs_optimum": "1.000x",
+        "match_F1": f"{match_f1(points, full.classifier):.3f}",
+    })
+
+    print(format_table(rows))
+    print("\nTakeaway: the Theorem 2 learner reaches within (1+eps) of the "
+          "full-information optimum while paying a fraction of the labels; "
+          "tighter eps buys accuracy with more labels.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Monotone label repair: Problem 2 as data cleaning.
+
+A review team's verdicts on record pairs drifted: some pairs were
+rejected despite being more similar (on every metric) than accepted
+pairs.  The Theorem 4 solver *is* the minimum-change repair engine:
+flip the cheapest set of verdicts so the dataset becomes consistent.
+
+Run:  python examples/label_repair.py
+"""
+
+import numpy as np
+
+from repro import repair_labels
+from repro.datasets.noise import asymmetric_flip, uniform_flip
+from repro.datasets.synthetic import planted_monotone
+from repro._util import format_table
+
+
+def main() -> None:
+    clean = planted_monotone(2_000, 3, noise=0.0, rng=5)
+    print(f"clean dataset: {clean!r} (labels consistent: "
+          f"{clean.is_monotone_labeling()})")
+
+    rows = []
+    scenarios = {
+        "uniform 5% noise": uniform_flip(clean, 0.05, rng=6),
+        "uniform 15% noise": uniform_flip(clean, 0.15, rng=7),
+        "biased annotators (1->0 heavy)": asymmetric_flip(clean, 0.02, 0.2,
+                                                          rng=8),
+    }
+    from repro.baselines import closure_repair
+
+    for name, dirty in scenarios.items():
+        injected = int((dirty.labels != clean.labels).sum())
+        report = repair_labels(dirty)
+        greedy = closure_repair(dirty)
+        recovered = int((report.repaired.labels == clean.labels).sum())
+        rows.append({
+            "scenario": name,
+            "injected_flips": injected,
+            "exact_repair_flips": report.num_flips,
+            "greedy_closure_flips": greedy.num_flips,
+            "0->1": report.flips_0_to_1,
+            "1->0": report.flips_1_to_0,
+            "consistent_after": report.repaired.is_monotone_labeling(),
+            "agree_with_truth": f"{recovered / clean.n:.1%}",
+        })
+    print(format_table(rows))
+    print("\n(greedy closure = promote/demote propagation, the quick fix; "
+          "its flip count upper-bounds the exact min-cut repair's)")
+
+    print(
+        "\nNotes: the repair never flips more than the injected noise (it is\n"
+        "the minimum-change consistent relabeling), and the repaired labels\n"
+        "agree with the uncorrupted ground truth far above the noise floor —\n"
+        "monotonicity itself carries enough signal to undo most damage."
+    )
+
+
+if __name__ == "__main__":
+    main()

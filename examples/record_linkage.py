@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Record linkage from raw strings: the full Section 1.1 pipeline.
+
+Two databases describe overlapping people (with typos, dropped middle
+names, off-by-one birth years, and dangerous *namesakes* — different
+people sharing a full name).  We score candidate pairs with real
+similarity functions (token Jaccard, trigram Jaccard, field closeness,
+year proximity), train a monotone matcher, and inspect where and why it
+disagrees with the ground truth.
+
+Run:  python examples/record_linkage.py
+"""
+
+from repro import error_count, solve_passive
+from repro._util import format_table
+from repro.core.validation import conflict_matching_lower_bound
+from repro.datasets.records import generate_record_linkage
+from repro.evaluation import holdout_evaluation
+from repro.poset import dominance_width
+
+
+def main() -> None:
+    workload = generate_record_linkage(n_entities=800, nonmatch_ratio=3.0,
+                                       severity=0.6, namesake_fraction=0.2,
+                                       rng=21)
+    points = workload.points
+    matches = int((points.labels == 1).sum())
+    print(f"candidate pairs: {points.n} ({matches} true matches), "
+          f"{points.dim} similarity metrics, "
+          f"dominance width w = {dominance_width(points)}")
+
+    # Show a few raw pairs behind the vectors.
+    print("\nsample pairs (name | city | zip | year):")
+    shown = {1: 0, 0: 0}
+    for i in range(points.n):
+        label = int(points.labels[i])
+        if shown[label] >= 2:
+            continue
+        a, b = workload.pair_records[i]
+        tag = "MATCH   " if label else "NONMATCH"
+        print(f"  {tag} scores={[round(float(s), 2) for s in points.coords[i]]}")
+        print(f"           A: {a.name} | {a.city} | {a.zip_code} | {a.birth_year}")
+        print(f"           B: {b.name} | {b.city} | {b.zip_code} | {b.birth_year}")
+        shown[label] += 1
+        if all(v >= 2 for v in shown.values()):
+            break
+
+    result = solve_passive(points)
+    lower = conflict_matching_lower_bound(points)
+    print(f"\nexact monotone optimum k* = {result.optimal_error:.0f} "
+          f"(certified lower bound {lower:.0f}) — typos and namesakes make "
+          "a perfect monotone matcher impossible")
+
+    report = holdout_evaluation(points, test_fraction=0.25, rng=22)
+    print(format_table([{
+        "split": "train", **{k: round(v, 3) for k, v in
+                             report.train_metrics.items()},
+    }, {
+        "split": "held-out", **{k: round(v, 3) for k, v in
+                                report.test_metrics.items()},
+    }]))
+
+    # What does the matcher get wrong?  Mostly namesakes.
+    wrong = [i for i in range(points.n)
+             if result.assignment[i] != points.labels[i]]
+    namesake_errors = sum(
+        1 for i in wrong
+        if workload.pair_records[i][0].name == workload.pair_records[i][1].name
+        and points.labels[i] == 0
+    )
+    print(f"\nof {len(wrong)} unavoidable errors, {namesake_errors} are "
+          "namesake non-matches that genuinely look like matches on every "
+          "metric — exactly the failure mode the paper's weighted variant "
+          "(Problem 2) lets you price explicitly.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Why monotone classifiers beat per-feature cutoffs: a staircase boundary.
+
+Entity-matching practice often sets one cutoff per similarity metric
+("accept if title-sim > 0.8"), i.e. an axis threshold.  A genuinely
+monotone boundary can be a staircase that no single cutoff matches.  This
+example builds such a workload, solves it exactly with the Theorem 4
+min-cut solver, and renders the learned decision region in the terminal.
+
+Run:  python examples/staircase_boundary.py
+"""
+
+import numpy as np
+
+from repro import ThresholdClassifier, error_count, solve_passive
+from repro.datasets.synthetic import staircase
+from repro.viz import render_decision_region, render_points
+
+
+def main() -> None:
+    points = staircase(1_200, steps=4, noise=0.05, rng=9)
+    print("the workload (o = non-match, x = match):")
+    print(render_points(points, width=56, height=18))
+
+    # Best single-feature cutoff, per feature.
+    best_axis = None
+    for dim in (0, 1):
+        for tau in np.linspace(0, 1, 41):
+            h = ThresholdClassifier(float(tau), dim=dim)
+            err = error_count(points, h)
+            if best_axis is None or err < best_axis[0]:
+                best_axis = (err, dim, float(tau))
+    axis_err, axis_dim, axis_tau = best_axis
+    print(f"\nbest single-feature cutoff: feature {axis_dim} > {axis_tau:.2f} "
+          f"-> {axis_err} errors ({axis_err / points.n:.1%})")
+
+    result = solve_passive(points)
+    print(f"optimal monotone classifier -> {result.optimal_error:.0f} errors "
+          f"({result.optimal_error / points.n:.1%})")
+
+    print("\nits decision region (a monotone staircase, # = match):")
+    print(render_decision_region(result.classifier, width=56, height=18))
+
+    improvement = axis_err / max(result.optimal_error, 1)
+    print(f"\nThe monotone optimum makes {improvement:.1f}x fewer errors than "
+          "the best per-feature cutoff, while remaining fully explainable: "
+          "no accepted pair is less similar than a rejected one on every metric.")
+
+
+if __name__ == "__main__":
+    main()

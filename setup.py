@@ -1,0 +1,11 @@
+"""Setup shim enabling legacy editable installs (offline environments).
+
+The environment this reproduction targets has no ``wheel`` package and no
+network access, so PEP 660 editable builds are unavailable;
+``pip install -e .`` falls back to ``setup.py develop`` through this shim.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,123 @@
+"""Small shared utilities used across the package.
+
+Nothing in this module is part of the public API; everything here exists to
+keep the algorithmic modules focused on the paper's logic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def as_generator(rng: RngLike) -> np.random.Generator:
+    """Coerce ``None``, a seed, or a Generator into a ``np.random.Generator``.
+
+    Every randomized routine in the package accepts a ``rng`` argument of
+    this form so experiments are reproducible end to end.
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def as_float_matrix(coords: Iterable[Sequence[float]]) -> np.ndarray:
+    """Convert an iterable of coordinate sequences into a 2-D float array.
+
+    Raises ``ValueError`` on ragged input or wrong dimensionality because a
+    silent reshape would corrupt dominance comparisons downstream.
+    """
+    matrix = np.asarray(list(coords) if not isinstance(coords, np.ndarray) else coords,
+                        dtype=float)
+    if matrix.ndim == 1:
+        # A flat sequence of reals is interpreted as 1-D points.
+        matrix = matrix.reshape(-1, 1)
+    if matrix.ndim != 2:
+        raise ValueError(
+            f"coordinates must form a 2-D array of shape (n, d); got ndim={matrix.ndim}"
+        )
+    if not np.isfinite(matrix).all():
+        raise ValueError("coordinates must be finite real numbers")
+    return matrix
+
+
+def validate_labels(labels: Iterable[int], n: int, allow_hidden: bool = False) -> np.ndarray:
+    """Validate and normalize a label vector.
+
+    Labels are 0/1; the sentinel -1 denotes a hidden label and is accepted
+    only when ``allow_hidden`` is set (active setting).
+    """
+    arr = np.asarray(list(labels) if not isinstance(labels, np.ndarray) else labels,
+                     dtype=np.int8)
+    if arr.shape != (n,):
+        raise ValueError(f"expected {n} labels, got shape {arr.shape}")
+    allowed = {-1, 0, 1} if allow_hidden else {0, 1}
+    present = set(np.unique(arr).tolist())
+    if not present <= allowed:
+        raise ValueError(f"labels must be in {sorted(allowed)}; got values {sorted(present)}")
+    return arr
+
+
+def validate_weights(weights: Optional[Iterable[float]], n: int) -> np.ndarray:
+    """Validate a weight vector; ``None`` means unit weights."""
+    if weights is None:
+        return np.ones(n, dtype=float)
+    arr = np.asarray(list(weights) if not isinstance(weights, np.ndarray) else weights,
+                     dtype=float)
+    if arr.shape != (n,):
+        raise ValueError(f"expected {n} weights, got shape {arr.shape}")
+    if not np.isfinite(arr).all():
+        raise ValueError("weights must be finite")
+    if (arr <= 0).any():
+        raise ValueError("weights must be strictly positive (as in the paper's Problem 2)")
+    return arr
+
+
+def ceil_log2(x: float) -> int:
+    """``ceil(log2(x))`` for x >= 1, and 0 for x < 1."""
+    if x <= 1:
+        return 0
+    return int(math.ceil(math.log2(x)))
+
+
+def log_levels(n: int) -> int:
+    """Upper bound on the recursion depth of the 1-D active framework.
+
+    Lemma 10 shrinks the working set by a factor 5/8 per level, so the depth
+    is at most ``log_{8/5} n`` plus a constant; we return a safe bound.
+    """
+    if n <= 1:
+        return 1
+    return max(1, int(math.ceil(math.log(n, 8.0 / 5.0))) + 2)
+
+
+def format_table(rows: Sequence[dict], columns: Optional[Sequence[str]] = None,
+                 floatfmt: str = "{:.4g}") -> str:
+    """Render a list of row dicts as an aligned plain-text table.
+
+    Used by the experiment harness to print the per-claim tables recorded in
+    EXPERIMENTS.md.
+    """
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def fmt(value: object) -> str:
+        if isinstance(value, bool):
+            return str(value)
+        if isinstance(value, float):
+            return floatfmt.format(value)
+        return str(value)
+
+    rendered = [[fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    ruler = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = "\n".join("  ".join(r[i].ljust(widths[i]) for i in range(len(columns)))
+                     for r in rendered)
+    return f"{header}\n{ruler}\n{body}"

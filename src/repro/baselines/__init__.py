@@ -1,0 +1,43 @@
+"""Baselines the paper compares against (Section 1.2) plus sanity floors.
+
+* :mod:`.probe_all` — reveal every label, then solve passively (the naive
+  optimum Theorem 1 proves unavoidable for exact answers);
+* :mod:`.tao2018` — reconstruction of the per-chain binary-search approach
+  of Tao, PODS'18 [25] (expected error ``<= 2 k*``);
+* :mod:`.a2` — a disagreement-region active learner in the spirit of the
+  ``A^2`` algorithm [2, 4, 9, 15], specialized to monotone classifiers;
+* :mod:`.isotonic` — PAVA isotonic regression thresholded at 1/2, the
+  classical passive 1-D comparator (what e.g. sklearn's IsotonicRegression
+  would give);
+* :mod:`.trivial` — constant and random-threshold floors.
+"""
+
+from .a2 import A2Result, a2_classify
+from .closure_repair import (
+    ClosureRepairResult,
+    closure_repair,
+    downward_closure_labels,
+    upward_closure_labels,
+)
+from .isotonic import isotonic_fit, isotonic_threshold_classifier, pava
+from .probe_all import ProbeAllResult, probe_all_classify
+from .tao2018 import Tao2018Result, tao2018_classify
+from .trivial import majority_classifier, random_threshold_classifier
+
+__all__ = [
+    "probe_all_classify",
+    "ProbeAllResult",
+    "tao2018_classify",
+    "Tao2018Result",
+    "a2_classify",
+    "A2Result",
+    "pava",
+    "isotonic_fit",
+    "isotonic_threshold_classifier",
+    "majority_classifier",
+    "random_threshold_classifier",
+    "closure_repair",
+    "ClosureRepairResult",
+    "upward_closure_labels",
+    "downward_closure_labels",
+]

@@ -1,0 +1,85 @@
+"""Greedy closure repairs: the quick-and-dirty alternative to Theorem 4.
+
+Practitioners often fix a non-monotone labeling by *propagation*: sweep
+the points in dominance order and force consistency, either by promoting
+labels upward (any point above a 1 becomes 1) or demoting them downward
+(any point below a 0 becomes 0).  Both yield monotone labelings in
+``O(dn^2)`` without a flow solver — but neither is optimal in general,
+which is exactly the gap the exact min-cut repair closes.
+
+:func:`closure_repair` runs both directions and keeps the cheaper one;
+tests and the repair example quantify how far it lands from optimal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.points import PointSet
+
+__all__ = ["ClosureRepairResult", "upward_closure_labels",
+           "downward_closure_labels", "closure_repair"]
+
+
+def upward_closure_labels(points: PointSet) -> np.ndarray:
+    """Promote: every point weakly above a label-1 point becomes 1.
+
+    The closure has a closed form — a point's repaired label is the max
+    initial label over everything it weakly dominates (itself included),
+    because weak dominance is transitive.  Duplicated coordinate vectors
+    weakly dominate each other, so they always end up equal.
+    """
+    points.require_full_labels()
+    if points.n == 0:
+        return points.labels.astype(np.int8).copy()
+    weak = points.weak_dominance_matrix()  # weak[i, j]: i dominates j
+    ones = points.labels == 1
+    promoted = weak[:, ones].any(axis=1)
+    return np.where(promoted, 1, points.labels).astype(np.int8)
+
+
+def downward_closure_labels(points: PointSet) -> np.ndarray:
+    """Demote: every point weakly below a label-0 point becomes 0."""
+    points.require_full_labels()
+    if points.n == 0:
+        return points.labels.astype(np.int8).copy()
+    weak = points.weak_dominance_matrix()
+    zeros = points.labels == 0
+    demoted = weak[zeros, :].any(axis=0)
+    return np.where(demoted, 0, points.labels).astype(np.int8)
+
+
+@dataclass(frozen=True)
+class ClosureRepairResult:
+    """The cheaper of the two closure repairs.
+
+    ``direction`` records which sweep won (``"up"`` or ``"down"``);
+    ``repair_weight`` is its cost — an *upper bound* on the exact optimum
+    of :func:`repro.core.repair.repair_labels`.
+    """
+
+    labels: np.ndarray
+    direction: str
+    repair_weight: float
+    num_flips: int
+
+
+def closure_repair(points: PointSet) -> ClosureRepairResult:
+    """Run both closure sweeps and keep the cheaper monotone labeling."""
+    points.require_full_labels()
+    up = upward_closure_labels(points)
+    down = downward_closure_labels(points)
+    up_cost = float(points.weights[up != points.labels].sum())
+    down_cost = float(points.weights[down != points.labels].sum())
+    if up_cost <= down_cost:
+        chosen, direction, cost = up, "up", up_cost
+    else:
+        chosen, direction, cost = down, "down", down_cost
+    return ClosureRepairResult(
+        labels=chosen,
+        direction=direction,
+        repair_weight=cost,
+        num_flips=int((chosen != points.labels).sum()),
+    )

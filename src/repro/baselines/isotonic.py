@@ -1,0 +1,113 @@
+"""Weighted isotonic regression (PAVA) as a passive 1-D comparator.
+
+The classical approach to 1-D monotone classification — what a user of
+scikit-learn's ``IsotonicRegression`` would do — fits a monotone real-valued
+function to the 0/1 labels by weighted least squares using the Pool
+Adjacent Violators Algorithm (PAVA), then thresholds at 1/2.
+
+For binary labels this is in fact *exact*: thresholding the L2 isotonic fit
+at 1/2 minimizes the weighted 0/1 error among monotone classifiers, which
+the tests verify against the prefix-sum solver of
+:mod:`repro.core.passive_1d`.  The baseline exists to connect the paper's
+Problem 2 (d = 1) to standard statistical practice.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.classifier import ThresholdClassifier
+from ..core.points import PointSet
+
+__all__ = ["pava", "isotonic_fit", "isotonic_threshold_classifier"]
+
+
+def pava(values: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Pool Adjacent Violators: weighted L2 isotonic regression.
+
+    Given a sequence ``values`` (ordered by the predictor) and positive
+    ``weights``, returns the non-decreasing sequence minimizing
+    ``sum(weights * (fit - values)^2)``.  Classic stack-based
+    implementation, ``O(n)``.
+    """
+    values = np.asarray(values, dtype=float)
+    weights = np.asarray(weights, dtype=float)
+    n = len(values)
+    if weights.shape != (n,):
+        raise ValueError("weights must match values in length")
+    if (weights <= 0).any():
+        raise ValueError("weights must be positive")
+    if n == 0:
+        return np.empty(0)
+
+    # Each block: (mean, weight, count).
+    means: list = []
+    block_weights: list = []
+    counts: list = []
+    for value, weight in zip(values, weights):
+        means.append(float(value))
+        block_weights.append(float(weight))
+        counts.append(1)
+        # Merge while the monotonicity constraint is violated.
+        while len(means) >= 2 and means[-2] > means[-1]:
+            m2, w2, c2 = means.pop(), block_weights.pop(), counts.pop()
+            m1, w1, c1 = means.pop(), block_weights.pop(), counts.pop()
+            w = w1 + w2
+            means.append((m1 * w1 + m2 * w2) / w)
+            block_weights.append(w)
+            counts.append(c1 + c2)
+
+    fit = np.empty(n)
+    pos = 0
+    for mean, count in zip(means, counts):
+        fit[pos:pos + count] = mean
+        pos += count
+    return fit
+
+
+def isotonic_fit(x: Sequence[float], y: Sequence[int],
+                 weights: Optional[Sequence[float]] = None
+                 ) -> Tuple[np.ndarray, np.ndarray]:
+    """Fit a monotone function to labeled 1-D data.
+
+    Returns ``(sorted_x, fitted_values)`` with ``fitted_values``
+    non-decreasing along ``sorted_x``.  Ties in ``x`` are pre-pooled (points
+    sharing a predictor value must share a fitted value).
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    w = np.ones(len(x)) if weights is None else np.asarray(weights, dtype=float)
+    order = np.argsort(x, kind="stable")
+    xs, ys, ws = x[order], y[order], w[order]
+
+    # Pool exact ties: a classifier is a function of the value.
+    unique_x, start = np.unique(xs, return_index=True)
+    boundaries = np.append(start, len(xs))
+    pooled_y = np.empty(len(unique_x))
+    pooled_w = np.empty(len(unique_x))
+    for i in range(len(unique_x)):
+        seg = slice(boundaries[i], boundaries[i + 1])
+        pooled_w[i] = ws[seg].sum()
+        pooled_y[i] = float(np.average(ys[seg], weights=ws[seg]))
+    return unique_x, pava(pooled_y, pooled_w)
+
+
+def isotonic_threshold_classifier(points: PointSet) -> ThresholdClassifier:
+    """Passive 1-D classifier: isotonic fit thresholded at 1/2.
+
+    The returned threshold ``tau`` is the largest x whose fitted value is
+    ``< 1/2`` (``-inf`` if the fit starts at or above 1/2), so the
+    classifier predicts 1 exactly where the fit reaches 1/2.
+    """
+    points.require_full_labels()
+    if points.dim != 1:
+        raise ValueError(f"isotonic baseline requires d = 1; got d = {points.dim}")
+    if points.n == 0:
+        return ThresholdClassifier(float("inf"))
+    xs, fit = isotonic_fit(points.coords[:, 0], points.labels, points.weights)
+    below = np.flatnonzero(fit < 0.5)
+    if len(below) == 0:
+        return ThresholdClassifier(float("-inf"))
+    return ThresholdClassifier(float(xs[below[-1]]))

@@ -1,0 +1,102 @@
+"""Reconstruction of the Tao PODS'18 active algorithm [25] (2-approximation).
+
+The original paper ("Entity Matching with Active Monotone Classification")
+has no public implementation.  Its headline algorithm probes
+``O(w log(n/w))`` labels in expectation and returns a classifier of
+*expected* error at most ``2 k*``.  The core mechanism, which we reconstruct
+here, is:
+
+1. decompose ``P`` into ``w`` chains (the same Lemma 6 substrate);
+2. on each chain — where any monotone classifier is a position threshold —
+   run a *noisy binary search*: probe the midpoint, move left on label 1
+   and right on label 0, as if the chain's labeling were perfectly
+   monotone.  This costs ``O(log |C_i|)`` probes per chain;
+3. combine the per-chain prefix boundaries into one global monotone
+   classifier: the 1-region is the upward closure of the first 1-side point
+   of every chain.
+
+Deviations from [25], documented per DESIGN.md's substitution rules:
+
+* [25] analyses a randomized variant with repeated probes to bound the
+  *expected* error by ``2 k*``; we expose ``repeats`` (majority voting per
+  probe position) so experiments can trade probes for robustness, with
+  ``repeats=1`` as the cheapest faithful-in-spirit configuration;
+* the cross-chain combination step in [25] involves additional machinery;
+  the upward-closure combination used here preserves monotonicity and the
+  per-chain boundaries, which is what the comparison experiments exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from .._util import RngLike, as_generator
+from ..core.classifier import MonotoneClassifier, UpsetClassifier
+from ..core.oracle import LabelOracle
+from ..core.points import PointSet
+from ..poset.chains import minimum_chain_decomposition
+
+__all__ = ["Tao2018Result", "tao2018_classify"]
+
+
+@dataclass(frozen=True)
+class Tao2018Result:
+    """Classifier plus accounting for the Tao'18-style baseline."""
+
+    classifier: MonotoneClassifier
+    probing_cost: int
+    num_chains: int
+    boundaries: List[int]  # per chain: index of the first 1-classified position
+
+
+def _noisy_binary_search(chain: List[int], oracle: LabelOracle, repeats: int,
+                         rng: np.random.Generator) -> int:
+    """Find the 0/1 boundary position of a chain by (noisy) binary search.
+
+    Treats the chain as if its labels were a clean 0-prefix / 1-suffix:
+    probing position ``mid`` with a majority of ``repeats`` probes, a label
+    of 1 moves the search left (boundary at or before ``mid``), a label of 0
+    moves it right.  Returns the position of the first point classified 1
+    (``len(chain)`` when the whole chain is classified 0).
+    """
+    lo, hi = 0, len(chain)  # boundary in [lo, hi]
+    while lo < hi:
+        mid = (lo + hi) // 2
+        votes = 0
+        for _ in range(repeats):
+            votes += oracle.probe(chain[mid])
+        majority_one = 2 * votes > repeats or (2 * votes == repeats and rng.random() < 0.5)
+        if majority_one:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def tao2018_classify(points: PointSet, oracle: LabelOracle,
+                     repeats: int = 1, rng: RngLike = None) -> Tao2018Result:
+    """Run the reconstructed Tao'18 algorithm on a hidden-label point set."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1; got {repeats}")
+    gen = as_generator(rng)
+    decomposition = minimum_chain_decomposition(points)
+    cost_before = oracle.cost
+
+    boundaries: List[int] = []
+    anchors: List[np.ndarray] = []
+    for chain in decomposition.chains:
+        boundary = _noisy_binary_search(chain, oracle, repeats, gen)
+        boundaries.append(boundary)
+        if boundary < len(chain):
+            anchors.append(points.coords[chain[boundary]])
+
+    classifier = UpsetClassifier(anchors, dim=points.dim)
+    return Tao2018Result(
+        classifier=classifier,
+        probing_cost=oracle.cost - cost_before,
+        num_chains=decomposition.num_chains,
+        boundaries=boundaries,
+    )

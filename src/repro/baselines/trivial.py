@@ -1,0 +1,40 @@
+"""Trivial baselines: sanity floors for the comparison experiments.
+
+A useful experiment table includes floors that any real method must beat:
+the best *constant* classifier (majority label) and a random threshold.
+"""
+
+from __future__ import annotations
+
+from .._util import RngLike, as_generator
+from ..core.classifier import ConstantClassifier, ThresholdClassifier
+from ..core.oracle import LabelOracle
+from ..core.points import PointSet
+from ..stats.estimation import sample_with_replacement
+
+__all__ = ["majority_classifier", "random_threshold_classifier"]
+
+
+def majority_classifier(points: PointSet, oracle: LabelOracle,
+                        sample_size: int = 64,
+                        rng: RngLike = None) -> ConstantClassifier:
+    """The better of the two constant classifiers, estimated from a sample.
+
+    Probes ``sample_size`` random labels and returns the constant classifier
+    matching the sampled majority — the cheapest possible active method.
+    """
+    gen = as_generator(rng)
+    size = min(sample_size, points.n)
+    picks = sample_with_replacement(range(points.n), size, gen)
+    ones = sum(oracle.probe(int(i)) for i in picks)
+    return ConstantClassifier(1 if 2 * ones >= size else 0)
+
+
+def random_threshold_classifier(points: PointSet, dim: int = 0,
+                                rng: RngLike = None) -> ThresholdClassifier:
+    """A threshold at a uniformly random point's coordinate — zero probes."""
+    gen = as_generator(rng)
+    if points.n == 0:
+        return ThresholdClassifier(float("inf"), dim=dim)
+    pick = int(gen.integers(0, points.n))
+    return ThresholdClassifier(float(points.coords[pick, dim]), dim=dim)

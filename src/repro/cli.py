@@ -1,0 +1,277 @@
+"""Command-line interface: ``repro-monotone`` / ``python -m repro``.
+
+Subcommands
+-----------
+``generate``
+    Produce a synthetic workload and write it to CSV/JSON.
+``passive``
+    Solve Problem 2 exactly on a stored point set and report the optimum.
+``active``
+    Run the Theorem 2 algorithm against a stored (fully labeled) point set
+    used as the oracle's ground truth; reports probes and achieved error.
+``width``
+    Report the dominance width and chain statistics of a stored point set.
+``experiment``
+    Run one or all registered experiments and print their tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from ._util import format_table
+from .flow import FLOW_BACKENDS
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-monotone",
+        description="Monotone classification (Tao & Wang, PODS 2021) toolkit",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic workload")
+    gen.add_argument("output", help="output file (.csv or .json)")
+    gen.add_argument("--kind",
+                     choices=["threshold1d", "monotone", "width", "entity",
+                              "records"],
+                     default="monotone")
+    gen.add_argument("--n", type=int, default=1000)
+    gen.add_argument("--dim", type=int, default=2)
+    gen.add_argument("--width", type=int, default=8)
+    gen.add_argument("--noise", type=float, default=0.1)
+    gen.add_argument("--seed", type=int, default=0)
+
+    passive = sub.add_parser("passive", help="solve Problem 2 exactly (Theorem 4)")
+    passive.add_argument("input", help="point-set file (.csv or .json)")
+    passive.add_argument("--backend", choices=sorted(FLOW_BACKENDS),
+                         default="dinic")
+
+    active = sub.add_parser("active", help="run the Theorem 2 active algorithm")
+    active.add_argument("input", help="fully-labeled point-set file (ground truth)")
+    active.add_argument("--epsilon", type=float, default=0.5)
+    active.add_argument("--seed", type=int, default=0)
+    active.add_argument("--decomposition",
+                        choices=["exact", "matching", "patience", "greedy"],
+                        default="exact")
+
+    width = sub.add_parser("width", help="dominance width and chain stats")
+    width.add_argument("input", help="point-set file (.csv or .json)")
+
+    audit = sub.add_parser(
+        "audit", help="solve passively and machine-check the result")
+    audit.add_argument("input", help="fully-labeled point-set file")
+    audit.add_argument("--backend", choices=sorted(FLOW_BACKENDS),
+                       default="dinic")
+
+    repair = sub.add_parser(
+        "repair", help="minimum-weight monotone label repair (data cleaning)")
+    repair.add_argument("input", help="fully-labeled point-set file")
+    repair.add_argument("output", nargs="?",
+                        help="optional file to write the repaired set to")
+
+    viz = sub.add_parser("viz", help="render a 2-D point set in the terminal")
+    viz.add_argument("input", help="2-D point-set file (.csv or .json)")
+    viz.add_argument("--solve", action="store_true",
+                     help="overlay the optimal monotone decision region")
+    viz.add_argument("--width", type=int, default=60)
+    viz.add_argument("--height", type=int, default=24)
+
+    experiment = sub.add_parser("experiment", help="run registered experiments")
+    experiment.add_argument("names", nargs="*", help="experiment names (default: all)")
+    experiment.add_argument("--list", action="store_true", help="list experiments")
+    return parser
+
+
+def _load(path: str):
+    from .io import load_csv, load_json
+
+    if path.endswith(".json"):
+        return load_json(path)
+    return load_csv(path)
+
+
+def _save(points, path: str) -> None:
+    from .io import save_csv, save_json
+
+    if path.endswith(".json"):
+        save_json(points, path)
+    else:
+        save_csv(points, path)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .datasets import (
+        generate_entity_matching,
+        planted_monotone,
+        planted_threshold_1d,
+        width_controlled,
+    )
+
+    if args.kind == "threshold1d":
+        points = planted_threshold_1d(args.n, noise=args.noise, rng=args.seed)
+    elif args.kind == "monotone":
+        points = planted_monotone(args.n, args.dim, noise=args.noise, rng=args.seed)
+    elif args.kind == "width":
+        points = width_controlled(args.n, args.width, noise=args.noise, rng=args.seed)
+    elif args.kind == "records":
+        from .datasets import generate_record_linkage
+
+        # --n counts pairs; the generator takes entities (1 match + 3
+        # non-matches per entity).
+        points = generate_record_linkage(max(1, args.n // 4),
+                                         rng=args.seed).points
+    else:
+        points = generate_entity_matching(args.n, dim=args.dim,
+                                          label_noise=args.noise,
+                                          rng=args.seed).points
+    _save(points, args.output)
+    print(f"wrote {points!r} to {args.output}")
+    return 0
+
+
+def _cmd_passive(args: argparse.Namespace) -> int:
+    from .core.passive import solve_passive
+
+    points = _load(args.input)
+    result = solve_passive(points, backend=args.backend)
+    print(format_table([{
+        "n": points.n,
+        "d": points.dim,
+        "contending": result.num_contending,
+        "optimal_weighted_error": result.optimal_error,
+        "backend": result.backend,
+    }]))
+    return 0
+
+
+def _cmd_active(args: argparse.Namespace) -> int:
+    from .core.active import active_classify
+    from .core.errors import error_count
+    from .core.oracle import LabelOracle
+    from .core.passive import solve_passive
+
+    points = _load(args.input)
+    points.require_full_labels()
+    oracle = LabelOracle(points)
+    result = active_classify(points.with_hidden_labels(), oracle,
+                             epsilon=args.epsilon, rng=args.seed,
+                             decomposition=args.decomposition)
+    optimum = solve_passive(points).optimal_error
+    err = error_count(points, result.classifier)
+    print(format_table([{
+        "n": points.n,
+        "width_w": result.num_chains,
+        "epsilon": args.epsilon,
+        "probes": result.probing_cost,
+        "probe_fraction": result.probing_cost / points.n,
+        "achieved_error": err,
+        "optimal_error": optimum,
+        "ratio": err / optimum if optimum else float(err == 0) or float("inf"),
+    }]))
+    return 0
+
+
+def _cmd_width(args: argparse.Namespace) -> int:
+    from .poset import minimum_chain_decomposition
+
+    points = _load(args.input)
+    decomposition = minimum_chain_decomposition(points)
+    sizes = decomposition.sizes()
+    print(format_table([{
+        "n": points.n,
+        "d": points.dim,
+        "width_w": decomposition.num_chains,
+        "largest_chain": sizes[0] if sizes else 0,
+        "smallest_chain": sizes[-1] if sizes else 0,
+    }]))
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from .core.passive import solve_passive
+    from .core.validation import audit_passive_result, conflict_matching_lower_bound
+
+    points = _load(args.input)
+    result = solve_passive(points, backend=args.backend)
+    report = audit_passive_result(points, result)
+    rows = [{"check": name,
+             "status": "FAIL" if name in report.failures else "pass"}
+            for name in report.checks]
+    print(format_table(rows))
+    print(f"\noptimal weighted error: {result.optimal_error:g}")
+    print(f"matching lower bound:   {conflict_matching_lower_bound(points):g}")
+    return 0 if report.ok else 1
+
+
+def _cmd_repair(args: argparse.Namespace) -> int:
+    from .core.repair import repair_labels
+
+    points = _load(args.input)
+    report = repair_labels(points)
+    print(format_table([{
+        "n": points.n,
+        "flips": report.num_flips,
+        "flips_0_to_1": report.flips_0_to_1,
+        "flips_1_to_0": report.flips_1_to_0,
+        "repair_weight": report.repair_weight,
+        "consistent_after": report.repaired.is_monotone_labeling(),
+    }]))
+    if args.output:
+        _save(report.repaired, args.output)
+        print(f"wrote repaired set to {args.output}")
+    return 0
+
+
+def _cmd_viz(args: argparse.Namespace) -> int:
+    from .viz import render_decision_region, render_points
+
+    points = _load(args.input)
+    if args.solve:
+        from .core.passive import solve_passive
+
+        result = solve_passive(points)
+        print(render_decision_region(result.classifier, points=points,
+                                     width=args.width, height=args.height))
+        print(f"optimal weighted error: {result.optimal_error:g}")
+    else:
+        print(render_points(points, width=args.width, height=args.height))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .experiments.runner import EXPERIMENTS, main as run_main
+
+    if args.list:
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+    return run_main(args.names)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "passive": _cmd_passive,
+        "active": _cmd_active,
+        "width": _cmd_width,
+        "audit": _cmd_audit,
+        "repair": _cmd_repair,
+        "viz": _cmd_viz,
+        "experiment": _cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""Core library: the paper's data model, algorithms, and error functionals."""
+
+from .active import ActiveResult, active_classify
+from .active_1d import (
+    Active1DResult,
+    LevelTrace,
+    WeightedSample,
+    active_classify_1d,
+    build_weighted_sample_1d,
+)
+from .classifier import (
+    ConstantClassifier,
+    MonotoneClassifier,
+    ThresholdClassifier,
+    UpsetClassifier,
+    is_monotone_assignment,
+    monotone_extension,
+)
+from .errors import error_count, misclassified_mask, weighted_error
+from .lowerbound import (
+    DeterministicPairProber,
+    FamilyEvaluation,
+    adversarial_family,
+    adversarial_input,
+    evaluate_on_family,
+    optimal_error_of_family_input,
+    theoretical_nonoptcnt_lower_bound,
+    theoretical_totalcost,
+)
+from .oracle import LabelOracle, ProbeBudgetExceeded
+from .passive import PassiveResult, brute_force_passive, contending_mask, solve_passive
+from .passive_1d import Passive1DResult, best_threshold, solve_passive_1d
+from .points import HIDDEN, LabeledPoint, PointSet
+
+__all__ = [
+    "PointSet",
+    "LabeledPoint",
+    "HIDDEN",
+    "MonotoneClassifier",
+    "ThresholdClassifier",
+    "UpsetClassifier",
+    "ConstantClassifier",
+    "is_monotone_assignment",
+    "monotone_extension",
+    "error_count",
+    "weighted_error",
+    "misclassified_mask",
+    "LabelOracle",
+    "ProbeBudgetExceeded",
+    "PassiveResult",
+    "solve_passive",
+    "contending_mask",
+    "brute_force_passive",
+    "Passive1DResult",
+    "solve_passive_1d",
+    "best_threshold",
+    "Active1DResult",
+    "LevelTrace",
+    "WeightedSample",
+    "active_classify_1d",
+    "build_weighted_sample_1d",
+    "ActiveResult",
+    "active_classify",
+    "adversarial_input",
+    "adversarial_family",
+    "optimal_error_of_family_input",
+    "DeterministicPairProber",
+    "FamilyEvaluation",
+    "evaluate_on_family",
+    "theoretical_totalcost",
+    "theoretical_nonoptcnt_lower_bound",
+]

@@ -1,0 +1,164 @@
+"""Active monotone classification in ``R^d`` (paper Section 4, Theorems 2-3).
+
+Pipeline:
+
+1. Compute a chain decomposition of ``P`` with exactly ``w`` chains
+   (Lemma 6; ``O(d n^2 + n^{2.5})``).
+2. For each chain ``C_i``, sort it by dominance and treat it as a 1-D
+   instance: every monotone classifier maps a prefix of the sorted chain to
+   0 and the remaining suffix to 1, so it behaves like a threshold on the
+   position.  Run the Section 3 recursion with per-chain failure budget
+   ``delta / w``, producing a fully-labeled weighted sample ``Σ_i``
+   (eq. (29)).
+3. Let ``Σ = ∪_i Σ_i`` (eq. (30)).  Lemma 14 guarantees that for any two
+   monotone classifiers, ``w-err_Σ(h) <= w-err_Σ(h')`` implies
+   ``err_P(h) <= (1+eps) err_P(h')``.
+4. Find the classifier minimizing ``w-err_Σ`` — an instance of Problem 2 on
+   ``Σ`` solved exactly by the Theorem 4 min-cut solver (Theorem 3's
+   connection), then extend monotonically to all of ``R^d``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from .._util import RngLike, as_generator
+from ..poset.chains import greedy_chain_decomposition, minimum_chain_decomposition
+from ..stats.estimation import SamplingPlan
+from .active_1d import WeightedSample, build_weighted_sample_1d
+from .classifier import MonotoneClassifier
+from .oracle import LabelOracle
+from .passive import solve_passive
+from .points import PointSet
+
+__all__ = ["ActiveResult", "active_classify"]
+
+
+@dataclass(frozen=True)
+class ActiveResult:
+    """Output of the Theorem 2/3 active algorithm.
+
+    Attributes
+    ----------
+    classifier:
+        The ``(1+eps)``-approximate monotone classifier over ``R^d``.
+    sigma:
+        The combined weighted sample ``Σ`` (probed points with weights).
+    sigma_points:
+        ``Σ`` materialized as a fully-labeled weighted :class:`PointSet`.
+    probing_cost:
+        Distinct points probed by this run.
+    sigma_error:
+        Minimum ``w-err_Σ`` achieved (the optimized surrogate objective).
+    num_chains:
+        Number of chains used (equals the width ``w`` for the exact
+        decomposition method).
+    chain_sizes:
+        Sizes of the chains, descending.
+    decomposition_method:
+        ``"matching"`` (exact, Lemma 6) or ``"greedy"`` (heuristic ablation).
+    epsilon, delta:
+        The parameters the run was configured with.
+    """
+
+    classifier: MonotoneClassifier
+    sigma: WeightedSample
+    sigma_points: PointSet
+    probing_cost: int
+    sigma_error: float
+    num_chains: int
+    chain_sizes: List[int]
+    decomposition_method: str
+    epsilon: float
+    delta: float
+
+
+def active_classify(points: PointSet, oracle: LabelOracle, epsilon: float,
+                    delta: Optional[float] = None,
+                    decomposition: str = "exact",
+                    plan: Optional[SamplingPlan] = None,
+                    rng: RngLike = None,
+                    flow_backend: str = "dinic") -> ActiveResult:
+    """Solve Problem 1: probe few labels, return a ``(1+eps)``-approximation.
+
+    Parameters
+    ----------
+    points:
+        Input point set; labels may (and normally should) be hidden.  Only
+        coordinates are read directly — labels flow through ``oracle``.
+    oracle:
+        Label oracle sharing the index space of ``points``.
+    epsilon:
+        Approximation slack in ``(0, 1]`` (Theorem 2).
+    delta:
+        Failure probability; defaults to ``1/n^2``.
+    decomposition:
+        ``"exact"`` (default) picks the best exact method for the
+        dimensionality (patience for ``d <= 2``, the Lemma 6 matching
+        reduction otherwise); ``"matching"`` / ``"patience"`` force a
+        specific exact method; ``"greedy"`` uses the fast heuristic that
+        may exceed ``w`` chains (ablation A2).
+    plan:
+        Sampling plan controlling per-level sample sizes.
+    flow_backend:
+        Max-flow backend used for the final passive solve on ``Σ``.
+    """
+    if not 0 < epsilon <= 1:
+        raise ValueError(f"epsilon must be in (0, 1]; got {epsilon}")
+    n = points.n
+    if n == 0:
+        raise ValueError("cannot classify an empty point set")
+    if delta is None:
+        delta = 1.0 / max(4, n * n)
+    if not 0 < delta < 1:
+        raise ValueError(f"delta must be in (0, 1); got {delta}")
+    rng = as_generator(rng)
+    plan = plan or SamplingPlan()
+
+    if decomposition in ("exact", "auto"):
+        decomp = minimum_chain_decomposition(points)
+    elif decomposition in ("matching", "patience"):
+        decomp = minimum_chain_decomposition(points, method=decomposition)
+    elif decomposition == "greedy":
+        decomp = greedy_chain_decomposition(points)
+    else:
+        raise ValueError(
+            "decomposition must be one of 'exact', 'matching', 'patience', "
+            f"'greedy'; got {decomposition!r}"
+        )
+
+    cost_before = oracle.cost
+    w = decomp.num_chains
+    per_chain_delta = delta / max(1, w)
+
+    sigma = WeightedSample()
+    for chain in decomp.chains:
+        # Positions along the chain act as the 1-D values: index 0 is the
+        # most dominated point, so every monotone classifier is a threshold
+        # on the position.
+        positions = np.arange(len(chain), dtype=float)
+        chain_sigma, _levels, _trace = build_weighted_sample_1d(
+            positions, np.asarray(chain, dtype=int), oracle,
+            epsilon, per_chain_delta, plan, rng,
+        )
+        sigma.merge(chain_sigma)
+
+    indices, weights, labels = sigma.arrays()
+    sigma_points = PointSet(points.coords[indices], labels, weights)
+    passive = solve_passive(sigma_points, backend=flow_backend)
+
+    return ActiveResult(
+        classifier=passive.classifier,
+        sigma=sigma,
+        sigma_points=sigma_points,
+        probing_cost=oracle.cost - cost_before,
+        sigma_error=passive.optimal_error,
+        num_chains=w,
+        chain_sizes=decomp.sizes(),
+        decomposition_method=decomp.method,
+        epsilon=epsilon,
+        delta=delta,
+    )

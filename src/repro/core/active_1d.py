@@ -1,0 +1,389 @@
+"""Active monotone classification in 1-D (paper Section 3, Lemma 9).
+
+The algorithm estimates the error landscape of threshold classifiers using
+two sampled estimators per recursion level:
+
+* ``g1`` approximates ``err_P`` up to an additive ``eps|P|/256`` from a
+  with-replacement sample ``S1`` (Section 3.4);
+* it then identifies the *uncertainty window* ``[alpha, beta]`` — the span
+  of thresholds whose estimated error drops below ``|P| (1/4 - eps/256)`` —
+  and recurses on ``P' = P ∩ [alpha, beta]``, which Lemma 10 shows holds at
+  most ``(5/8)|P|`` points;
+* ``g2`` approximates ``err_{P \\ P'}`` from a second sample ``S2`` that, by
+  construction, contains no point in ``[alpha, beta]`` and is therefore
+  constant over the window (the second requirement of Section 3.2).
+
+Rather than materializing the function ``f``, we exploit the *weighted
+view* of Section 3.5 (Lemma 13): the union ``Σ`` of the per-level weighted
+samples satisfies ``f(h) = w-err_Σ(h)``, so minimizing ``w-err_Σ`` over
+effective thresholds yields the ``(1+eps)``-approximate classifier.
+
+Ties in values are handled exactly: thresholds are evaluated only at sample
+values (plus ``-inf``), so equal values always land on the same side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._util import RngLike, as_generator, log_levels
+from ..stats.estimation import SamplingPlan, sample_with_replacement
+from .classifier import ThresholdClassifier
+from .oracle import LabelOracle
+from .passive_1d import best_threshold
+from .points import PointSet
+
+__all__ = [
+    "WeightedSample",
+    "Active1DResult",
+    "LevelTrace",
+    "SigmaErrorFunction",
+    "build_weighted_sample_1d",
+    "active_classify_1d",
+]
+
+NEG_INF = float("-inf")
+POS_INF = float("inf")
+
+#: Recursion base case: probe everything below this size.  The paper uses 7;
+#: a slightly larger base absorbs the closed-interval handling of [alpha,
+#: beta] (see DESIGN.md) and only strengthens the guarantee.
+BASE_CASE_SIZE = 15
+
+
+@dataclass
+class WeightedSample:
+    """The fully-labeled weighted sample ``Σ`` of Section 3.5.
+
+    Maps each probed point (by its global index) to an accumulated weight;
+    ``w-err_Σ`` equals the framework's estimator ``f`` (Lemma 13).
+    """
+
+    weights: Dict[int, float] = field(default_factory=dict)
+    labels: Dict[int, int] = field(default_factory=dict)
+
+    def add(self, index: int, weight: float, label: int) -> None:
+        """Accumulate ``weight`` onto point ``index`` carrying ``label``."""
+        self.weights[index] = self.weights.get(index, 0.0) + weight
+        self.labels[index] = label
+
+    def merge(self, other: "WeightedSample") -> None:
+        """Fold another weighted sample into this one."""
+        for index, weight in other.weights.items():
+            self.add(index, weight, other.labels[index])
+
+    @property
+    def size(self) -> int:
+        """Number of distinct points in ``Σ``."""
+        return len(self.weights)
+
+    @property
+    def total_weight(self) -> float:
+        """Total accumulated weight."""
+        return float(sum(self.weights.values()))
+
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(indices, weights, labels)`` arrays sorted by index."""
+        indices = np.asarray(sorted(self.weights.keys()), dtype=int)
+        weights = np.asarray([self.weights[i] for i in indices], dtype=float)
+        labels = np.asarray([self.labels[i] for i in indices], dtype=np.int8)
+        return indices, weights, labels
+
+
+@dataclass(frozen=True)
+class LevelTrace:
+    """Telemetry of one recursion level (Section 3.2 instrumentation).
+
+    ``kind`` is ``"base"`` (probed exhaustively), ``"no-window"`` (alpha
+    and beta did not exist), ``"shrink"`` (recursed on ``P'``), or
+    ``"degenerate"`` (window covered everything; probed exhaustively).
+    """
+
+    depth: int
+    population: int
+    sample_size: int
+    kind: str
+    alpha: Optional[float] = None
+    beta: Optional[float] = None
+    shrunk_to: Optional[int] = None
+
+    @property
+    def shrink_factor(self) -> Optional[float]:
+        """``|P'| / |P|`` for shrink levels (Lemma 10 bounds it by 5/8 whp)."""
+        if self.kind != "shrink" or self.population == 0:
+            return None
+        return self.shrunk_to / self.population
+
+
+@dataclass(frozen=True)
+class Active1DResult:
+    """Result of the 1-D active algorithm.
+
+    Attributes
+    ----------
+    classifier:
+        The returned threshold classifier ``h^tau``.
+    sigma:
+        The weighted sample ``Σ`` (side product, Lemma 13).
+    probing_cost:
+        Distinct points probed by this run.
+    levels:
+        Number of recursion levels executed.
+    sigma_error:
+        ``w-err_Σ`` of the returned classifier (the minimized objective).
+    """
+
+    classifier: ThresholdClassifier
+    sigma: WeightedSample
+    probing_cost: int
+    levels: int
+    sigma_error: float
+    trace: Tuple[LevelTrace, ...] = ()
+
+
+class SigmaErrorFunction:
+    """The framework's comparison function ``f`` made explicit (Lemma 13).
+
+    Section 3 constructs ``f : H_mono -> [0, inf)`` with the
+    ε-comparison property — ``f(h^x) <= f(h^y)`` implies
+    ``err_P(h^x) <= (1 + eps) err_P(h^y)`` — and Lemma 13 shows
+    ``f(h^tau) = w-err_Σ(h^tau)``.  This class evaluates exactly that,
+    vectorized over arbitrary thresholds, so tests and experiments can
+    check the property *directly* instead of only through the final
+    classifier.
+    """
+
+    def __init__(self, values: np.ndarray, sigma: WeightedSample) -> None:
+        indices, weights, labels = sigma.arrays()
+        sample_values = np.asarray(values, dtype=float)[indices]
+        order = np.argsort(sample_values, kind="stable")
+        self._values = sample_values[order]
+        self._weights = weights[order]
+        self._labels = labels[order]
+        ones = np.where(self._labels == 1, self._weights, 0.0)
+        zeros = np.where(self._labels == 0, self._weights, 0.0)
+        self._ones_prefix = np.concatenate(([0.0], np.cumsum(ones)))
+        self._zeros_suffix = np.concatenate(
+            (np.cumsum(zeros[::-1])[::-1], [0.0]))
+
+    def __call__(self, tau: float) -> float:
+        """``f(h^tau) = w-err_Σ(h^tau)`` for any real (or ±inf) threshold."""
+        # Points with value <= tau are predicted 0 (err if label 1);
+        # points above tau predicted 1 (err if label 0).
+        k = int(np.searchsorted(self._values, tau, side="right"))
+        return float(self._ones_prefix[k] + self._zeros_suffix[k])
+
+    def evaluate_many(self, taus: Sequence[float]) -> np.ndarray:
+        """Vectorized evaluation over an array of thresholds."""
+        ks = np.searchsorted(self._values, np.asarray(taus, dtype=float),
+                             side="right")
+        return self._ones_prefix[ks] + self._zeros_suffix[ks]
+
+
+def _empirical_threshold_errors(sample_values: np.ndarray,
+                                sample_labels: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Error of each candidate threshold on a multiset sample.
+
+    Returns ``(candidate_taus, error_counts)`` where ``candidate_taus[0]``
+    is ``-inf`` followed by the distinct sorted sample values; entry ``k``
+    counts sample draws misclassified by ``h^{tau_k}``.
+    """
+    order = np.argsort(sample_values, kind="stable")
+    vals = sample_values[order]
+    labs = sample_labels[order]
+    t = len(vals)
+    ones_prefix = np.concatenate(([0.0], np.cumsum(labs == 1)))
+    zeros_suffix = np.concatenate((np.cumsum((labs == 0)[::-1])[::-1], [0.0]))
+    distinct_end = np.flatnonzero(
+        np.concatenate((vals[1:] != vals[:-1], [True]))
+    ) + 1
+    ks = np.concatenate(([0], distinct_end)).astype(int)
+    errors = ones_prefix[ks] + zeros_suffix[ks]
+    taus = np.concatenate(([NEG_INF], vals[ks[1:] - 1]))
+    return taus, errors
+
+
+class _Recursion1D:
+    """Stateful driver for the Section 3 recursion over one value array."""
+
+    def __init__(self, values: np.ndarray, global_indices: np.ndarray,
+                 oracle: LabelOracle, epsilon: float, delta: float,
+                 plan: SamplingPlan, rng: np.random.Generator) -> None:
+        self.values = values
+        self.global_indices = global_indices
+        self.oracle = oracle
+        self.epsilon = epsilon
+        self.delta = delta
+        self.plan = plan
+        self.rng = rng
+        self.levels_bound = log_levels(len(values))
+        self.levels_used = 0
+        self.sigma = WeightedSample()
+        self.trace: List[LevelTrace] = []
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> WeightedSample:
+        """Execute the recursion over all points; returns ``Σ``."""
+        initial = np.argsort(self.values, kind="stable")
+        self._recurse(initial, depth=0)
+        return self.sigma
+
+    def _probe_all(self, local: np.ndarray) -> None:
+        """Base case: probe every point, contributing weight 1 each."""
+        for loc in local:
+            label = self.oracle.probe(int(self.global_indices[loc]))
+            self.sigma.add(int(self.global_indices[loc]), 1.0, label)
+
+    def _probe_sample(self, local_pool: np.ndarray, size: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Draw ``size`` points of ``local_pool`` with replacement and probe them."""
+        draws = sample_with_replacement(local_pool, size, self.rng)
+        labels = np.asarray(
+            [self.oracle.probe(int(self.global_indices[loc])) for loc in draws],
+            dtype=np.int8,
+        )
+        return draws, labels
+
+    def _add_scaled(self, draws: np.ndarray, labels: np.ndarray, scale: float) -> None:
+        """Add a with-replacement sample to ``Σ`` with per-draw weight ``scale``."""
+        for loc, label in zip(draws, labels):
+            self.sigma.add(int(self.global_indices[loc]), scale, int(label))
+
+    # ------------------------------------------------------------------
+
+    def _recurse(self, local: np.ndarray, depth: int) -> None:
+        """One level of the Section 3.2 framework on sorted local positions."""
+        m = len(local)
+        self.levels_used = max(self.levels_used, depth + 1)
+        if m == 0:
+            return
+        if m <= BASE_CASE_SIZE or depth >= self.levels_bound:
+            self.trace.append(LevelTrace(depth, m, m, "base"))
+            self._probe_all(local)
+            return
+
+        # --- Estimator g1 from sample S1.
+        t1 = min(self.plan.level_sample_size(self.epsilon, self.delta, m,
+                                             self.levels_bound),
+                 max(1, m))
+        if t1 >= m:
+            # A sample as large as the population cannot beat probing it.
+            self.trace.append(LevelTrace(depth, m, m, "base"))
+            self._probe_all(local)
+            return
+        draws1, labels1 = self._probe_sample(local, t1)
+        sample_values = self.values[draws1]
+        taus, errors = _empirical_threshold_errors(sample_values, labels1)
+        g1 = (m / t1) * errors
+        cutoff = m * (0.25 - self.epsilon / 256.0)
+        qualifying = np.flatnonzero(g1 < cutoff)
+
+        if len(qualifying) == 0:
+            # alpha, beta do not exist: f = g1, Σ-level = S1 scaled.
+            self.trace.append(LevelTrace(depth, m, t1, "no-window"))
+            self._add_scaled(draws1, labels1, m / t1)
+            return
+
+        first, last = int(qualifying[0]), int(qualifying[-1])
+        alpha = float(taus[first])  # -inf when the leftmost interval qualifies
+        if last == len(taus) - 1:
+            beta = POS_INF
+        else:
+            beta = float(taus[last + 1])  # supremum of the qualifying set
+
+        vals_local = self.values[local]
+        inside = (vals_local >= alpha) & (vals_local <= beta)
+        p_prime = local[inside]
+        rest = local[~inside]
+
+        if len(p_prime) >= m or len(rest) == 0:
+            # Degenerate window covering everything — cannot shrink; the
+            # cheapest correct fallback is to probe the level exhaustively.
+            self.trace.append(LevelTrace(depth, m, t1, "degenerate",
+                                         alpha=alpha, beta=beta))
+            self._probe_all(local)
+            return
+
+        # --- Estimator g2 from sample S2 ⊆ P \ P'.
+        t2 = min(self.plan.level_sample_size(self.epsilon, self.delta, len(rest),
+                                             self.levels_bound),
+                 len(rest))
+        draws2, labels2 = self._probe_sample(rest, t2)
+        self._add_scaled(draws2, labels2, len(rest) / t2)
+
+        self.trace.append(LevelTrace(depth, m, t1 + t2, "shrink",
+                                     alpha=alpha, beta=beta,
+                                     shrunk_to=len(p_prime)))
+        # --- Recurse on the uncertainty window.
+        self._recurse(p_prime, depth + 1)
+
+
+def build_weighted_sample_1d(values: Sequence[float], global_indices: Sequence[int],
+                             oracle: LabelOracle, epsilon: float, delta: float,
+                             plan: Optional[SamplingPlan] = None,
+                             rng: RngLike = None
+                             ) -> Tuple[WeightedSample, int, Tuple[LevelTrace, ...]]:
+    """Run the Section 3 recursion, returning ``(Σ, levels_used, trace)``.
+
+    ``values[i]`` is the 1-D value (or chain position) of the point whose
+    global index is ``global_indices[i]``; probes are issued against global
+    indices so a shared oracle can serve many chains.  ``trace`` records
+    one :class:`LevelTrace` per recursion level for instrumentation.
+    """
+    vals = np.asarray(values, dtype=float)
+    gidx = np.asarray(global_indices, dtype=int)
+    if vals.shape != gidx.shape:
+        raise ValueError("values and global_indices must have equal length")
+    if not 0 < epsilon <= 1:
+        raise ValueError(f"epsilon must be in (0, 1]; got {epsilon}")
+    if not 0 < delta < 1:
+        raise ValueError(f"delta must be in (0, 1); got {delta}")
+    driver = _Recursion1D(vals, gidx, oracle, epsilon, delta,
+                          plan or SamplingPlan(), as_generator(rng))
+    sigma = driver.run()
+    return sigma, driver.levels_used, tuple(driver.trace)
+
+
+def active_classify_1d(points: PointSet, oracle: LabelOracle, epsilon: float,
+                       delta: Optional[float] = None,
+                       plan: Optional[SamplingPlan] = None,
+                       rng: RngLike = None) -> Active1DResult:
+    """Solve Problem 1 in 1-D (Lemma 9): ``(1+eps)``-approximate threshold.
+
+    Parameters
+    ----------
+    points:
+        1-D point set; labels may be hidden (they are accessed only through
+        ``oracle``).
+    oracle:
+        Label oracle over the same index space as ``points``.
+    epsilon:
+        Approximation slack in ``(0, 1]``.
+    delta:
+        Failure probability; defaults to ``1/n^2`` as in Theorem 2.
+    """
+    if points.dim != 1:
+        raise ValueError(f"active_classify_1d requires d = 1; got d = {points.dim}")
+    n = points.n
+    if n == 0:
+        return Active1DResult(ThresholdClassifier(POS_INF), WeightedSample(), 0, 0, 0.0)
+    if delta is None:
+        delta = 1.0 / max(4, n * n)
+    cost_before = oracle.cost
+    values = points.coords[:, 0]
+    sigma, levels, trace = build_weighted_sample_1d(
+        values, np.arange(n), oracle, epsilon, delta, plan, rng
+    )
+    indices, weights, labels = sigma.arrays()
+    tau, sigma_error = best_threshold(values[indices], labels, weights)
+    return Active1DResult(
+        classifier=ThresholdClassifier(tau),
+        sigma=sigma,
+        probing_cost=oracle.cost - cost_before,
+        levels=levels,
+        sigma_error=float(sigma_error),
+        trace=trace,
+    )

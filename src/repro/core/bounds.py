@@ -1,0 +1,97 @@
+"""Closed-form theoretical bounds from the paper, as computable functions.
+
+Used by the experiment harness to print *measured / predicted* ratios: if
+an implementation matches a bound's shape, that ratio stays roughly
+constant across a parameter sweep even though both sides vary by orders
+of magnitude.
+
+* :func:`theorem2_probing_shape` — the Theorem 2 probe bound
+  ``(w/eps^2) * log2(n) * log2(n/w)`` (constants dropped; this paper);
+* :func:`lemma9_probing_shape` — the 1-D Lemma 9 bound
+  ``(1/eps^2) * log2(n) * log2(n/delta)``;
+* :func:`tao2018_probing_shape` — the prior work's expected probe bound
+  ``w * log2(n/w)`` [25];
+* :func:`tao2018_lower_bound_shape` — the [25] lower bound
+  ``w * log2(n / ((1 + k*) w))`` any constant-factor algorithm must pay;
+* :func:`a2_probing_shape` — the best-case ``A^2`` cost ``w^2/eps^2``
+  (Section 1.2 notes its coefficient is ``Omega(w^2)``).
+
+All use the paper's convention ``log x := 1 + log2 x`` (Section 1.1) so
+the shapes stay positive for every valid input.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "paper_log2",
+    "theorem2_probing_shape",
+    "lemma9_probing_shape",
+    "tao2018_probing_shape",
+    "tao2018_lower_bound_shape",
+    "a2_probing_shape",
+]
+
+
+def paper_log2(x: float) -> float:
+    """The paper's ``log x`` convention: ``1 + log2(x)`` for ``x > 0``."""
+    if x <= 0:
+        raise ValueError(f"log argument must be positive; got {x}")
+    return 1.0 + math.log2(x)
+
+
+def _check_common(n: int, w: int) -> None:
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if not 1 <= w <= n:
+        raise ValueError(f"w must be in [1, n]; got w={w}, n={n}")
+
+
+def theorem2_probing_shape(n: int, w: int, epsilon: float) -> float:
+    """Shape of Theorem 2's probe bound: ``(w/eps^2) log n log(n/w)``."""
+    _check_common(n, w)
+    if not 0 < epsilon <= 1:
+        raise ValueError(f"epsilon must be in (0, 1]; got {epsilon}")
+    return (w / (epsilon * epsilon)) * paper_log2(n) * paper_log2(n / w)
+
+
+def lemma9_probing_shape(n: int, epsilon: float, delta: float) -> float:
+    """Shape of Lemma 9's 1-D bound: ``(1/eps^2) log n log(n/delta)``."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if not 0 < epsilon <= 1:
+        raise ValueError(f"epsilon must be in (0, 1]; got {epsilon}")
+    if not 0 < delta < 1:
+        raise ValueError(f"delta must be in (0, 1); got {delta}")
+    return (1.0 / (epsilon * epsilon)) * paper_log2(n) * paper_log2(n / delta)
+
+
+def tao2018_probing_shape(n: int, w: int) -> float:
+    """Shape of [25]'s expected probe bound: ``w log(n/w)``."""
+    _check_common(n, w)
+    return w * paper_log2(n / w)
+
+
+def tao2018_lower_bound_shape(n: int, w: int, k_star: float) -> float:
+    """Shape of [25]'s lower bound: ``w log(n / ((1 + k*) w))``.
+
+    Clamped at zero when the argument drops below 1 (large ``k*`` makes
+    the bound vacuous, as the paper notes it is tight for small ``k*``).
+    """
+    _check_common(n, w)
+    if k_star < 0:
+        raise ValueError("k_star must be non-negative")
+    argument = n / ((1.0 + k_star) * w)
+    if argument <= 1:
+        return 0.0
+    return w * paper_log2(argument)
+
+
+def a2_probing_shape(w: int, epsilon: float) -> float:
+    """Best-case shape of the ``A^2`` cost: ``w^2 / eps^2`` (Section 1.2)."""
+    if w < 1:
+        raise ValueError("w must be >= 1")
+    if not 0 < epsilon <= 1:
+        raise ValueError(f"epsilon must be in (0, 1]; got {epsilon}")
+    return (w * w) / (epsilon * epsilon)

@@ -1,0 +1,97 @@
+"""Oracles backed by user-supplied labeling functions.
+
+:class:`~repro.core.oracle.LabelOracle` needs the full ground truth up
+front, which suits experiments.  Real deployments get labels from a
+*labeling function* — a human queue, a costly model, an external service.
+:class:`CallbackOracle` adapts any ``coords -> label`` callable to the
+probing interface the active algorithms use (probe / peek / cost /
+budget), with the same charge-per-distinct-point accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .oracle import ProbeBudgetExceeded
+from .points import HIDDEN, PointSet
+
+__all__ = ["CallbackOracle"]
+
+
+class CallbackOracle:
+    """Adapts a labeling callable to the probing-oracle interface.
+
+    Parameters
+    ----------
+    points:
+        The (hidden-label) point set the indices refer to; the callback
+        receives the *coordinates* of the probed point.
+    labeler:
+        ``callable(coords) -> int`` returning 0 or 1.  Called at most once
+        per distinct index; results are cached.
+    budget:
+        Optional cap on distinct labeled points.
+    """
+
+    def __init__(self, points: PointSet,
+                 labeler: Callable[[Sequence[float]], int],
+                 budget: Optional[int] = None) -> None:
+        self._points = points
+        self._labeler = labeler
+        self.budget = budget
+        self._revealed: Dict[int, int] = {}
+        self._log: List[int] = []
+
+    def probe(self, index: int) -> int:
+        """Label point ``index`` via the callback (cached, budgeted)."""
+        index = int(index)
+        if not 0 <= index < self._points.n:
+            raise IndexError(f"point index {index} out of range")
+        self._log.append(index)
+        if index in self._revealed:
+            return self._revealed[index]
+        if self.budget is not None and len(self._revealed) >= self.budget:
+            raise ProbeBudgetExceeded(
+                f"labeling budget of {self.budget} distinct points exhausted")
+        label = int(self._labeler(tuple(float(c) for c in self._points.coords[index])))
+        if label not in (0, 1):
+            raise ValueError(
+                f"labeler returned {label!r} for point {index}; expected 0 or 1")
+        self._revealed[index] = label
+        return label
+
+    def probe_many(self, indices: Iterable[int]) -> List[int]:
+        """Probe a sequence of points, returning their labels in order."""
+        return [self.probe(i) for i in indices]
+
+    def peek(self, index: int) -> Optional[int]:
+        """Return a cached label without charging, or ``None``."""
+        return self._revealed.get(int(index))
+
+    @property
+    def cost(self) -> int:
+        """Distinct points labeled so far."""
+        return len(self._revealed)
+
+    @property
+    def total_requests(self) -> int:
+        """All probe calls, including cached repeats."""
+        return len(self._log)
+
+    @property
+    def revealed_indices(self) -> List[int]:
+        """Indices labeled so far (insertion order)."""
+        return list(self._revealed.keys())
+
+    def revealed_labels(self, n: int) -> np.ndarray:
+        """Label vector with un-labeled entries = ``HIDDEN``."""
+        out = np.full(n, HIDDEN, dtype=np.int8)
+        for idx, label in self._revealed.items():
+            out[idx] = label
+        return out
+
+    def __repr__(self) -> str:
+        return (f"CallbackOracle(n={self._points.n}, cost={self.cost}, "
+                f"budget={self.budget})")

@@ -1,0 +1,260 @@
+"""Monotone classifiers over ``R^d``.
+
+A monotone classifier ``h`` maps every point of ``R^d`` to {0, 1} such that
+``h(p) >= h(q)`` whenever ``p`` weakly dominates ``q``.  The classes here are
+the concrete classifier families the paper manipulates:
+
+* :class:`ThresholdClassifier` — the 1-D form ``h(p) = 1 iff p > tau``
+  (equation (6) of the paper);
+* :class:`UpsetClassifier` — ``h(p) = 1`` iff ``p`` weakly dominates one of a
+  finite set of *anchor* points.  Every monotone classifier restricted to a
+  finite point set can be represented this way (take the minimal 1-labeled
+  points as anchors), which is how the multi-dimensional algorithms return
+  their answers;
+* :class:`ConstantClassifier` — the two trivial monotone classifiers.
+
+All classifiers are immutable and vectorized over :class:`PointSet`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from .._util import as_float_matrix
+from .points import PointSet
+
+__all__ = [
+    "MonotoneClassifier",
+    "ThresholdClassifier",
+    "UpsetClassifier",
+    "ConstantClassifier",
+    "IntersectionClassifier",
+    "UnionClassifier",
+    "is_monotone_assignment",
+    "monotone_extension",
+]
+
+
+class MonotoneClassifier:
+    """Abstract base for monotone classifiers.
+
+    Subclasses implement :meth:`classify_matrix`; everything else is derived.
+    """
+
+    def classify_matrix(self, coords: np.ndarray) -> np.ndarray:
+        """Classify each row of an ``(m, d)`` coordinate matrix; returns int8."""
+        raise NotImplementedError
+
+    def classify(self, point: Sequence[float]) -> int:
+        """Classify a single point given as a coordinate sequence."""
+        matrix = as_float_matrix([tuple(point)])
+        return int(self.classify_matrix(matrix)[0])
+
+    def classify_set(self, points: PointSet) -> np.ndarray:
+        """Classify every point of a :class:`PointSet`."""
+        return self.classify_matrix(points.coords)
+
+    def __call__(self, point: Sequence[float]) -> int:
+        return self.classify(point)
+
+
+class ConstantClassifier(MonotoneClassifier):
+    """The all-0 or all-1 classifier (trivially monotone)."""
+
+    def __init__(self, value: int) -> None:
+        if value not in (0, 1):
+            raise ValueError(f"constant classifier value must be 0 or 1; got {value}")
+        self.value = int(value)
+
+    def classify_matrix(self, coords: np.ndarray) -> np.ndarray:
+        return np.full(coords.shape[0], self.value, dtype=np.int8)
+
+    def __repr__(self) -> str:
+        return f"ConstantClassifier({self.value})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ConstantClassifier) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("const", self.value))
+
+
+class ThresholdClassifier(MonotoneClassifier):
+    """The 1-D monotone classifier ``h(p) = 1 iff p > tau`` (paper eq. (6)).
+
+    ``tau = -inf`` yields the all-1 classifier; ``tau = +inf`` the all-0 one.
+    For multi-dimensional inputs the threshold applies to a chosen coordinate
+    ``dim`` (default 0), which is still monotone.
+    """
+
+    def __init__(self, tau: float, dim: int = 0) -> None:
+        if math.isnan(tau):
+            raise ValueError("threshold must not be NaN")
+        self.tau = float(tau)
+        self.dim = int(dim)
+
+    def classify_matrix(self, coords: np.ndarray) -> np.ndarray:
+        if coords.shape[1] <= self.dim:
+            raise ValueError(
+                f"threshold on dim {self.dim} applied to {coords.shape[1]}-dim points"
+            )
+        return (coords[:, self.dim] > self.tau).astype(np.int8)
+
+    def __repr__(self) -> str:
+        return f"ThresholdClassifier(tau={self.tau!r}, dim={self.dim})"
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, ThresholdClassifier)
+                and other.tau == self.tau and other.dim == self.dim)
+
+    def __hash__(self) -> int:
+        return hash(("thresh", self.tau, self.dim))
+
+
+class UpsetClassifier(MonotoneClassifier):
+    """``h(p) = 1`` iff ``p`` weakly dominates at least one anchor point.
+
+    The 1-region is the *upward closure* (upset) of the anchors, hence the
+    classifier is monotone by construction.  With zero anchors this is the
+    all-0 classifier.
+
+    Anchors that dominate another anchor are redundant and pruned at
+    construction, so ``anchors`` always stores a minimal antichain.
+    """
+
+    def __init__(self, anchors: Iterable[Sequence[float]], dim: Optional[int] = None) -> None:
+        rows = [tuple(a) for a in anchors]
+        if rows:
+            matrix = as_float_matrix(rows)
+        else:
+            if dim is None:
+                raise ValueError("dim is required when constructing with no anchors")
+            matrix = np.empty((0, dim), dtype=float)
+        self.anchors = _prune_dominated_anchors(matrix)
+        self.anchors.setflags(write=False)
+
+    @classmethod
+    def from_positive_points(cls, points: PointSet,
+                             predictions: Sequence[int]) -> "UpsetClassifier":
+        """Build the upset classifier generated by the 1-predicted points.
+
+        This is the canonical monotone extension of a monotone assignment on
+        a finite set: it agrees with ``predictions`` on ``points`` whenever
+        the assignment is monotone, and generalizes to all of ``R^d``.
+        """
+        pred = np.asarray(predictions, dtype=np.int8)
+        if pred.shape != (points.n,):
+            raise ValueError(f"expected {points.n} predictions, got {pred.shape}")
+        ones = points.coords[pred == 1]
+        return cls(ones, dim=points.dim)
+
+    def classify_matrix(self, coords: np.ndarray) -> np.ndarray:
+        if self.anchors.shape[0] == 0:
+            return np.zeros(coords.shape[0], dtype=np.int8)
+        if coords.shape[1] != self.anchors.shape[1]:
+            raise ValueError(
+                f"dimension mismatch: points have d={coords.shape[1]}, "
+                f"anchors have d={self.anchors.shape[1]}"
+            )
+        dominated = np.all(coords[:, None, :] >= self.anchors[None, :, :], axis=2)
+        return np.any(dominated, axis=1).astype(np.int8)
+
+    @property
+    def num_anchors(self) -> int:
+        """Number of (minimal) anchor points defining the 1-region."""
+        return int(self.anchors.shape[0])
+
+    def __repr__(self) -> str:
+        return f"UpsetClassifier(num_anchors={self.num_anchors}, dim={self.anchors.shape[1]})"
+
+
+class _CompositeClassifier(MonotoneClassifier):
+    """Shared machinery for AND/OR compositions.
+
+    Monotone classifiers are closed under pointwise minimum (AND) and
+    maximum (OR): if each member satisfies ``h(p) >= h(q)`` for ``p ⪰ q``,
+    so do their min and max.  Compositions let users express policies like
+    "accept only if both the name-model and the address-model accept".
+    """
+
+    def __init__(self, members: Iterable[MonotoneClassifier]) -> None:
+        self.members = tuple(members)
+        if not self.members:
+            raise ValueError("composition requires at least one member")
+        for member in self.members:
+            if not isinstance(member, MonotoneClassifier):
+                raise TypeError(
+                    f"members must be MonotoneClassifier; got {type(member)!r}")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(members={len(self.members)})"
+
+
+class IntersectionClassifier(_CompositeClassifier):
+    """Accept iff *every* member accepts (pointwise AND; monotone)."""
+
+    def classify_matrix(self, coords: np.ndarray) -> np.ndarray:
+        out = self.members[0].classify_matrix(coords)
+        for member in self.members[1:]:
+            out = np.minimum(out, member.classify_matrix(coords))
+        return out
+
+
+class UnionClassifier(_CompositeClassifier):
+    """Accept iff *some* member accepts (pointwise OR; monotone)."""
+
+    def classify_matrix(self, coords: np.ndarray) -> np.ndarray:
+        out = self.members[0].classify_matrix(coords)
+        for member in self.members[1:]:
+            out = np.maximum(out, member.classify_matrix(coords))
+        return out
+
+
+def _prune_dominated_anchors(matrix: np.ndarray) -> np.ndarray:
+    """Keep only minimal anchors (drop any anchor that dominates another).
+
+    If anchor ``a`` weakly dominates anchor ``b`` then the upset of ``b``
+    contains the upset of ``a``, so ``a`` is redundant.  Duplicate rows are
+    collapsed to a single representative.
+    """
+    m = matrix.shape[0]
+    if m <= 1:
+        return matrix.copy()
+    unique = np.unique(matrix, axis=0)
+    m = unique.shape[0]
+    weak = np.all(unique[:, None, :] >= unique[None, :, :], axis=2)
+    np.fill_diagonal(weak, False)
+    # Row i is redundant if it weakly dominates some other (distinct) row.
+    redundant = np.any(weak, axis=1)
+    return unique[~redundant].copy()
+
+
+def is_monotone_assignment(points: PointSet, predictions: Sequence[int]) -> bool:
+    """Whether an assignment on a finite point set respects monotonicity.
+
+    The assignment violates monotonicity iff some point assigned 0 weakly
+    dominates a point assigned 1.
+    """
+    pred = np.asarray(predictions, dtype=np.int8)
+    if pred.shape != (points.n,):
+        raise ValueError(f"expected {points.n} predictions, got {pred.shape}")
+    if points.n == 0:
+        return True
+    weak = points.weak_dominance_matrix()
+    zeros = pred == 0
+    ones = pred == 1
+    return not bool(np.any(weak[np.ix_(zeros, ones)]))
+
+
+def monotone_extension(points: PointSet, predictions: Sequence[int]) -> UpsetClassifier:
+    """Extend a monotone assignment on ``points`` to all of ``R^d``.
+
+    Raises ``ValueError`` if the assignment is not monotone, since no
+    extension could then exist.
+    """
+    if not is_monotone_assignment(points, predictions):
+        raise ValueError("assignment violates monotonicity; no monotone extension exists")
+    return UpsetClassifier.from_positive_points(points, predictions)

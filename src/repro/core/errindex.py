@@ -1,0 +1,241 @@
+"""Incremental threshold-error index (the paper's footnote 2, Section 3.4).
+
+The 1-D algorithm repeatedly evaluates the empirical error of every
+effective threshold over a growing multiset of labeled samples.  The paper
+notes this is done with "augmented binary search trees on the sample
+points"; this module provides that structure:
+
+* a labeled point ``(v, 1, w)`` is misclassified by ``h^tau`` iff
+  ``v <= tau`` — a *suffix* range-add of ``w`` over candidate thresholds
+  ``tau >= v``;
+* a labeled point ``(v, 0, w)`` is misclassified iff ``v > tau`` — a
+  *prefix* range-add over ``tau < v``.
+
+:class:`ThresholdErrorIndex` maintains these with a lazy min-segment tree
+over ``{-inf} ∪ candidates``: ``O(log n)`` insertion, ``O(log n)`` point
+query of any candidate's weighted error, and ``O(1)`` global minimum.
+
+:class:`OnlineThreshold1D` wraps it into a user-facing incremental 1-D
+learner: stream labeled values, read off the currently-optimal monotone
+threshold at any time — the streaming counterpart of
+:func:`repro.core.passive_1d.solve_passive_1d`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .classifier import ThresholdClassifier
+
+__all__ = ["ThresholdErrorIndex", "OnlineThreshold1D"]
+
+NEG_INF = float("-inf")
+
+
+class _LazyMinTree:
+    """Segment tree over ``size`` slots: range add, range/global min+argmin."""
+
+    __slots__ = ("size", "_mins", "_lazy", "_argmin")
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self._mins = [0.0] * (4 * size)
+        self._lazy = [0.0] * (4 * size)
+        self._argmin = [0] * (4 * size)
+        self._build(1, 0, size - 1)
+
+    def _build(self, node: int, lo: int, hi: int) -> None:
+        self._argmin[node] = lo
+        if lo == hi:
+            return
+        mid = (lo + hi) // 2
+        self._build(2 * node, lo, mid)
+        self._build(2 * node + 1, mid + 1, hi)
+
+    def _push(self, node: int) -> None:
+        pending = self._lazy[node]
+        if pending:
+            for child in (2 * node, 2 * node + 1):
+                self._mins[child] += pending
+                self._lazy[child] += pending
+            self._lazy[node] = 0.0
+
+    def _pull(self, node: int) -> None:
+        left, right = 2 * node, 2 * node + 1
+        if self._mins[left] <= self._mins[right]:
+            self._mins[node] = self._mins[left]
+            self._argmin[node] = self._argmin[left]
+        else:
+            self._mins[node] = self._mins[right]
+            self._argmin[node] = self._argmin[right]
+
+    def add(self, lo: int, hi: int, amount: float) -> None:
+        """Add ``amount`` to every slot in ``[lo, hi]``."""
+        if lo > hi:
+            return
+        self._add(1, 0, self.size - 1, lo, hi, amount)
+
+    def _add(self, node: int, node_lo: int, node_hi: int,
+             lo: int, hi: int, amount: float) -> None:
+        if hi < node_lo or node_hi < lo:
+            return
+        if lo <= node_lo and node_hi <= hi:
+            self._mins[node] += amount
+            self._lazy[node] += amount
+            return
+        self._push(node)
+        mid = (node_lo + node_hi) // 2
+        self._add(2 * node, node_lo, mid, lo, hi, amount)
+        self._add(2 * node + 1, mid + 1, node_hi, lo, hi, amount)
+        self._pull(node)
+
+    def global_min(self) -> Tuple[float, int]:
+        """``(minimum value, its leftmost slot)``."""
+        return self._mins[1], self._argmin[1]
+
+    def value_at(self, index: int) -> float:
+        """Current value of a single slot."""
+        node, lo, hi = 1, 0, self.size - 1
+        total = 0.0
+        while lo != hi:
+            total += self._lazy[node]
+            mid = (lo + hi) // 2
+            if index <= mid:
+                node, hi = 2 * node, mid
+            else:
+                node, lo = 2 * node + 1, mid + 1
+        return total + self._mins[node]
+
+
+class ThresholdErrorIndex:
+    """Weighted threshold-error bookkeeping over a fixed candidate set.
+
+    Parameters
+    ----------
+    candidates:
+        The values at which thresholds are effective — for the paper's
+        setting, the (distinct) point values of the current subproblem.
+        ``-inf`` (the all-1 classifier) is always included implicitly.
+    """
+
+    def __init__(self, candidates: Sequence[float]) -> None:
+        distinct = sorted(set(float(c) for c in candidates))
+        if any(math.isnan(c) or math.isinf(c) for c in distinct):
+            raise ValueError("candidates must be finite")
+        #: Slot 0 is tau = -inf; slot k >= 1 is the k-th distinct candidate.
+        self.taus: List[float] = [NEG_INF] + distinct
+        self._tree = _LazyMinTree(len(self.taus))
+        self._inserted = 0
+        self._total_weight = 0.0
+
+    # ------------------------------------------------------------------
+
+    def _suffix_start(self, value: float) -> int:
+        """Smallest slot whose tau >= value (for label-1 suffix updates)."""
+        # taus[1:] is sorted; find leftmost >= value, offset by the -inf slot.
+        lo, hi = 1, len(self.taus)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.taus[mid] >= value:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def insert(self, value: float, label: int, weight: float = 1.0) -> None:
+        """Account one labeled sample in ``O(log n)``.
+
+        A label-1 sample at ``v`` penalizes every ``tau >= v``; a label-0
+        sample penalizes every ``tau < v``.
+        """
+        if label not in (0, 1):
+            raise ValueError(f"label must be 0 or 1; got {label}")
+        if weight <= 0:
+            raise ValueError(f"weight must be positive; got {weight}")
+        split = self._suffix_start(float(value))
+        if label == 1:
+            self._tree.add(split, len(self.taus) - 1, weight)
+        else:
+            self._tree.add(0, split - 1, weight)
+        self._inserted += 1
+        self._total_weight += weight
+
+    def extend(self, values: Sequence[float], labels: Sequence[int],
+               weights: Optional[Sequence[float]] = None) -> None:
+        """Insert a batch of samples."""
+        values = np.asarray(values, dtype=float)
+        labels = np.asarray(labels)
+        if weights is None:
+            weights = np.ones(len(values))
+        for v, l, w in zip(values, labels, np.asarray(weights, dtype=float)):
+            self.insert(float(v), int(l), float(w))
+
+    # ------------------------------------------------------------------
+
+    def error_at(self, tau: float) -> float:
+        """Weighted error of ``h^tau`` on everything inserted so far.
+
+        ``tau`` need not be a candidate: the error is constant between
+        consecutive candidates, so the query resolves to the slot of the
+        largest candidate ``<= tau``.
+        """
+        slot = self._suffix_start(tau)
+        if slot < len(self.taus) and self.taus[slot] == tau:
+            pass  # exact candidate
+        else:
+            slot -= 1  # largest candidate strictly below tau
+        return self._tree.value_at(slot)
+
+    def best(self) -> Tuple[float, float]:
+        """``(tau, weighted error)`` of the current optimal threshold."""
+        value, slot = self._tree.global_min()
+        return self.taus[slot], value
+
+    @property
+    def num_inserted(self) -> int:
+        """Number of samples accounted."""
+        return self._inserted
+
+    @property
+    def total_weight(self) -> float:
+        """Total weight accounted."""
+        return self._total_weight
+
+    def __repr__(self) -> str:
+        return (f"ThresholdErrorIndex(candidates={len(self.taus) - 1}, "
+                f"inserted={self._inserted})")
+
+
+class OnlineThreshold1D:
+    """Streaming exact 1-D monotone classification over known value support.
+
+    Give it the candidate value support up front (or any superset — e.g.
+    a discretization grid), then feed labeled observations one at a time;
+    :meth:`classifier` always returns a threshold classifier optimal for
+    everything seen so far, in ``O(log n)`` per update.
+    """
+
+    def __init__(self, candidates: Sequence[float]) -> None:
+        self._index = ThresholdErrorIndex(candidates)
+
+    def observe(self, value: float, label: int, weight: float = 1.0) -> None:
+        """Account one labeled observation."""
+        self._index.insert(value, label, weight)
+
+    def classifier(self) -> ThresholdClassifier:
+        """The currently optimal threshold classifier."""
+        tau, _err = self._index.best()
+        return ThresholdClassifier(tau)
+
+    @property
+    def current_error(self) -> float:
+        """Weighted error of the current optimum on all observations."""
+        return self._index.best()[1]
+
+    @property
+    def num_observations(self) -> int:
+        """Observations accounted so far."""
+        return self._index.num_inserted

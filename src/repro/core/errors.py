@@ -1,0 +1,77 @@
+"""Error functionals: ``err_P(h)`` and ``w-err_P(h)`` (paper eqs. (1), (3)).
+
+``err_P(h)`` counts the points of ``P`` whose label differs from ``h``'s
+prediction; ``w-err_P(h)`` sums their weights.  The unweighted error is the
+special case of unit weights, exactly as the paper notes after eq. (3).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from .classifier import MonotoneClassifier
+from .points import HIDDEN, PointSet
+
+__all__ = [
+    "error_count",
+    "weighted_error",
+    "misclassified_mask",
+    "prediction_error_count",
+    "prediction_weighted_error",
+]
+
+PredictionsLike = Union[MonotoneClassifier, Sequence[int], np.ndarray]
+
+
+def _predictions_for(points: PointSet, h: PredictionsLike) -> np.ndarray:
+    """Normalize a classifier or a raw prediction vector into an int8 array."""
+    if isinstance(h, MonotoneClassifier):
+        pred = h.classify_set(points)
+    else:
+        pred = np.asarray(h, dtype=np.int8)
+        if pred.shape != (points.n,):
+            raise ValueError(f"expected {points.n} predictions, got shape {pred.shape}")
+    return pred
+
+
+def misclassified_mask(points: PointSet, h: PredictionsLike) -> np.ndarray:
+    """Boolean mask of points misclassified by ``h``.
+
+    All labels must be revealed; computing an error against hidden labels
+    would silently produce garbage, so we raise instead.
+    """
+    points.require_full_labels()
+    pred = _predictions_for(points, h)
+    return pred != points.labels
+
+
+def error_count(points: PointSet, h: PredictionsLike) -> int:
+    """The paper's ``err_P(h)``: number of misclassified points (eq. (1))."""
+    return int(np.count_nonzero(misclassified_mask(points, h)))
+
+
+def weighted_error(points: PointSet, h: PredictionsLike) -> float:
+    """The paper's ``w-err_P(h)``: total weight of misclassified points (eq. (3))."""
+    mask = misclassified_mask(points, h)
+    return float(points.weights[mask].sum())
+
+
+def prediction_error_count(labels: np.ndarray, predictions: np.ndarray) -> int:
+    """Unweighted error between two raw label vectors (ignoring hidden labels)."""
+    labels = np.asarray(labels)
+    predictions = np.asarray(predictions)
+    known = labels != HIDDEN
+    return int(np.count_nonzero(labels[known] != predictions[known]))
+
+
+def prediction_weighted_error(labels: np.ndarray, predictions: np.ndarray,
+                              weights: np.ndarray) -> float:
+    """Weighted error between raw label vectors (ignoring hidden labels)."""
+    labels = np.asarray(labels)
+    predictions = np.asarray(predictions)
+    weights = np.asarray(weights, dtype=float)
+    known = labels != HIDDEN
+    wrong = known & (labels != predictions)
+    return float(weights[wrong].sum())

@@ -1,0 +1,137 @@
+"""Active monotone classification *with exceptions* (the [25] variant).
+
+Section 1.2 notes that Tao (PODS'18) also studied a variant of Problem 1
+where the returned classifier may *memorize* the labels it probed: the
+output is a monotone classifier ``h`` plus an exception list over probed
+points, and the error is charged as if each probed point were classified
+by its recorded label.  Intuitively, labels the algorithm paid for should
+not count against it.
+
+This module implements that evaluation model on top of any active run:
+
+* :class:`ExceptionAugmentedClassifier` — a monotone base classifier with
+  a finite exception table (no longer monotone as a function, by design);
+* :func:`with_exceptions` — wrap a finished active run, memorizing every
+  probed label;
+* :func:`exception_error` — the variant's error functional: standard
+  ``err``/``w-err`` with probed points scored by their memorized labels
+  (always exactly correct, since the oracle revealed them).
+
+The variant can only help: its error equals the standard error minus the
+base classifier's mistakes on probed points, which experiment users can
+read off :func:`error_decomposition`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .classifier import MonotoneClassifier
+from .oracle import LabelOracle
+from .points import PointSet
+
+__all__ = [
+    "ExceptionAugmentedClassifier",
+    "with_exceptions",
+    "exception_error",
+    "error_decomposition",
+]
+
+
+class ExceptionAugmentedClassifier:
+    """A monotone classifier with a finite table of memorized points.
+
+    Prediction: if the queried coordinates exactly match a memorized
+    point, return its memorized label; otherwise defer to the monotone
+    base classifier.  Matching is by coordinate tuple, so duplicated
+    memorized coordinates must agree (enforced at construction).
+    """
+
+    def __init__(self, base: MonotoneClassifier,
+                 exceptions: Dict[Tuple[float, ...], int]) -> None:
+        self.base = base
+        for coords, label in exceptions.items():
+            if label not in (0, 1):
+                raise ValueError(f"memorized label must be 0/1; got {label}")
+        self.exceptions = dict(exceptions)
+
+    @property
+    def num_exceptions(self) -> int:
+        """Size of the exception table."""
+        return len(self.exceptions)
+
+    def classify(self, point) -> int:
+        """Classify one point, exceptions first."""
+        key = tuple(float(c) for c in point)
+        if key in self.exceptions:
+            return self.exceptions[key]
+        return self.base.classify(key)
+
+    def classify_matrix(self, coords: np.ndarray) -> np.ndarray:
+        """Classify rows of a coordinate matrix, exceptions first."""
+        out = self.base.classify_matrix(coords)
+        if self.exceptions:
+            for i in range(coords.shape[0]):
+                key = tuple(float(c) for c in coords[i])
+                if key in self.exceptions:
+                    out[i] = self.exceptions[key]
+        return out
+
+    def classify_set(self, points: PointSet) -> np.ndarray:
+        """Classify a :class:`PointSet`."""
+        return self.classify_matrix(points.coords)
+
+    def __repr__(self) -> str:
+        return (f"ExceptionAugmentedClassifier(base={self.base!r}, "
+                f"num_exceptions={self.num_exceptions})")
+
+
+def with_exceptions(base: MonotoneClassifier, points: PointSet,
+                    oracle: LabelOracle) -> ExceptionAugmentedClassifier:
+    """Memorize every label the oracle has revealed.
+
+    Note the duplicate-coordinates caveat: if two probed points share
+    coordinates but carry different labels, the later probe wins in the
+    table — exactly one of them then scores as an exception, matching the
+    fact that a function of coordinates cannot separate them.
+    """
+    exceptions: Dict[Tuple[float, ...], int] = {}
+    for index in oracle.revealed_indices:
+        key = tuple(float(c) for c in points.coords[index])
+        exceptions[key] = int(oracle.peek(index))
+    return ExceptionAugmentedClassifier(base, exceptions)
+
+
+def exception_error(points: PointSet,
+                    classifier: ExceptionAugmentedClassifier,
+                    weighted: bool = False) -> float:
+    """The variant's error of an exception-augmented classifier on ``P``."""
+    points.require_full_labels()
+    predictions = classifier.classify_set(points)
+    wrong = predictions != points.labels
+    if weighted:
+        return float(points.weights[wrong].sum())
+    return float(np.count_nonzero(wrong))
+
+
+def error_decomposition(points: PointSet, base: MonotoneClassifier,
+                        oracle: LabelOracle) -> Dict[str, float]:
+    """Standard vs exceptions error of one active run, decomposed.
+
+    Returns a dict with the standard error of ``base``, the error under
+    the exceptions model, and the saving — the base classifier's mistakes
+    on probed points that memorization erases.
+    """
+    points.require_full_labels()
+    augmented = with_exceptions(base, points, oracle)
+    base_predictions = base.classify_set(points)
+    standard = float(np.count_nonzero(base_predictions != points.labels))
+    variant = exception_error(points, augmented)
+    return {
+        "standard_error": standard,
+        "exceptions_error": variant,
+        "saving": standard - variant,
+        "num_exceptions": float(augmented.num_exceptions),
+    }

@@ -1,0 +1,243 @@
+"""The Ω(n) lower bound for exact active classification (paper Section 6).
+
+Theorem 1 is proved through an explicit adversarial family ``𝒫`` of 1-D
+inputs over the points ``{1, .., n}`` (n even):
+
+* default labels alternate — odd points get 1, even points get 0 — forming
+  ``n/2`` *normal pairs* ``(2i-1, 2i)`` with labels (1, 0);
+* input ``P_00(i)`` flips point ``2i-1`` to 0 (anomaly pair labeled 0,0);
+* input ``P_11(i)`` flips point ``2i`` to 1 (anomaly pair labeled 1,1).
+
+Every input's optimal error is exactly ``n/2 - 1``, and no single threshold
+classifier is optimal for both ``P_00(i)`` and ``P_11(i)`` (Lemma 21).  A
+deterministic pair-probing algorithm is modeled by a probe sequence of
+pairs plus a fallback classifier; Lemma 19 shows the exact totals
+
+    nonoptcnt >= n/2 - ℓ        totalcost = nℓ - ℓ² - ℓ
+
+over the whole family when ``ℓ`` pairs are probed.  This module implements
+the family, the algorithm model, and the accounting — the E8 experiment
+compares the measured totals to these closed forms and evaluates real
+algorithms on the family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from .classifier import MonotoneClassifier
+from .errors import error_count
+from .points import PointSet
+
+__all__ = [
+    "adversarial_input",
+    "adversarial_family",
+    "optimal_error_of_family_input",
+    "DeterministicPairProber",
+    "RandomizedPairProber",
+    "FamilyEvaluation",
+    "evaluate_on_family",
+    "theoretical_totalcost",
+    "theoretical_nonoptcnt_lower_bound",
+]
+
+
+def _check_even(n: int) -> None:
+    if n < 4 or n % 2 != 0:
+        raise ValueError(f"the adversarial family requires even n >= 4; got {n}")
+
+
+def adversarial_input(n: int, anomaly_pair: int, kind: str) -> PointSet:
+    """Construct ``P_00(i)`` or ``P_11(i)`` over the points ``1..n``.
+
+    Parameters
+    ----------
+    n:
+        Even input size.
+    anomaly_pair:
+        The pair index ``i`` in ``[1, n/2]``.
+    kind:
+        ``"00"`` (both points of pair ``i`` labeled 0) or ``"11"``.
+    """
+    _check_even(n)
+    if not 1 <= anomaly_pair <= n // 2:
+        raise ValueError(f"anomaly_pair must be in [1, {n // 2}]; got {anomaly_pair}")
+    if kind not in ("00", "11"):
+        raise ValueError(f"kind must be '00' or '11'; got {kind!r}")
+    values = np.arange(1, n + 1, dtype=float).reshape(-1, 1)
+    labels = np.where(np.arange(1, n + 1) % 2 == 1, 1, 0).astype(np.int8)
+    if kind == "00":
+        labels[2 * anomaly_pair - 2] = 0  # point 2i-1 (0-indexed)
+    else:
+        labels[2 * anomaly_pair - 1] = 1  # point 2i
+    return PointSet(values, labels)
+
+
+def adversarial_family(n: int) -> List[Tuple[str, int, PointSet]]:
+    """The full family ``𝒫`` as ``(kind, pair index, input)`` triples."""
+    _check_even(n)
+    family = []
+    for i in range(1, n // 2 + 1):
+        family.append(("00", i, adversarial_input(n, i, "00")))
+    for i in range(1, n // 2 + 1):
+        family.append(("11", i, adversarial_input(n, i, "11")))
+    return family
+
+
+def optimal_error_of_family_input(n: int) -> int:
+    """Optimal error of every input in the family: ``n/2 - 1`` (Section 6.1).
+
+    Each normal pair forces at least one mistake on any monotone classifier,
+    while all-0 (for a 00-input) or all-1 (for a 11-input) achieves exactly
+    ``n/2 - 1``.
+    """
+    _check_even(n)
+    return n // 2 - 1
+
+
+@dataclass(frozen=True)
+class DeterministicPairProber:
+    """The Section 6.2 model of an (empowered) deterministic algorithm.
+
+    Probes pairs in a predetermined order.  Probing pair ``i`` reveals both
+    labels of ``(2i-1, 2i)`` — the proof's free-label empowerment — at a
+    cost equal to the number of pairs probed so far.  The run stops the
+    moment an anomaly pair is caught (the algorithm then knows the input
+    exactly and answers optimally); if the sequence is exhausted without an
+    anomaly, a fixed fallback classifier is returned.
+    """
+
+    probe_sequence: Tuple[int, ...]
+    fallback: MonotoneClassifier
+
+    def __post_init__(self) -> None:
+        if len(set(self.probe_sequence)) != len(self.probe_sequence):
+            raise ValueError("probe sequence must not repeat pairs")
+
+    def run(self, n: int, kind: str, anomaly_pair: int) -> Tuple[int, bool]:
+        """Execute on one family input.
+
+        Returns ``(probes, errs)`` where ``probes`` counts probed *pairs*
+        and ``errs`` is True when the returned classifier is non-optimal.
+        """
+        _check_even(n)
+        for position, pair in enumerate(self.probe_sequence, start=1):
+            if not 1 <= pair <= n // 2:
+                raise ValueError(f"probe sequence references invalid pair {pair}")
+            if pair == anomaly_pair:
+                # Anomaly caught: the algorithm can answer optimally.
+                return position, False
+        # Sequence exhausted: the fixed fallback must serve this input.
+        points = adversarial_input(n, anomaly_pair, kind)
+        errs = error_count(points, self.fallback) > optimal_error_of_family_input(n)
+        return len(self.probe_sequence), errs
+
+
+@dataclass(frozen=True)
+class FamilyEvaluation:
+    """Aggregated performance of an algorithm over the whole family ``𝒫``."""
+
+    n: int
+    nonoptcnt: int
+    totalcost: int
+    per_input: Tuple[Tuple[str, int, int, bool], ...]  # (kind, pair, cost, errs)
+
+
+def evaluate_on_family(prober: DeterministicPairProber, n: int) -> FamilyEvaluation:
+    """Run a deterministic pair-prober on every input of ``𝒫``.
+
+    ``totalcost`` counts *point* probes: probing a pair reveals two labels
+    but, as in the proof, is charged as the number of pairs inspected —
+    multiplied by 2 to express it in point probes.  We keep the proof's
+    pair-granularity accounting (cost = pairs probed) because Lemma 19's
+    closed form ``nℓ - ℓ² - ℓ`` is stated in those units (it already sums
+    the factor-2 over the two inputs sharing each anomaly pair).
+    """
+    _check_even(n)
+    nonoptcnt = 0
+    totalcost = 0
+    records = []
+    for kind, pair, _points in adversarial_family(n):
+        cost, errs = prober.run(n, kind, pair)
+        nonoptcnt += int(errs)
+        totalcost += cost
+        records.append((kind, pair, cost, errs))
+    return FamilyEvaluation(n, nonoptcnt, totalcost, tuple(records))
+
+
+@dataclass(frozen=True)
+class RandomizedPairProber:
+    """A randomized algorithm as a distribution over deterministic probers.
+
+    Corollary 20 (proof in Appendix D) treats a randomized algorithm as a
+    random variable over deterministic algorithms and averages.  This
+    class implements that view: a finite mixture of
+    :class:`DeterministicPairProber` with given probabilities, whose
+    expected ``nonoptcnt`` / ``totalcost`` over the family are exact
+    mixture averages (no sampling noise).
+    """
+
+    probers: Tuple[DeterministicPairProber, ...]
+    probabilities: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.probers) != len(self.probabilities):
+            raise ValueError("probers and probabilities must align")
+        if not self.probers:
+            raise ValueError("mixture must be non-empty")
+        if any(p < 0 for p in self.probabilities):
+            raise ValueError("probabilities must be non-negative")
+        total = sum(self.probabilities)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"probabilities must sum to 1; got {total}")
+
+    def expected_performance(self, n: int) -> Tuple[float, float]:
+        """``(E[nonoptcnt], E[totalcost])`` over the family ``P``."""
+        expected_nonopt = 0.0
+        expected_cost = 0.0
+        for prober, probability in zip(self.probers, self.probabilities):
+            evaluation = evaluate_on_family(prober, n)
+            expected_nonopt += probability * evaluation.nonoptcnt
+            expected_cost += probability * evaluation.totalcost
+        return expected_nonopt, expected_cost
+
+    def verify_corollary20(self, n: int) -> bool:
+        """Check Corollary 20's implication on this mixture.
+
+        If ``E[nonoptcnt] <= n/3`` then ``E[totalcost]`` must be
+        ``Omega(n^2)``; we check the concrete constant from the proof
+        chain (probability >= 1/6 of an accurate prober, each paying at
+        least the Lemma 19 floor ``n^2 (1 - c^2) / 8`` with c = 4/5).
+        """
+        expected_nonopt, expected_cost = self.expected_performance(n)
+        if expected_nonopt > n / 3:
+            return True  # hypothesis not met; nothing to check
+        floor = (1.0 / 6.0) * (n * n * (1 - (4 / 5) ** 2) / 8.0)
+        return expected_cost >= floor
+
+
+def theoretical_totalcost(n: int, num_probed_pairs: int) -> int:
+    """Lemma 19's closed-form total cost for a prober of length ``ℓ``.
+
+    Derivation (Section 6.2): the prober pays ``ℓ`` on both inputs of every
+    un-probed pair — ``2ℓ(n/2 - ℓ)`` total — and ``j`` on both inputs of the
+    ``j``-th probed pair — ``2 Σ j = ℓ(ℓ+1)``.  Summing gives
+    ``nℓ - ℓ² + ℓ``; the paper prints ``nℓ - ℓ² - ℓ`` in eq. (34), an
+    apparent sign slip in the last term that does not affect the Ω(n²)
+    conclusion.  We return the exact sum so the simulation matches it to
+    the unit (verified by tests and experiment E8).
+    """
+    _check_even(n)
+    ell = num_probed_pairs
+    if not 0 <= ell <= n // 2:
+        raise ValueError(f"num_probed_pairs must be in [0, {n // 2}]; got {ell}")
+    return n * ell - ell * ell + ell
+
+
+def theoretical_nonoptcnt_lower_bound(n: int, num_probed_pairs: int) -> int:
+    """Eq. (33): a prober of length ``ℓ`` errs on at least ``n/2 - ℓ`` inputs."""
+    _check_even(n)
+    return max(0, n // 2 - num_probed_pairs)

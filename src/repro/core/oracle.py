@@ -1,0 +1,128 @@
+"""Label oracles for the active setting (Problem 1).
+
+In the paper's model every label starts hidden and an algorithm pays one
+unit of *probing cost* per point whose label it asks the oracle to reveal.
+:class:`LabelOracle` implements exactly this accounting:
+
+* a probe of a point charges one unit the *first* time that point is probed
+  and is free afterwards (the label is already known — re-asking gains
+  nothing, so the paper's with-replacement sampling never pays more than
+  ``n`` in total);
+* an optional hard budget turns over-spending into an exception, which the
+  lower-bound experiments use to certify probe counts;
+* the full probe log is kept for auditing and for the experiment harness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from .points import HIDDEN, PointSet
+
+__all__ = ["LabelOracle", "ProbeBudgetExceeded"]
+
+
+class ProbeBudgetExceeded(RuntimeError):
+    """Raised when an algorithm attempts to exceed its probe budget."""
+
+
+class LabelOracle:
+    """Reveals hidden labels of a ground-truth point set, charging per point.
+
+    Parameters
+    ----------
+    ground_truth:
+        Fully labeled point set.  Algorithms under test must only see it
+        through :meth:`probe`.
+    budget:
+        Optional maximum number of *distinct* points that may be probed.
+    """
+
+    def __init__(self, ground_truth: PointSet, budget: Optional[int] = None) -> None:
+        ground_truth.require_full_labels()
+        self._labels = ground_truth.labels
+        self.budget = budget
+        self._revealed: Dict[int, int] = {}
+        self._log: List[int] = []
+
+    # ------------------------------------------------------------------
+    # Probing
+    # ------------------------------------------------------------------
+
+    def probe(self, index: int) -> int:
+        """Reveal and return the label of point ``index``.
+
+        Charges one unit of probing cost on the first call for ``index``.
+        """
+        index = int(index)
+        if not 0 <= index < len(self._labels):
+            raise IndexError(f"point index {index} out of range")
+        self._log.append(index)
+        if index in self._revealed:
+            return self._revealed[index]
+        if self.budget is not None and len(self._revealed) >= self.budget:
+            raise ProbeBudgetExceeded(
+                f"probe budget of {self.budget} distinct points exhausted"
+            )
+        label = int(self._labels[index])
+        self._revealed[index] = label
+        return label
+
+    def probe_many(self, indices: Iterable[int]) -> List[int]:
+        """Probe a sequence of points, returning their labels in order."""
+        return [self.probe(i) for i in indices]
+
+    def peek(self, index: int) -> Optional[int]:
+        """Return the label of ``index`` if already revealed, else ``None``.
+
+        Never charges cost; algorithms use this to avoid double-probing.
+        """
+        return self._revealed.get(int(index))
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def cost(self) -> int:
+        """Probing cost so far: number of distinct points revealed."""
+        return len(self._revealed)
+
+    @property
+    def total_requests(self) -> int:
+        """Number of probe calls including free repeats."""
+        return len(self._log)
+
+    @property
+    def revealed_indices(self) -> List[int]:
+        """Indices of all points revealed so far (insertion order)."""
+        return list(self._revealed.keys())
+
+    @property
+    def log(self) -> List[int]:
+        """The full probe log (every call, including repeats)."""
+        return list(self._log)
+
+    def revealed_labels(self, n: int) -> np.ndarray:
+        """Label vector of length ``n`` with un-probed entries = ``HIDDEN``."""
+        out = np.full(n, HIDDEN, dtype=np.int8)
+        for idx, label in self._revealed.items():
+            out[idx] = label
+        return out
+
+    def remaining_budget(self) -> Optional[int]:
+        """Distinct probes still allowed, or ``None`` if unbudgeted."""
+        if self.budget is None:
+            return None
+        return max(0, self.budget - self.cost)
+
+    def reset(self) -> None:
+        """Forget all revealed labels and reset the cost to zero."""
+        self._revealed.clear()
+        self._log.clear()
+
+    def __repr__(self) -> str:
+        return (f"LabelOracle(n={len(self._labels)}, cost={self.cost}, "
+                f"budget={self.budget})")

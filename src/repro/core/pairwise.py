@@ -1,0 +1,113 @@
+"""Blockwise pairwise dominance computations for large inputs.
+
+The Theorem 4 pipeline needs three ``O(d n^2)``-time pairwise facts:
+
+* which points are *contending* (Section 5.1);
+* the dominance edges between contending label-0 and label-1 points;
+* whether a final assignment is monotone (Lemma 16's certificate).
+
+The cached ``PointSet.weak_dominance_matrix`` materializes all ``n^2``
+booleans at once — fine up to ``n`` around 15k, prohibitive beyond.  The
+functions here compute the same facts in row blocks of configurable size,
+keeping memory at ``O(n * block_size)`` while preserving the time bound.
+``solve_passive`` switches to them automatically above a size threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from .points import PointSet
+
+__all__ = [
+    "DEFAULT_BLOCK_SIZE",
+    "blocked_contending_mask",
+    "blocked_dominance_pairs",
+    "blocked_is_monotone_assignment",
+]
+
+#: Rows per block: 2048 rows x n columns of booleans stays in tens of MB
+#: for n up to a few hundred thousand.
+DEFAULT_BLOCK_SIZE = 2048
+
+
+def _blocks(n: int, block_size: int) -> Iterator[Tuple[int, int]]:
+    for start in range(0, n, block_size):
+        yield start, min(n, start + block_size)
+
+
+def blocked_contending_mask(points: PointSet,
+                            block_size: int = DEFAULT_BLOCK_SIZE) -> np.ndarray:
+    """Contending mask (Section 5.1) without the full dominance matrix.
+
+    A label-0 point contends iff it weakly dominates some label-1 point;
+    a label-1 point contends iff some label-0 point weakly dominates it.
+    Computed per block of label-0 rows against all label-1 columns.
+    """
+    points.require_full_labels()
+    n = points.n
+    mask = np.zeros(n, dtype=bool)
+    if n == 0:
+        return mask
+    zero_idx = np.flatnonzero(points.labels == 0)
+    one_idx = np.flatnonzero(points.labels == 1)
+    if len(zero_idx) == 0 or len(one_idx) == 0:
+        return mask
+    one_coords = points.coords[one_idx]
+    one_hit = np.zeros(len(one_idx), dtype=bool)
+    for start, stop in _blocks(len(zero_idx), block_size):
+        rows = points.coords[zero_idx[start:stop]]
+        # dom[i, j]: zero-row i weakly dominates one-col j.
+        dom = np.all(rows[:, None, :] >= one_coords[None, :, :], axis=2)
+        mask[zero_idx[start:stop]] = dom.any(axis=1)
+        one_hit |= dom.any(axis=0)
+    mask[one_idx] = one_hit
+    return mask
+
+
+def blocked_dominance_pairs(points: PointSet, sources: np.ndarray,
+                            targets: np.ndarray,
+                            block_size: int = DEFAULT_BLOCK_SIZE
+                            ) -> Iterator[Tuple[int, List[int]]]:
+    """Yield ``(source index, [target indices it weakly dominates])``.
+
+    Iterates blockwise over ``sources`` x ``targets`` (both arrays of point
+    indices), yielding one entry per source that dominates at least one
+    target.  This is the edge stream for the type-3 edges of the Theorem 4
+    flow network.
+    """
+    sources = np.asarray(sources, dtype=int)
+    targets = np.asarray(targets, dtype=int)
+    if len(sources) == 0 or len(targets) == 0:
+        return
+    target_coords = points.coords[targets]
+    for start, stop in _blocks(len(sources), block_size):
+        rows = points.coords[sources[start:stop]]
+        dom = np.all(rows[:, None, :] >= target_coords[None, :, :], axis=2)
+        for local, src in enumerate(sources[start:stop]):
+            hits = np.flatnonzero(dom[local])
+            if len(hits):
+                yield int(src), targets[hits].tolist()
+
+
+def blocked_is_monotone_assignment(points: PointSet, predictions: np.ndarray,
+                                   block_size: int = DEFAULT_BLOCK_SIZE) -> bool:
+    """Monotonicity check of an assignment without the full matrix.
+
+    Violated iff some 0-assigned point weakly dominates a 1-assigned point.
+    """
+    pred = np.asarray(predictions, dtype=np.int8)
+    if pred.shape != (points.n,):
+        raise ValueError(f"expected {points.n} predictions, got {pred.shape}")
+    zero_idx = np.flatnonzero(pred == 0)
+    one_idx = np.flatnonzero(pred == 1)
+    if len(zero_idx) == 0 or len(one_idx) == 0:
+        return True
+    one_coords = points.coords[one_idx]
+    for start, stop in _blocks(len(zero_idx), block_size):
+        rows = points.coords[zero_idx[start:stop]]
+        if np.any(np.all(rows[:, None, :] >= one_coords[None, :, :], axis=2)):
+            return False
+    return True

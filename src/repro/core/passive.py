@@ -1,0 +1,264 @@
+"""Passive weighted monotone classification via min-cut (paper Theorem 4).
+
+Problem 2: given a fully-labeled weighted set ``P``, find the monotone
+classifier of minimum weighted error.  Section 5 solves it exactly:
+
+1. Restrict to the *contending* points ``P^con`` (Lemma 15): a label-0 point
+   is contending if it weakly dominates some label-1 point, and vice versa.
+   Non-contending points can always keep their own labels.
+2. Build a flow network: source → each contending label-0 point with
+   capacity = its weight; each contending label-1 point → sink with capacity
+   = its weight; an effectively-infinite edge ``p → q`` for every contending
+   pair with label-0 ``p`` weakly dominating label-1 ``q``.
+3. A minimum cut-edge set (Lemma 8) *is* an optimal classifier: cut source
+   edges flip their label-0 point to 1; cut sink edges flip their label-1
+   point to 0 (Lemmas 16, 17).
+
+Total cost ``O(d n^2) + T_maxflow(n)``.
+
+This module also carries :func:`brute_force_passive`, the exponential test
+oracle the paper sketches in Section 1.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Optional
+
+import numpy as np
+
+from ..flow import FlowNetwork, solve_min_cut
+from .classifier import (
+    MonotoneClassifier,
+    UpsetClassifier,
+    is_monotone_assignment,
+)
+from .errors import prediction_weighted_error
+from .pairwise import (
+    DEFAULT_BLOCK_SIZE,
+    blocked_contending_mask,
+    blocked_dominance_pairs,
+    blocked_is_monotone_assignment,
+)
+from .points import PointSet
+
+__all__ = [
+    "PassiveResult",
+    "solve_passive",
+    "contending_mask",
+    "brute_force_passive",
+    "LARGE_INPUT_THRESHOLD",
+]
+
+#: Above this size, solve_passive switches from the cached O(n^2)-memory
+#: dominance matrix to blockwise pairwise computation (same time bound,
+#: O(n * block) memory).
+LARGE_INPUT_THRESHOLD = 8_192
+
+
+@dataclass(frozen=True)
+class PassiveResult:
+    """Output of the Theorem 4 solver.
+
+    Attributes
+    ----------
+    classifier:
+        An optimal monotone classifier over all of ``R^d`` (the monotone
+        extension of the optimal assignment on ``P``).
+    assignment:
+        Per-point predictions on ``P`` (int8 array).
+    optimal_error:
+        Minimum weighted error ``w-err_P`` achieved.
+    num_contending:
+        Size of ``P^con`` (the min-cut instance actually solved).
+    flow_value:
+        Max-flow value = min-cut weight = optimal weighted error on
+        ``P^con``.
+    backend:
+        Max-flow backend used.
+    """
+
+    classifier: MonotoneClassifier
+    assignment: np.ndarray
+    optimal_error: float
+    num_contending: int
+    flow_value: float
+    backend: str
+
+
+def contending_mask(points: PointSet) -> np.ndarray:
+    """Boolean mask of contending points (Section 5.1).
+
+    A label-0 point contends if it weakly dominates some label-1 point; a
+    label-1 point contends if some label-0 point weakly dominates it.  We
+    use weak dominance so duplicate coordinate vectors with opposing labels
+    contend with each other (a classifier cannot separate them).
+    """
+    points.require_full_labels()
+    n = points.n
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    weak = points.weak_dominance_matrix()
+    zeros = points.labels == 0
+    ones = points.labels == 1
+    mask = np.zeros(n, dtype=bool)
+    if zeros.any() and ones.any():
+        # weak[i, j]: i dominates j.  A label-0 point i contends iff it
+        # dominates some label-1 j; a label-1 j contends iff dominated by
+        # some label-0 i.
+        zero_dominates_one = weak[np.ix_(zeros, ones)]
+        mask[np.flatnonzero(zeros)] = zero_dominates_one.any(axis=1)
+        mask[np.flatnonzero(ones)] = zero_dominates_one.any(axis=0)
+    return mask
+
+
+def solve_passive(points: PointSet, backend: str = "dinic",
+                  use_contending_reduction: bool = True,
+                  block_size: Optional[int] = None) -> PassiveResult:
+    """Solve Problem 2 exactly (Theorem 4).
+
+    Parameters
+    ----------
+    points:
+        Fully-labeled weighted point set.
+    backend:
+        Max-flow backend: ``"dinic"`` or ``"push_relabel"``.
+    use_contending_reduction:
+        When False, the min-cut instance is built over *all* points instead
+        of just ``P^con`` (still correct, since non-contending points have
+        no infinite edges forcing them; used by the A1 ablation).
+    block_size:
+        Force blockwise pairwise computation with this row-block size.
+        Defaults to the cached dominance matrix for small inputs and to
+        blockwise mode above :data:`LARGE_INPUT_THRESHOLD` points.
+    """
+    points.require_full_labels()
+    n = points.n
+    labels = points.labels
+    weights = points.weights
+    assignment = labels.astype(np.int8).copy()
+
+    if n == 0:
+        classifier = UpsetClassifier([], dim=max(1, points.dim))
+        return PassiveResult(classifier, assignment, 0.0, 0, 0.0, backend)
+
+    blockwise = block_size is not None or n > LARGE_INPUT_THRESHOLD
+    rows_per_block = block_size or DEFAULT_BLOCK_SIZE
+
+    if use_contending_reduction:
+        if points.dim <= 2:
+            # O(n log n) sweepline fast path (weak dominance preserved).
+            from ..poset.dominance2d import contending_mask_low_dim
+
+            mask = contending_mask_low_dim(points)
+        elif blockwise:
+            mask = blocked_contending_mask(points, rows_per_block)
+        else:
+            mask = contending_mask(points)
+        active = np.flatnonzero(mask)
+    else:
+        active = np.arange(n)
+
+    if len(active) == 0:
+        # Labeling already monotone: zero error, keep every label.
+        classifier = UpsetClassifier.from_positive_points(points, assignment)
+        return PassiveResult(classifier, assignment, 0.0, 0, 0.0, backend)
+
+    active_zeros = [int(i) for i in active if labels[i] == 0]
+    active_ones = [int(i) for i in active if labels[i] == 1]
+
+    # Vertex ids: 0 = source, 1 = sink, then one per active point.
+    network = FlowNetwork(2 + len(active))
+    source, sink = 0, 1
+    vertex_of = {idx: 2 + pos for pos, idx in enumerate(active)}
+
+    # Effective infinity: strictly larger than any finite cut, numerically safe.
+    infinite_cap = float(weights[active].sum()) + 1.0
+
+    for p in active_zeros:
+        network.add_edge(source, vertex_of[p], float(weights[p]))
+    for q in active_ones:
+        network.add_edge(vertex_of[q], sink, float(weights[q]))
+    if blockwise:
+        pair_stream = blocked_dominance_pairs(
+            points, np.asarray(active_zeros), np.asarray(active_ones),
+            rows_per_block)
+        for p, dominated in pair_stream:
+            for q in dominated:
+                network.add_edge(vertex_of[p], vertex_of[q], infinite_cap)
+    else:
+        weak = points.weak_dominance_matrix()
+        for p in active_zeros:
+            row = weak[p]
+            for q in active_ones:
+                if row[q]:
+                    network.add_edge(vertex_of[p], vertex_of[q], infinite_cap)
+
+    cut = solve_min_cut(network, source, sink, backend=backend)
+
+    # Cut source edges flip label-0 points to 1; a source edge (s, p) is cut
+    # iff p is NOT reachable from the source in the residual graph.
+    for p in active_zeros:
+        if vertex_of[p] not in cut.source_side:
+            assignment[p] = 1
+    # Cut sink edges flip label-1 points to 0; a sink edge (q, t) is cut iff
+    # q IS reachable (t never is).
+    for q in active_ones:
+        if vertex_of[q] in cut.source_side:
+            assignment[q] = 0
+
+    if blockwise:
+        assignment_monotone = blocked_is_monotone_assignment(
+            points, assignment, rows_per_block)
+    else:
+        assignment_monotone = is_monotone_assignment(points, assignment)
+    if not assignment_monotone:
+        raise AssertionError(
+            "min-cut produced a non-monotone assignment (Lemma 16 violated); "
+            "this indicates a solver bug"
+        )
+    optimal_error = prediction_weighted_error(labels, assignment, weights)
+    if abs(optimal_error - cut.value) > 1e-6 * max(1.0, abs(cut.value)):
+        raise AssertionError(
+            f"classifier error {optimal_error!r} != min-cut value {cut.value!r} "
+            "(Lemma 17 violated); this indicates a solver bug"
+        )
+
+    classifier = UpsetClassifier.from_positive_points(points, assignment)
+    return PassiveResult(
+        classifier=classifier,
+        assignment=assignment,
+        optimal_error=float(optimal_error),
+        num_contending=len(active),
+        flow_value=float(cut.value),
+        backend=backend,
+    )
+
+
+def brute_force_passive(points: PointSet, max_n: int = 16) -> float:
+    """Minimum weighted error by exhaustive search (test oracle, Section 1.2).
+
+    Enumerates all ``2^n`` assignments, keeps the monotone ones, and returns
+    the best weighted error.  Exponential by design — guard with ``max_n``.
+    """
+    points.require_full_labels()
+    n = points.n
+    if n > max_n:
+        raise ValueError(f"brute_force_passive limited to n <= {max_n}; got {n}")
+    if n == 0:
+        return 0.0
+    weak = points.weak_dominance_matrix()
+    labels = points.labels
+    weights = points.weights
+    best = float("inf")
+    for bits in product((0, 1), repeat=n):
+        pred = np.asarray(bits, dtype=np.int8)
+        zeros = pred == 0
+        ones = pred == 1
+        if np.any(weak[np.ix_(zeros, ones)]):
+            continue  # not monotone
+        err = float(weights[pred != labels].sum())
+        if err < best:
+            best = err
+    return best

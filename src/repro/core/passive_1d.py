@@ -1,0 +1,137 @@
+"""Exact passive weighted monotone classification in 1-D.
+
+In one dimension every monotone classifier has the threshold form
+``h(p) = 1 iff p > tau`` (paper eq. (6)), and only the *effective*
+thresholds ``tau in P ∪ {-inf}`` matter (eq. (7)).  Scanning the sorted
+points with prefix sums finds the optimal threshold in ``O(n log n)``,
+giving both a fast path for 1-D inputs and an independent oracle to
+cross-check the max-flow solver.
+
+This module also powers the active algorithms: the final classifier over a
+weighted sample ``Σ`` on a chain is exactly a weighted 1-D optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .classifier import ThresholdClassifier
+from .points import PointSet
+
+__all__ = [
+    "Passive1DResult",
+    "solve_passive_1d",
+    "best_threshold",
+    "threshold_errors",
+]
+
+NEG_INF = float("-inf")
+
+
+@dataclass(frozen=True)
+class Passive1DResult:
+    """Optimal 1-D threshold classifier and its weighted error."""
+
+    classifier: ThresholdClassifier
+    optimal_error: float
+
+    @property
+    def tau(self) -> float:
+        """The optimal threshold (``-inf`` means the all-1 classifier)."""
+        return self.classifier.tau
+
+
+def best_threshold(values: Sequence[float], labels: Sequence[int],
+                   weights: Optional[Sequence[float]] = None) -> Tuple[float, float]:
+    """Optimal threshold and its weighted error for raw 1-D data.
+
+    Evaluates every effective classifier ``h^tau`` with
+    ``tau in {-inf} ∪ values``.  For ``h^tau``, a label-1 point errs iff its
+    value is ``<= tau`` and a label-0 point errs iff its value is ``> tau``.
+    Equal values are handled correctly because candidate thresholds are the
+    values themselves: all copies of a value land on the same side.
+
+    Returns ``(tau, weighted_error)``; among optimal thresholds the smallest
+    is returned (deterministic tie-break).
+    """
+    vals = np.asarray(values, dtype=float)
+    labs = np.asarray(labels, dtype=np.int8)
+    n = len(vals)
+    if labs.shape != (n,):
+        raise ValueError("values and labels must have equal length")
+    if weights is None:
+        wts = np.ones(n, dtype=float)
+    else:
+        wts = np.asarray(weights, dtype=float)
+        if wts.shape != (n,):
+            raise ValueError("weights must match values in length")
+    if n == 0:
+        return NEG_INF, 0.0
+
+    order = np.argsort(vals, kind="stable")
+    sorted_vals = vals[order]
+    sorted_labels = labs[order]
+    sorted_weights = wts[order]
+
+    weight_of_ones = np.where(sorted_labels == 1, sorted_weights, 0.0)
+    weight_of_zeros = np.where(sorted_labels == 0, sorted_weights, 0.0)
+
+    # err(tau) for tau just covering the first k sorted points:
+    #   sum of label-1 weights among them  (they fall at or below tau -> predicted 0)
+    # + sum of label-0 weights among the rest (strictly above tau -> predicted 1).
+    ones_prefix = np.concatenate(([0.0], np.cumsum(weight_of_ones)))
+    zeros_suffix = np.concatenate((np.cumsum(weight_of_zeros[::-1])[::-1], [0.0]))
+
+    # Candidate k values: 0 (tau = -inf) and, for each distinct value, the
+    # position after its last occurrence (tau = that value).
+    distinct_end = np.flatnonzero(
+        np.concatenate((sorted_vals[1:] != sorted_vals[:-1], [True]))
+    ) + 1
+    candidate_ks = np.concatenate(([0], distinct_end))
+    errors = ones_prefix[candidate_ks] + zeros_suffix[candidate_ks]
+
+    best_pos = int(np.argmin(errors))
+    best_k = int(candidate_ks[best_pos])
+    tau = NEG_INF if best_k == 0 else float(sorted_vals[best_k - 1])
+    return tau, float(errors[best_pos])
+
+
+def threshold_errors(values: Sequence[float], labels: Sequence[int],
+                     weights: Optional[Sequence[float]] = None) -> Tuple[np.ndarray, np.ndarray]:
+    """Weighted error of every effective threshold, for analysis and tests.
+
+    Returns ``(taus, errors)`` where ``taus[0] = -inf`` followed by the
+    distinct sorted values.
+    """
+    vals = np.asarray(values, dtype=float)
+    labs = np.asarray(labels, dtype=np.int8)
+    n = len(vals)
+    wts = np.ones(n) if weights is None else np.asarray(weights, dtype=float)
+    order = np.argsort(vals, kind="stable")
+    sorted_vals = vals[order]
+    sorted_labels = labs[order]
+    sorted_weights = wts[order]
+    ones_prefix = np.concatenate(([0.0],
+                                  np.cumsum(np.where(sorted_labels == 1, sorted_weights, 0.0))))
+    zeros_suffix = np.concatenate(
+        (np.cumsum(np.where(sorted_labels == 0, sorted_weights, 0.0)[::-1])[::-1], [0.0]))
+    distinct_end = np.flatnonzero(
+        np.concatenate((sorted_vals[1:] != sorted_vals[:-1], [True]))
+    ) + 1 if n else np.array([], dtype=int)
+    candidate_ks = np.concatenate(([0], distinct_end)).astype(int)
+    errors = ones_prefix[candidate_ks] + zeros_suffix[candidate_ks]
+    taus = np.concatenate(([NEG_INF], sorted_vals[candidate_ks[1:] - 1])) if n else \
+        np.array([NEG_INF])
+    return taus, errors
+
+
+def solve_passive_1d(points: PointSet) -> Passive1DResult:
+    """Solve Problem 2 exactly for a fully-labeled weighted 1-D point set."""
+    points.require_full_labels()
+    if points.dim != 1:
+        raise ValueError(f"solve_passive_1d requires d = 1; got d = {points.dim}")
+    tau, err = best_threshold(points.coords[:, 0], points.labels, points.weights)
+    return Passive1DResult(ThresholdClassifier(tau), err)

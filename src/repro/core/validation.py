@@ -1,0 +1,185 @@
+"""Result validation and optimality certificates.
+
+Production deployments of an optimizer want machine-checkable evidence,
+not trust.  This module audits the outputs of the paper's algorithms:
+
+* :func:`audit_passive_result` — checks a Theorem 4 result end to end:
+  the assignment is monotone (Lemma 16), achieves the reported weighted
+  error (Lemma 17 equality with the min-cut value), the classifier's
+  monotone extension agrees with the assignment, and LP-duality-style
+  lower bounds certify optimality via vertex-disjoint conflicting pairs;
+* :func:`audit_active_result` — checks a Theorem 2/3 result: probes were
+  charged correctly, Σ labels match the oracle cache, the classifier is
+  the Σ-optimal one, and its true error respects ``(1 + eps) k*`` when
+  the exact optimum is supplied;
+* :func:`conflict_matching_lower_bound` — a *certificate of near-
+  optimality* anyone can verify in polynomial time: a maximum matching of
+  conflicting (label-0 dominates label-1) pairs; every monotone classifier
+  must misclassify at least one point of each matched pair, so the sum of
+  per-pair minimum weights lower-bounds ``k*``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..poset.matching import hopcroft_karp
+from .active import ActiveResult
+from .classifier import is_monotone_assignment
+from .errors import prediction_weighted_error, weighted_error
+from .oracle import LabelOracle
+from .passive import PassiveResult
+from .points import PointSet
+
+__all__ = [
+    "AuditReport",
+    "audit_passive_result",
+    "audit_active_result",
+    "conflict_matching_lower_bound",
+]
+
+
+@dataclass
+class AuditReport:
+    """Outcome of an audit: a list of named checks with pass/fail."""
+
+    checks: List[str] = field(default_factory=list)
+    failures: List[str] = field(default_factory=list)
+
+    def record(self, name: str, passed: bool) -> None:
+        """Record one check result."""
+        self.checks.append(name)
+        if not passed:
+            self.failures.append(name)
+
+    @property
+    def ok(self) -> bool:
+        """True when every check passed."""
+        return not self.failures
+
+    def raise_on_failure(self) -> None:
+        """Raise ``AssertionError`` listing the failed checks, if any."""
+        if self.failures:
+            raise AssertionError(f"audit failed: {', '.join(self.failures)}")
+
+    def __repr__(self) -> str:
+        return (f"AuditReport(checks={len(self.checks)}, "
+                f"failures={self.failures or 'none'})")
+
+
+def conflict_matching_lower_bound(points: PointSet) -> float:
+    """A verifiable lower bound on the optimal weighted error ``k*``.
+
+    Build the bipartite conflict graph (label-0 point -> label-1 point it
+    weakly dominates) and take a maximum matching.  The matched pairs are
+    vertex-disjoint, and any monotone classifier must misclassify at least
+    one endpoint of each; summing each pair's lighter endpoint therefore
+    lower-bounds ``w-err`` of every monotone classifier.
+
+    For unit weights this bound is *tight* (König: max matching equals the
+    min vertex cover of the conflict graph, which is exactly the min-cut
+    optimum when all type-1/2 capacities are 1).  With general weights it
+    may be loose but is always sound.
+    """
+    points.require_full_labels()
+    zeros = np.flatnonzero(points.labels == 0)
+    ones = np.flatnonzero(points.labels == 1)
+    if len(zeros) == 0 or len(ones) == 0:
+        return 0.0
+    weak = points.weak_dominance_matrix()
+    conflict = weak[np.ix_(zeros, ones)]
+    adjacency = [np.flatnonzero(conflict[i]).tolist() for i in range(len(zeros))]
+    matching = hopcroft_karp(adjacency, len(ones))
+    total = 0.0
+    for left, right in matching.pairs():
+        total += min(float(points.weights[zeros[left]]),
+                     float(points.weights[ones[right]]))
+    return total
+
+
+def audit_passive_result(points: PointSet, result: PassiveResult) -> AuditReport:
+    """Machine-check a Theorem 4 result against the paper's lemmas."""
+    report = AuditReport()
+    report.record(
+        "assignment is monotone (Lemma 16)",
+        is_monotone_assignment(points, result.assignment),
+    )
+    achieved = prediction_weighted_error(points.labels, result.assignment,
+                                         points.weights)
+    report.record(
+        "assignment achieves reported error",
+        abs(achieved - result.optimal_error) <= 1e-6 * max(1.0, achieved),
+    )
+    report.record(
+        "reported error equals min-cut value (Lemma 17)",
+        abs(result.optimal_error - result.flow_value)
+        <= 1e-6 * max(1.0, result.flow_value),
+    )
+    extension = result.classifier.classify_set(points)
+    report.record(
+        "classifier extension agrees with assignment",
+        bool((extension == result.assignment).all()),
+    )
+    lower = conflict_matching_lower_bound(points)
+    report.record(
+        "matching lower bound <= reported optimum",
+        lower <= result.optimal_error + 1e-6 * max(1.0, lower),
+    )
+    if points.n > 0 and bool(np.all(points.weights == points.weights[0])):
+        # Unit(-like) weights: the matching bound is tight (König duality).
+        unit = points.weights[0]
+        report.record(
+            "matching bound tight under uniform weights (König)",
+            abs(lower - result.optimal_error) <= 1e-6 * max(1.0, unit),
+        )
+    return report
+
+
+def audit_active_result(points: PointSet, result: ActiveResult,
+                        oracle: LabelOracle,
+                        true_optimum: Optional[float] = None) -> AuditReport:
+    """Machine-check a Theorem 2/3 result and its accounting."""
+    report = AuditReport()
+    indices, weights, labels = result.sigma.arrays()
+    report.record(
+        "probing cost covers every Sigma point",
+        result.probing_cost >= len(indices),
+    )
+    report.record(
+        "Sigma labels match the oracle's revealed labels",
+        all(oracle.peek(int(i)) == int(label)
+            for i, label in zip(indices, labels)),
+    )
+    report.record(
+        "Sigma weights are positive",
+        bool((weights > 0).all()),
+    )
+    sigma_err = weighted_error(result.sigma_points, result.classifier)
+    report.record(
+        "classifier achieves reported Sigma error",
+        abs(sigma_err - result.sigma_error) <= 1e-6 * max(1.0, sigma_err),
+    )
+    report.record(
+        "chain count covers all points",
+        sum(result.chain_sizes) == points.n,
+    )
+    # Section 3.5 telescoping: each level of the 1-D recursion contributes
+    # weight |P \ P'| (or |P| at the base / no-window levels), so the total
+    # Sigma weight per chain equals the chain length, and overall equals n.
+    report.record(
+        "Sigma total weight telescopes to n (Lemma 13 accounting)",
+        abs(result.sigma.total_weight - points.n) <= 1e-6 * max(1.0, points.n),
+    )
+    if true_optimum is not None and not points.has_hidden_labels:
+        from .errors import error_count
+
+        achieved = error_count(points, result.classifier)
+        report.record(
+            f"error within (1 + eps) of optimum "
+            f"({achieved} vs {(1 + result.epsilon) * true_optimum:.1f})",
+            achieved <= (1 + result.epsilon) * true_optimum + 1e-9,
+        )
+    return report

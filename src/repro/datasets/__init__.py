@@ -1,0 +1,46 @@
+"""Workload generators backing the experiments.
+
+* :mod:`.synthetic` — planted monotone labelings with controllable noise,
+  width-controlled point sets, and 1-D threshold workloads;
+* :mod:`.figures` — the paper's Figure 1 / Figure 2 worked example with its
+  published answers (``k* = 3``, ``w = 6``, weighted optimum ``104``);
+* :mod:`.entity_matching` — a record-pair similarity simulator standing in
+  for the proprietary entity-matching corpora the paper motivates with.
+"""
+
+from .entity_matching import EntityMatchingWorkload, generate_entity_matching
+from .records import Record, RecordPairWorkload, generate_record_linkage
+from .figures import (
+    FIGURE1_OPTIMAL_UNWEIGHTED_ERROR,
+    FIGURE1_OPTIMAL_WEIGHTED_ERROR,
+    FIGURE1_WIDTH,
+    figure1_point_set,
+    figure1_weighted_point_set,
+)
+from .synthetic import (
+    adversarial_points,
+    correlated_monotone,
+    planted_monotone,
+    planted_threshold_1d,
+    staircase,
+    width_controlled,
+)
+
+__all__ = [
+    "planted_threshold_1d",
+    "planted_monotone",
+    "width_controlled",
+    "adversarial_points",
+    "staircase",
+    "correlated_monotone",
+    "figure1_point_set",
+    "figure1_weighted_point_set",
+    "FIGURE1_WIDTH",
+    "FIGURE1_OPTIMAL_UNWEIGHTED_ERROR",
+    "FIGURE1_OPTIMAL_WEIGHTED_ERROR",
+    "EntityMatchingWorkload",
+    "generate_entity_matching",
+    "Record",
+    "RecordPairWorkload",
+    "generate_record_linkage",
+]

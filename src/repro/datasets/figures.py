@@ -1,0 +1,111 @@
+"""The paper's Figure 1 / Figure 2 worked example, reconstructed.
+
+The paper never prints coordinates, but its text pins down everything the
+algorithms can observe:
+
+* labels — black (1): p1, p4, p9, p10, p12, p13, p14, p16; white (0): p2,
+  p3, p5, p6, p7, p8, p11, p15 (read off the contending sets of Figure 2
+  and the optimal-classifier discussion of Section 1.1);
+* a 6-chain decomposition (Section 2): C1 = {p1, p2, p3, p4, p10},
+  C2 = {p11}, C3 = {p5, p9, p12}, C4 = {p16}, C5 = {p13},
+  C6 = {p6, p7, p8, p14, p15}, each listed in ascending dominance order;
+* the maximum anti-chain {p10, p11, p12, p13, p14, p16}, so width w = 6;
+* contending points (Figure 2(a)): label-0 {p2, p3, p5, p11, p15} and
+  label-1 {p1, p4, p9, p13, p14};
+* answers: optimal unweighted error k* = 3 (misclassify p1, p11, p15);
+  with weight(p1) = 100, weight(p11) = weight(p15) = 60 and all other
+  weights 1, the optimal weighted error is 104 (misclassify p1, p4, p9,
+  p13, p14), achieved by mapping exactly {p10, p12, p16} to 1.
+
+The coordinates below realize every one of those constraints; the E1/E2
+tests verify all of them computationally, so the example is a faithful
+executable reconstruction of the figure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..core.points import PointSet
+
+__all__ = [
+    "figure1_point_set",
+    "figure1_weighted_point_set",
+    "FIGURE1_WIDTH",
+    "FIGURE1_OPTIMAL_UNWEIGHTED_ERROR",
+    "FIGURE1_OPTIMAL_WEIGHTED_ERROR",
+    "FIGURE1_CHAINS",
+    "FIGURE1_ANTICHAIN",
+    "FIGURE1_CONTENDING",
+]
+
+#: Published answers the reconstruction must reproduce.
+FIGURE1_WIDTH = 6
+FIGURE1_OPTIMAL_UNWEIGHTED_ERROR = 3
+FIGURE1_OPTIMAL_WEIGHTED_ERROR = 104.0
+
+#: The paper's chain decomposition (point names, ascending dominance order).
+FIGURE1_CHAINS: List[List[str]] = [
+    ["p1", "p2", "p3", "p4", "p10"],
+    ["p11"],
+    ["p5", "p9", "p12"],
+    ["p16"],
+    ["p13"],
+    ["p6", "p7", "p8", "p14", "p15"],
+]
+
+#: The size-6 anti-chain witnessing w = 6.
+FIGURE1_ANTICHAIN = ["p10", "p11", "p12", "p13", "p14", "p16"]
+
+#: Contending points (Figure 2(a)), by label.
+FIGURE1_CONTENDING = {
+    0: ["p2", "p3", "p5", "p11", "p15"],
+    1: ["p1", "p4", "p9", "p13", "p14"],
+}
+
+# Coordinates (x, y) and labels; names follow the paper.
+_FIGURE1_DATA: Dict[str, tuple] = {
+    #        x     y    label
+    "p1":  (1.0, 1.0, 1),
+    "p2":  (1.5, 1.5, 0),
+    "p3":  (2.0, 2.5, 0),
+    "p4":  (2.5, 3.5, 1),
+    "p5":  (3.5, 2.0, 0),
+    "p6":  (5.0, 0.5, 0),
+    "p7":  (5.5, 0.8, 0),
+    "p8":  (6.0, 0.9, 0),
+    "p9":  (4.0, 3.0, 1),
+    "p10": (3.0, 7.5, 1),
+    "p11": (4.5, 6.5, 0),
+    "p12": (5.0, 5.5, 1),
+    "p13": (5.5, 5.0, 1),
+    "p14": (6.5, 4.9, 1),
+    "p15": (7.0, 5.2, 0),
+    "p16": (7.5, 4.8, 1),
+}
+
+#: Weights of Figure 1(b): p1 -> 100, p11 and p15 -> 60, everything else 1.
+_FIGURE1_WEIGHTS: Dict[str, float] = {"p1": 100.0, "p11": 60.0, "p15": 60.0}
+
+
+def _names_in_order() -> List[str]:
+    return [f"p{i}" for i in range(1, 17)]
+
+
+def figure1_point_set() -> PointSet:
+    """The unit-weight input of Figure 1(a); point ``p{i}`` has index ``i-1``."""
+    names = _names_in_order()
+    coords = np.asarray([[_FIGURE1_DATA[n][0], _FIGURE1_DATA[n][1]] for n in names])
+    labels = np.asarray([_FIGURE1_DATA[n][2] for n in names], dtype=np.int8)
+    return PointSet(coords, labels, names=names)
+
+
+def figure1_weighted_point_set() -> PointSet:
+    """The weighted input of Figure 1(b) (same points, weights 100/60/1)."""
+    base = figure1_point_set()
+    weights = [
+        _FIGURE1_WEIGHTS.get(name, 1.0) for name in _names_in_order()
+    ]
+    return base.replace(weights=weights)

@@ -1,0 +1,154 @@
+"""Label-noise models for robustness studies.
+
+The paper's guarantees are *agnostic*: nothing is assumed about how the
+labeling deviates from monotone.  Different deviation processes stress
+the algorithms very differently though — uniform flips scatter conflicts
+everywhere, boundary-concentrated flips pile the uncertainty exactly
+where the Section 3 recursion zooms in, and adversarial flips maximize
+`k*` for a given flip budget.  This module provides those processes as
+composable transforms over a clean labeling, and the E13 experiment
+measures probing cost and error ratios under each.
+
+All transforms take and return a :class:`~repro.core.points.PointSet`
+(labels replaced, coordinates untouched) and are deterministic given a
+seed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from .._util import RngLike, as_generator
+from ..core.points import PointSet
+
+__all__ = [
+    "uniform_flip",
+    "boundary_concentrated_flip",
+    "asymmetric_flip",
+    "adversarial_pairs",
+    "NOISE_MODELS",
+]
+
+
+def uniform_flip(points: PointSet, rate: float, rng: RngLike = None) -> PointSet:
+    """Flip each label independently with probability ``rate``."""
+    if not 0 <= rate < 0.5:
+        raise ValueError(f"rate must be in [0, 0.5); got {rate}")
+    points.require_full_labels()
+    gen = as_generator(rng)
+    flips = gen.random(points.n) < rate
+    labels = np.where(flips, 1 - points.labels, points.labels)
+    return points.replace(labels=labels)
+
+
+def boundary_concentrated_flip(points: PointSet, rate: float,
+                               rng: RngLike = None,
+                               concentration: float = 4.0) -> PointSet:
+    """Flip labels with probability decaying away from the class boundary.
+
+    The flip probability of a point is proportional to
+    ``exp(-concentration * margin)`` where ``margin`` is the distance (in
+    coordinate-sum units, normalized) to the nearest oppositely-labeled
+    point's sum — a cheap margin proxy.  The total expected flip count is
+    normalized to ``rate * n``, so models are comparable at equal rates.
+    """
+    if not 0 <= rate < 0.5:
+        raise ValueError(f"rate must be in [0, 0.5); got {rate}")
+    if concentration <= 0:
+        raise ValueError("concentration must be positive")
+    points.require_full_labels()
+    gen = as_generator(rng)
+    n = points.n
+    if n == 0 or rate == 0:
+        return points.replace(labels=points.labels)
+    sums = points.coords.sum(axis=1)
+    ones = sums[points.labels == 1]
+    zeros = sums[points.labels == 0]
+    if len(ones) == 0 or len(zeros) == 0:
+        return uniform_flip(points, rate, gen)
+    # Margin proxy: distance to the opposite class's nearest coordinate sum.
+    margins = np.empty(n)
+    for i in range(n):
+        opposite = zeros if points.labels[i] == 1 else ones
+        margins[i] = np.abs(opposite - sums[i]).min()
+    spread = margins.max() or 1.0
+    raw = np.exp(-concentration * margins / spread)
+    probabilities = raw * (rate * n / raw.sum())
+    probabilities = np.clip(probabilities, 0.0, 0.49)
+    flips = gen.random(n) < probabilities
+    labels = np.where(flips, 1 - points.labels, points.labels)
+    return points.replace(labels=labels)
+
+
+def asymmetric_flip(points: PointSet, rate_0_to_1: float, rate_1_to_0: float,
+                    rng: RngLike = None) -> PointSet:
+    """Class-conditional noise: different flip rates per class.
+
+    Models annotator bias — e.g. humans rarely call a true match a
+    non-match but often miss borderline matches.
+    """
+    for rate in (rate_0_to_1, rate_1_to_0):
+        if not 0 <= rate < 0.5:
+            raise ValueError(f"rates must be in [0, 0.5); got {rate}")
+    points.require_full_labels()
+    gen = as_generator(rng)
+    rolls = gen.random(points.n)
+    rates = np.where(points.labels == 0, rate_0_to_1, rate_1_to_0)
+    flips = rolls < rates
+    labels = np.where(flips, 1 - points.labels, points.labels)
+    return points.replace(labels=labels)
+
+
+def adversarial_pairs(points: PointSet, budget: int,
+                      rng: RngLike = None) -> PointSet:
+    """Adversarial noise: each flip is guaranteed to cost the optimum.
+
+    Greedily picks comparable pairs with (currently) consistent labels and
+    flips one endpoint to create a conflict, making ``k*`` grow roughly
+    one per flip (pairs are chosen vertex-disjoint, so conflicts cannot be
+    repaired for free).  Stops early if it runs out of candidate pairs.
+    """
+    if budget < 0:
+        raise ValueError("budget must be non-negative")
+    points.require_full_labels()
+    gen = as_generator(rng)
+    labels = points.labels.copy()
+    n = points.n
+    weak = points.weak_dominance_matrix()
+    used = np.zeros(n, dtype=bool)
+    flipped = 0
+    order = gen.permutation(n)
+    for i in order:
+        if flipped >= budget:
+            break
+        if used[i]:
+            continue
+        # Find an unused comparable partner with the same-side labels such
+        # that flipping i creates a violation: i above j with labels
+        # becoming 0 over 1, or below with 1 under 0.
+        candidates = np.flatnonzero((weak[i] | weak[:, i]) & ~used)
+        for j in candidates:
+            if j == i or used[j]:
+                continue
+            if weak[i, j] and labels[i] == 1 and labels[j] == 1:
+                labels[i] = 0  # now a 0 dominates a 1
+            elif weak[j, i] and labels[i] == 0 and labels[j] == 0:
+                labels[i] = 1  # now a 0 (j) dominates a 1 (i)
+            else:
+                continue
+            used[i] = used[j] = True
+            flipped += 1
+            break
+    return points.replace(labels=labels)
+
+
+#: Registry used by the robustness experiment: name -> transform(points,
+#: rate, rng).
+NOISE_MODELS: Dict[str, Callable[..., PointSet]] = {
+    "uniform": uniform_flip,
+    "boundary": boundary_concentrated_flip,
+    "asymmetric": lambda points, rate, rng=None: asymmetric_flip(
+        points, rate / 2, rate * 3 / 2 if rate * 3 / 2 < 0.5 else 0.49, rng),
+}

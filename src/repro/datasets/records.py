@@ -1,0 +1,310 @@
+"""Record-linkage simulation with real similarity functions (Section 1.1).
+
+The paper's motivating pipeline: two databases describe overlapping
+entities; candidate record pairs are scored on ``d`` similarity metrics;
+a monotone classifier turns scores into match / non-match verdicts.  The
+other workload generators fabricate score vectors directly; this module
+simulates the *whole* pipeline from strings:
+
+1. generate ground-truth entities (person-like records: name, city,
+   zip, birth year);
+2. derive two noisy observations per entity (typos, dropped tokens,
+   swapped fields, year off-by-one) — the two "databases";
+3. form candidate pairs (all true pairs + random non-matching pairs,
+   mimicking a blocking stage);
+4. score each pair with from-scratch similarity functions — token
+   Jaccard, character-trigram Jaccard, normalized Levenshtein, numeric
+   proximity — yielding the similarity vectors the classifiers consume.
+
+The resulting labels are *not* exactly monotone in the scores (typos can
+make true matches look dissimilar), which is precisely why ``k* > 0``
+and why the paper's agnostic guarantees matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from .._util import RngLike, as_generator
+from ..core.points import PointSet
+
+__all__ = [
+    "Record",
+    "RecordPairWorkload",
+    "token_jaccard",
+    "trigram_jaccard",
+    "normalized_levenshtein",
+    "numeric_proximity",
+    "generate_record_linkage",
+]
+
+_FIRST_NAMES = (
+    "james mary robert patricia john jennifer michael linda david barbara "
+    "william elizabeth richard susan joseph jessica thomas sarah charles "
+    "karen lisa nancy daniel betty matthew margaret anthony sandra mark "
+    "ashley donald kimberly steven emily paul donna andrew michelle "
+).split()
+
+_LAST_NAMES = (
+    "smith johnson williams brown jones garcia miller davis rodriguez "
+    "martinez hernandez lopez gonzalez wilson anderson thomas taylor moore "
+    "jackson martin lee perez thompson white harris sanchez clark ramirez "
+    "lewis robinson walker young allen king wright scott torres nguyen hill "
+).split()
+
+_CITIES = (
+    "springfield riverton fairview greenville bristol clinton georgetown "
+    "salem madison franklin arlington ashland burlington clayton dayton "
+    "dover hudson lebanon milton newport oxford princeton shelby winchester "
+).split()
+
+
+@dataclass(frozen=True)
+class Record:
+    """One database record describing a person-like entity."""
+
+    entity_id: int
+    name: str
+    city: str
+    zip_code: str
+    birth_year: int
+
+
+# ----------------------------------------------------------------------
+# Similarity functions (all mapped to [0, 1], higher = more similar)
+# ----------------------------------------------------------------------
+
+def token_jaccard(a: str, b: str) -> float:
+    """Jaccard similarity of whitespace token sets."""
+    sa, sb = set(a.split()), set(b.split())
+    if not sa and not sb:
+        return 1.0
+    if not sa or not sb:
+        return 0.0
+    return len(sa & sb) / len(sa | sb)
+
+
+def _trigrams(text: str) -> set:
+    padded = f"  {text} "
+    return {padded[i:i + 3] for i in range(len(padded) - 2)}
+
+
+def trigram_jaccard(a: str, b: str) -> float:
+    """Jaccard similarity of character trigram sets (typo-tolerant)."""
+    ta, tb = _trigrams(a), _trigrams(b)
+    if not ta and not tb:
+        return 1.0
+    if not ta or not tb:
+        return 0.0
+    return len(ta & tb) / len(ta | tb)
+
+
+def normalized_levenshtein(a: str, b: str) -> float:
+    """``1 - edit_distance / max_len``: classic string closeness."""
+    if a == b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    # Standard two-row DP.
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i]
+        for j, cb in enumerate(b, start=1):
+            current.append(min(
+                previous[j] + 1,          # deletion
+                current[j - 1] + 1,       # insertion
+                previous[j - 1] + (ca != cb),  # substitution
+            ))
+        previous = current
+    return 1.0 - previous[-1] / max(len(a), len(b))
+
+
+def numeric_proximity(a: float, b: float, scale: float) -> float:
+    """``max(0, 1 - |a - b| / scale)``: proximity of numeric fields."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    return max(0.0, 1.0 - abs(a - b) / scale)
+
+
+# ----------------------------------------------------------------------
+# Corruption model
+# ----------------------------------------------------------------------
+
+def _typo(text: str, gen: np.random.Generator) -> str:
+    """One character-level corruption: substitute, delete, or transpose."""
+    if len(text) < 2:
+        return text
+    kind = gen.integers(0, 3)
+    pos = int(gen.integers(0, len(text) - 1))
+    if kind == 0:  # substitute
+        letter = chr(ord("a") + int(gen.integers(0, 26)))
+        return text[:pos] + letter + text[pos + 1:]
+    if kind == 1:  # delete
+        return text[:pos] + text[pos + 1:]
+    return text[:pos] + text[pos + 1] + text[pos] + text[pos + 2:]  # transpose
+
+
+def _corrupt_record(record: Record, gen: np.random.Generator,
+                    severity: float) -> Record:
+    """A noisy re-observation of the same entity."""
+    name = record.name
+    if gen.random() < severity:
+        name = _typo(name, gen)
+    if gen.random() < severity * 0.6:
+        name = _typo(name, gen)
+    if gen.random() < severity * 0.3:  # drop a token (e.g. middle name)
+        tokens = name.split()
+        if len(tokens) > 1:
+            drop = int(gen.integers(0, len(tokens)))
+            name = " ".join(t for k, t in enumerate(tokens) if k != drop)
+    city = record.city
+    if gen.random() < severity * 0.5:
+        city = _typo(city, gen)
+    zip_code = record.zip_code
+    if gen.random() < severity * 0.4:
+        zip_code = _typo(zip_code, gen)
+    birth_year = record.birth_year
+    if gen.random() < severity * 0.3:
+        birth_year += int(gen.integers(-2, 3))
+    return Record(record.entity_id, name, city, zip_code, birth_year)
+
+
+def _random_record(entity_id: int, gen: np.random.Generator) -> Record:
+    name = f"{gen.choice(_FIRST_NAMES)} {gen.choice(_LAST_NAMES)}"
+    if gen.random() < 0.3:  # middle initial
+        initial = chr(ord("a") + int(gen.integers(0, 26)))
+        first, last = name.split()
+        name = f"{first} {initial} {last}"
+    return Record(
+        entity_id=entity_id,
+        name=name,
+        city=str(gen.choice(_CITIES)),
+        zip_code=f"{int(gen.integers(10000, 99999))}",
+        birth_year=int(gen.integers(1940, 2005)),
+    )
+
+
+# ----------------------------------------------------------------------
+# Workload assembly
+# ----------------------------------------------------------------------
+
+def _score_pair(a: Record, b: Record) -> Tuple[float, float, float, float]:
+    return (
+        token_jaccard(a.name, b.name),
+        trigram_jaccard(a.name, b.name),
+        max(trigram_jaccard(a.city, b.city),
+            normalized_levenshtein(a.zip_code, b.zip_code)),
+        numeric_proximity(a.birth_year, b.birth_year, scale=10.0),
+    )
+
+
+@dataclass(frozen=True)
+class RecordPairWorkload:
+    """The assembled record-linkage workload.
+
+    ``points`` carries the 4-D similarity vectors and match labels;
+    ``left``/``right`` hold the paired records so examples can show the
+    underlying strings; ``pair_records[i]`` gives the record pair behind
+    point ``i``.
+    """
+
+    points: PointSet
+    pair_records: Tuple[Tuple[Record, Record], ...]
+
+    @property
+    def n(self) -> int:
+        """Number of candidate pairs."""
+        return self.points.n
+
+    def hidden(self) -> PointSet:
+        """Active-setting view (labels hidden)."""
+        return self.points.with_hidden_labels()
+
+
+def generate_record_linkage(n_entities: int = 500,
+                            nonmatch_ratio: float = 3.0,
+                            severity: float = 0.5,
+                            namesake_fraction: float = 0.15,
+                            quantize: int = 20,
+                            rng: RngLike = None) -> RecordPairWorkload:
+    """Simulate the full Section 1.1 record-linkage pipeline.
+
+    Parameters
+    ----------
+    n_entities:
+        Ground-truth entities; each contributes one matching pair (its
+        two noisy observations).
+    nonmatch_ratio:
+        Non-matching candidate pairs per matching pair (the blocking
+        stage's output skew).
+    severity:
+        Corruption severity in [0, 1]; higher = noisier observations =
+        larger ``k*``.
+    namesake_fraction:
+        Fraction of entities that are *namesakes* of another entity
+        (identical full name, different person).  Blocking stages surface
+        exactly such pairs as candidates, and they are the reason real
+        workloads have ``k* > 0``: a namesake non-match can outscore a
+        typo-ridden true match on every metric.
+    quantize:
+        Round similarity scores to this many levels (0 = raw); practical
+        systems discretize, which keeps the dominance width manageable.
+    """
+    if n_entities < 1:
+        raise ValueError("n_entities must be >= 1")
+    if nonmatch_ratio < 0:
+        raise ValueError("nonmatch_ratio must be non-negative")
+    if not 0 <= severity <= 1:
+        raise ValueError("severity must be in [0, 1]")
+    if not 0 <= namesake_fraction <= 1:
+        raise ValueError("namesake_fraction must be in [0, 1]")
+    gen = as_generator(rng)
+
+    base = [_random_record(e, gen) for e in range(n_entities)]
+    # Plant namesakes: distinct people sharing a full name (and sometimes
+    # a city) — the hard negatives a blocking stage would surface.
+    namesake_of: List[int] = []
+    n_namesakes = int(n_entities * namesake_fraction)
+    for e in range(1, min(n_entities, n_namesakes + 1)):
+        donor = int(gen.integers(0, e))
+        record = base[e]
+        city = base[donor].city if gen.random() < 0.5 else record.city
+        base[e] = Record(record.entity_id, base[donor].name, city,
+                         record.zip_code, record.birth_year)
+        namesake_of.append(e)
+
+    left = [_corrupt_record(r, gen, severity * 0.5) for r in base]
+    right = [_corrupt_record(r, gen, severity) for r in base]
+
+    pairs: List[Tuple[Record, Record]] = []
+    labels: List[int] = []
+    for e in range(n_entities):
+        pairs.append((left[e], right[e]))
+        labels.append(1)
+    n_nonmatch = int(n_entities * nonmatch_ratio)
+    for k in range(n_nonmatch):
+        if namesake_of and k % 2 == 0:
+            # Hard negative: pair a namesake with its donor's observation.
+            e = int(gen.choice(namesake_of))
+            donor = next(d for d in range(n_entities)
+                         if d != e and base[d].name == base[e].name)
+            i, j = (e, donor) if gen.random() < 0.5 else (donor, e)
+        else:
+            i = int(gen.integers(0, n_entities))
+            j = int(gen.integers(0, n_entities))
+            while j == i:
+                j = int(gen.integers(0, n_entities))
+        pairs.append((left[i], right[j]))
+        labels.append(0)
+
+    coords = np.asarray([_score_pair(a, b) for a, b in pairs], dtype=float)
+    if quantize:
+        coords = np.round(coords * quantize) / quantize
+    order = gen.permutation(len(pairs))
+    coords = coords[order]
+    labels_arr = np.asarray(labels, dtype=np.int8)[order]
+    shuffled_pairs = tuple(pairs[i] for i in order)
+    return RecordPairWorkload(PointSet(coords, labels_arr), shuffled_pairs)

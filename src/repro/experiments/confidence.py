@@ -1,0 +1,69 @@
+"""Experiment E12: empirical failure probability of the active algorithm.
+
+Theorem 2 claims the ``(1+eps)``-approximation holds *with probability at
+least 1 - 1/n^2* (strengthenable to ``1 - 1/n^c``).  This experiment
+hammers the 1-D algorithm across many independent runs at several
+``(eps, delta)`` settings and reports the empirical failure rate — the
+fraction of runs whose achieved error exceeded ``(1 + eps) k*`` — which
+the theorem requires to stay below ``delta``.
+
+Runs use the practical sampling profile, so a clean pass additionally
+certifies that the relaxed constants keep their margin on these
+workloads (ablation A3 explores the constant explicitly).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..core.active_1d import active_classify_1d
+from ..core.errors import error_count
+from ..core.oracle import LabelOracle
+from ..core.passive_1d import solve_passive_1d
+from ..datasets.synthetic import planted_threshold_1d
+
+TITLE = "E12 — empirical failure probability vs delta (Theorem 2 confidence)"
+
+__all__ = ["run", "TITLE"]
+
+
+def run(n: int = 20_000, noise: float = 0.1,
+        settings: Sequence[tuple] = ((1.0, 0.1), (0.5, 0.1), (0.5, 0.01)),
+        runs: int = 40, seed: int = 0) -> List[dict]:
+    """Measure failure rates over ``runs`` independent executions.
+
+    ``settings`` is a sequence of ``(epsilon, delta)`` pairs.
+    """
+    points = planted_threshold_1d(n, noise=noise, rng=seed)
+    optimum = solve_passive_1d(points).optimal_error
+    hidden = points.with_hidden_labels()
+
+    rows: List[dict] = []
+    for epsilon, delta in settings:
+        failures = 0
+        probes = []
+        ratios = []
+        for run_id in range(runs):
+            oracle = LabelOracle(points)
+            result = active_classify_1d(hidden, oracle, epsilon=epsilon,
+                                        delta=delta, rng=seed + 1000 + run_id)
+            err = error_count(points, result.classifier)
+            ratio = err / optimum if optimum else 1.0
+            ratios.append(ratio)
+            probes.append(result.probing_cost)
+            if err > (1 + epsilon) * optimum + 1e-9:
+                failures += 1
+        rows.append({
+            "n": n,
+            "eps": epsilon,
+            "delta": delta,
+            "runs": runs,
+            "failures": failures,
+            "empirical_failure_rate": failures / runs,
+            "within_delta": failures / runs <= delta,
+            "mean_probes": float(np.mean(probes)),
+            "worst_ratio": float(np.max(ratios)),
+        })
+    return rows

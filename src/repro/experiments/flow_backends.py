@@ -1,0 +1,102 @@
+"""Experiment E10: max-flow backend agreement and runtime (Lemmas 7-8).
+
+Both from-scratch backends (Dinic, Goldberg–Tarjan push-relabel) must agree
+with each other — and, when available, with networkx — on random layered
+networks and on the passive-reduction networks actually produced by
+Theorem 4.  Runtime is recorded per backend.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .._util import as_generator
+from ..core.passive import solve_passive
+from ..datasets.synthetic import planted_monotone
+from ..flow import FLOW_BACKENDS, FlowNetwork, solve_max_flow
+
+TITLE = "E10 — max-flow backends: agreement and runtime (Lemmas 7-8)"
+
+__all__ = ["run", "random_flow_network", "TITLE"]
+
+
+def random_flow_network(num_nodes: int, density: float, seed: int,
+                        max_capacity: float = 10.0) -> FlowNetwork:
+    """A random DAG-ish flow network with designated source 0 / sink last."""
+    gen = as_generator(seed)
+    network = FlowNetwork(num_nodes)
+    source, sink = 0, num_nodes - 1
+    for u in range(num_nodes - 1):
+        for v in range(u + 1, num_nodes):
+            if v == source or u == sink:
+                continue
+            if gen.random() < density:
+                network.add_edge(u, v, float(gen.random() * max_capacity))
+    return network
+
+
+def _networkx_value(network: FlowNetwork, source: int, sink: int) -> Optional[float]:
+    """Max-flow value via networkx, or ``None`` when unavailable."""
+    try:
+        import networkx as nx
+    except ImportError:  # pragma: no cover - networkx ships in the test env
+        return None
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(network.num_nodes))
+    for _arc_id, arc in network.forward_arcs():
+        if graph.has_edge(arc.tail, arc.head):
+            graph[arc.tail][arc.head]["capacity"] += arc.capacity
+        else:
+            graph.add_edge(arc.tail, arc.head, capacity=arc.capacity)
+    return float(nx.maximum_flow_value(graph, source, sink))
+
+
+def run(sizes: Sequence[int] = (50, 100, 200, 400),
+        density: float = 0.1, seed: int = 0,
+        passive_ns: Sequence[int] = (500, 1_000)) -> List[dict]:
+    """Cross-check every backend on random and passive-reduction networks."""
+    rows: List[dict] = []
+    for size in sizes:
+        reference = random_flow_network(size, density, seed)
+        values = {}
+        times = {}
+        for backend in FLOW_BACKENDS:
+            network = random_flow_network(size, density, seed)
+            start = time.perf_counter()
+            values[backend] = solve_max_flow(network, 0, size - 1, backend=backend)
+            times[backend] = time.perf_counter() - start
+        nx_value = _networkx_value(reference, 0, size - 1)
+        agree = np.allclose(list(values.values()), values["dinic"], rtol=1e-9)
+        if nx_value is not None:
+            agree = agree and np.isclose(nx_value, values["dinic"], rtol=1e-9)
+        rows.append({
+            "network": f"random(V={size}, p={density})",
+            "dinic_value": values["dinic"],
+            "push_relabel_value": values["push_relabel"],
+            "networkx_value": nx_value if nx_value is not None else "n/a",
+            "agree": bool(agree),
+            "dinic_time_s": times["dinic"],
+            "push_relabel_time_s": times["push_relabel"],
+        })
+    for n in passive_ns:
+        points = planted_monotone(n, 3, noise=0.1, rng=seed, weights="random")
+        per_backend = {}
+        times = {}
+        for backend in FLOW_BACKENDS:
+            start = time.perf_counter()
+            per_backend[backend] = solve_passive(points, backend=backend).optimal_error
+            times[backend] = time.perf_counter() - start
+        rows.append({
+            "network": f"passive-reduction(n={n}, d=3)",
+            "dinic_value": per_backend["dinic"],
+            "push_relabel_value": per_backend["push_relabel"],
+            "networkx_value": "n/a",
+            "agree": bool(np.isclose(per_backend["dinic"],
+                                     per_backend["push_relabel"], rtol=1e-9)),
+            "dinic_time_s": times["dinic"],
+            "push_relabel_time_s": times["push_relabel"],
+        })
+    return rows

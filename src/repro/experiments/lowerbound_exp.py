@@ -1,0 +1,56 @@
+"""Experiment E8: the Ω(n) lower bound trade-off (Theorem 1, Lemma 19).
+
+Runs deterministic pair-probers of every length ``ℓ`` over the full
+adversarial family and checks the measured totals against the closed forms:
+``totalcost = nℓ - ℓ² + ℓ`` (see the sign-slip note in
+:func:`repro.core.lowerbound.theoretical_totalcost`) and
+``nonoptcnt >= n/2 - ℓ``.  The punchline of Theorem 1 appears at the
+``nonoptcnt <= n/3`` threshold: every prober accurate enough forces
+``totalcost = Ω(n²)``, i.e. ``Ω(n)`` probes per input on average.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core.classifier import ConstantClassifier
+from ..core.lowerbound import (
+    DeterministicPairProber,
+    evaluate_on_family,
+    theoretical_nonoptcnt_lower_bound,
+    theoretical_totalcost,
+)
+
+TITLE = "E8 — lower-bound family: probes vs non-optimal inputs (Theorem 1)"
+
+__all__ = ["run", "TITLE"]
+
+
+def run(n: int = 64, lengths: Sequence[int] = None) -> List[dict]:
+    """Sweep prober length ``ℓ`` from 0 to ``n/2`` over the family."""
+    if lengths is None:
+        half = n // 2
+        lengths = sorted({0, half // 8, half // 4, half // 2,
+                          3 * half // 4, half})
+    rows: List[dict] = []
+    for ell in lengths:
+        prober = DeterministicPairProber(
+            probe_sequence=tuple(range(1, ell + 1)),
+            fallback=ConstantClassifier(0),
+        )
+        evaluation = evaluate_on_family(prober, n)
+        predicted_cost = theoretical_totalcost(n, ell)
+        predicted_nonopt = theoretical_nonoptcnt_lower_bound(n, ell)
+        rows.append({
+            "n": n,
+            "ell": ell,
+            "totalcost": evaluation.totalcost,
+            "totalcost_formula": predicted_cost,
+            "cost_match": evaluation.totalcost == predicted_cost,
+            "nonoptcnt": evaluation.nonoptcnt,
+            "nonoptcnt_lb": predicted_nonopt,
+            "lb_holds": evaluation.nonoptcnt >= predicted_nonopt,
+            "accurate(nonopt<=n/3)": evaluation.nonoptcnt <= n / 3,
+            "avg_cost_per_input": evaluation.totalcost / n,
+        })
+    return rows

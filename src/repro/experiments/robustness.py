@@ -1,0 +1,61 @@
+"""Experiment E13: robustness of the active algorithm to the noise process.
+
+Theorem 2's guarantee is agnostic — it holds for any labeling.  This
+experiment checks the *practice* matches: at equal flip rates, uniform,
+boundary-concentrated, and asymmetric noise all stay within the `(1+eps)`
+guarantee, with probing cost varying by where the conflicts sit
+(boundary-concentrated noise inflates the uncertainty windows the 1-D
+recursion must keep splitting).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..core.active import active_classify
+from ..core.errors import error_count
+from ..core.oracle import LabelOracle
+from ..datasets.noise import NOISE_MODELS
+from ..datasets.synthetic import width_controlled
+from ._common import chainwise_optimum
+
+TITLE = "E13 — noise-model robustness of the active algorithm"
+
+__all__ = ["run", "TITLE"]
+
+
+def run(n: int = 12_000, width: int = 4, epsilon: float = 0.5,
+        rate: float = 0.08, models: Sequence[str] = ("uniform", "boundary",
+                                                     "asymmetric"),
+        trials: int = 3, seed: int = 0) -> List[dict]:
+    """Measure probes and error ratios under each registered noise model."""
+    clean = width_controlled(n, width, noise=0.0, rng=seed)
+    rows: List[dict] = []
+    for model_name in models:
+        transform = NOISE_MODELS[model_name]
+        probes, ratios, optima = [], [], []
+        for trial in range(trials):
+            noisy = transform(clean, rate, rng=seed + 10 * trial)
+            optimum = chainwise_optimum(noisy)
+            oracle = LabelOracle(noisy)
+            result = active_classify(noisy.with_hidden_labels(), oracle,
+                                     epsilon=epsilon, rng=seed + trial)
+            err = error_count(noisy, result.classifier)
+            probes.append(result.probing_cost)
+            ratios.append(err / optimum if optimum else 1.0)
+            optima.append(optimum)
+        rows.append({
+            "noise_model": model_name,
+            "rate": rate,
+            "n": n,
+            "w": width,
+            "eps": epsilon,
+            "mean_k_star": float(np.mean(optima)),
+            "mean_probes": float(np.mean(probes)),
+            "mean_error_ratio": float(np.mean(ratios)),
+            "max_error_ratio": float(np.max(ratios)),
+            "guarantee": 1 + epsilon,
+        })
+    return rows

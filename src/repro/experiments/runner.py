@@ -1,0 +1,101 @@
+"""Registry and CLI driver for the experiment suite.
+
+``python -m repro.experiments.runner [name ...]`` prints the table of every
+requested experiment (all of them by default).  The same registry backs the
+``repro-monotone experiment`` CLI subcommand and the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict, List, Sequence
+
+from .._util import format_table
+
+__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+
+
+def _registry() -> Dict[str, Callable[..., List[dict]]]:
+    from . import (
+        ablations,
+        active_scaling,
+        baseline_comparison,
+        confidence,
+        entity_matching_exp,
+        figure1,
+        flow_backends,
+        lowerbound_exp,
+        passive_scaling,
+        poset_scaling,
+        recursion_geometry,
+        robustness,
+        width_profile,
+    )
+
+    return {
+        "figure1": figure1.run,
+        "passive_scaling": passive_scaling.run,
+        "active_scaling": active_scaling.run,
+        "baseline_comparison": baseline_comparison.run,
+        "lowerbound": lowerbound_exp.run,
+        "poset_scaling": poset_scaling.run,
+        "flow_backends": flow_backends.run,
+        "entity_matching": entity_matching_exp.run,
+        "confidence": confidence.run,
+        "robustness": robustness.run,
+        "recursion_geometry": recursion_geometry.run,
+        "width_profile": width_profile.run,
+        "ablations": ablations.run,
+    }
+
+
+EXPERIMENTS: Dict[str, Callable[..., List[dict]]] = _registry()
+
+
+def run_experiment(name: str, **params) -> List[dict]:
+    """Run a registered experiment by name, returning its table rows."""
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(**params)
+
+
+def main(argv: Sequence[str] = None) -> int:
+    """Print the tables of the requested experiments (default: all)."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    names = argv or list(EXPERIMENTS)
+    for name in names:
+        if name not in EXPERIMENTS:
+            print(f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}")
+            return 2
+    for name in names:
+        module = sys.modules[EXPERIMENTS[name].__module__]
+        title = getattr(module, "TITLE", name)
+        print(f"\n=== {title} ===")
+        rows = EXPERIMENTS[name]()
+        for group in group_rows_by_schema(rows):
+            print(format_table(group))
+            print()
+    return 0
+
+
+def group_rows_by_schema(rows: List[dict]) -> List[List[dict]]:
+    """Split heterogeneous rows into runs sharing the same column set.
+
+    Experiments like the ablations return rows with different schemas;
+    printing them in one table would blank out the differing columns.
+    """
+    groups: List[List[dict]] = []
+    for row in rows:
+        if groups and set(groups[-1][0].keys()) == set(row.keys()):
+            groups[-1].append(row)
+        else:
+            groups.append([row])
+    return groups
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,154 @@
+"""Residual flow-network representation shared by all max-flow backends.
+
+Arcs are stored in a flat arc list where each arc and its reverse arc occupy
+adjacent slots (``arc ^ 1`` is the reverse), the classic competitive-
+programming layout that keeps residual updates O(1) and cache-friendly.
+Capacities are floats because Problem 2 weights are positive reals.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple, Tuple
+
+__all__ = ["FlowNetwork", "Arc"]
+
+
+class Arc(NamedTuple):
+    """A directed arc materialized for inspection (not the storage format)."""
+
+    tail: int
+    head: int
+    capacity: float
+    flow: float
+
+
+class FlowNetwork:
+    """A directed graph with capacities, supporting residual operations.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of vertices, identified as ``0 .. num_nodes - 1``.
+
+    Notes
+    -----
+    ``add_edge(u, v, cap)`` creates a forward arc with capacity ``cap`` and a
+    reverse arc with capacity 0.  Backends mutate ``flow`` in place through
+    :meth:`push`; :meth:`reset_flow` restores the zero flow so one network
+    can be solved by several backends (used by the cross-check tests).
+    """
+
+    __slots__ = ("num_nodes", "heads", "caps", "flows", "adjacency", "_tails")
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes < 0:
+            raise ValueError("num_nodes must be non-negative")
+        self.num_nodes = num_nodes
+        self.heads: List[int] = []
+        self.caps: List[float] = []
+        self.flows: List[float] = []
+        self._tails: List[int] = []
+        self.adjacency: List[List[int]] = [[] for _ in range(num_nodes)]
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_node(self) -> int:
+        """Append a new vertex and return its id."""
+        self.adjacency.append([])
+        self.num_nodes += 1
+        return self.num_nodes - 1
+
+    def add_edge(self, u: int, v: int, capacity: float) -> int:
+        """Add a directed edge ``u -> v``; returns the forward arc id."""
+        self._check_node(u)
+        self._check_node(v)
+        if capacity < 0:
+            raise ValueError(f"capacity must be non-negative; got {capacity}")
+        arc_id = len(self.heads)
+        # Forward arc.
+        self.heads.append(v)
+        self.caps.append(float(capacity))
+        self.flows.append(0.0)
+        self._tails.append(u)
+        self.adjacency[u].append(arc_id)
+        # Reverse arc.
+        self.heads.append(u)
+        self.caps.append(0.0)
+        self.flows.append(0.0)
+        self._tails.append(v)
+        self.adjacency[v].append(arc_id + 1)
+        return arc_id
+
+    def _check_node(self, u: int) -> None:
+        if not 0 <= u < self.num_nodes:
+            raise ValueError(f"vertex {u} outside [0, {self.num_nodes})")
+
+    # ------------------------------------------------------------------
+    # Residual operations
+    # ------------------------------------------------------------------
+
+    def residual(self, arc: int) -> float:
+        """Residual capacity of an arc (forward or reverse)."""
+        return self.caps[arc] - self.flows[arc]
+
+    def push(self, arc: int, amount: float) -> None:
+        """Push ``amount`` units along ``arc``, updating the reverse arc."""
+        self.flows[arc] += amount
+        self.flows[arc ^ 1] -= amount
+
+    def reset_flow(self) -> None:
+        """Zero out all flows (keeps topology and capacities)."""
+        self.flows = [0.0] * len(self.flows)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_edges(self) -> int:
+        """Number of original (forward) edges."""
+        return len(self.heads) // 2
+
+    def forward_arcs(self) -> Iterator[Tuple[int, Arc]]:
+        """Iterate ``(arc_id, Arc)`` over the original forward edges."""
+        for arc_id in range(0, len(self.heads), 2):
+            yield arc_id, Arc(
+                tail=self._tails[arc_id],
+                head=self.heads[arc_id],
+                capacity=self.caps[arc_id],
+                flow=self.flows[arc_id],
+            )
+
+    def flow_value(self, source: int) -> float:
+        """Net flow leaving ``source`` (the value of the current flow)."""
+        total = 0.0
+        for arc_id in self.adjacency[source]:
+            total += self.flows[arc_id]
+        return total
+
+    def check_flow_conservation(self, source: int, sink: int,
+                                tol: float = 1e-9) -> bool:
+        """Verify capacity and conservation constraints of the current flow.
+
+        Used by property tests: every flow a backend produces must be
+        feasible regardless of its value.
+        """
+        for arc_id in range(0, len(self.heads), 2):
+            if self.flows[arc_id] < -tol or self.flows[arc_id] > self.caps[arc_id] + tol:
+                return False
+        excess = [0.0] * self.num_nodes
+        for arc_id in range(0, len(self.heads), 2):
+            tail, head = self._tails[arc_id], self.heads[arc_id]
+            excess[tail] -= self.flows[arc_id]
+            excess[head] += self.flows[arc_id]
+        for node in range(self.num_nodes):
+            if node in (source, sink):
+                continue
+            if abs(excess[node]) > tol:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"FlowNetwork(num_nodes={self.num_nodes}, num_edges={self.num_edges})"

@@ -1,0 +1,90 @@
+"""Capacity-scaling max-flow (``O(E^2 log U)``), the fourth backend.
+
+Ford–Fulkerson with a scaling parameter Δ: only augment along paths whose
+residual bottleneck is at least Δ, halving Δ when no such path remains.
+For the real-valued capacities of the passive reduction we scale from the
+largest capacity down to a relative epsilon, then finish with plain
+augmentation to exactness — so the final flow is maximum, not
+approximate, and agrees with the other three backends to machine
+precision (property-tested).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List
+
+from .graph import FlowNetwork
+
+__all__ = ["capacity_scaling_max_flow"]
+
+_EPS = 1e-12
+
+
+def _augment_once(network: FlowNetwork, source: int, sink: int,
+                  delta: float) -> float:
+    """One BFS augmentation using only residual arcs >= delta; 0 if none."""
+    heads = network.heads
+    caps = network.caps
+    flows = network.flows
+    adjacency = network.adjacency
+    n = network.num_nodes
+
+    parent_arc: List[int] = [-1] * n
+    parent_arc[source] = -2
+    queue: deque = deque([source])
+    while queue:
+        u = queue.popleft()
+        if u == sink:
+            break
+        for arc in adjacency[u]:
+            v = heads[arc]
+            if parent_arc[v] == -1 and caps[arc] - flows[arc] >= delta:
+                parent_arc[v] = arc
+                queue.append(v)
+    if parent_arc[sink] == -1:
+        return 0.0
+
+    bottleneck = float("inf")
+    v = sink
+    while v != source:
+        arc = parent_arc[v]
+        bottleneck = min(bottleneck, caps[arc] - flows[arc])
+        v = heads[arc ^ 1]
+    v = sink
+    while v != source:
+        arc = parent_arc[v]
+        network.push(arc, bottleneck)
+        v = heads[arc ^ 1]
+    return bottleneck
+
+
+def capacity_scaling_max_flow(network: FlowNetwork, source: int,
+                              sink: int) -> float:
+    """Compute a maximum flow from ``source`` to ``sink`` in place."""
+    network._check_node(source)
+    network._check_node(sink)
+    if source == sink:
+        raise ValueError("source and sink must differ")
+
+    max_capacity = max((c for c in network.caps if c > 0), default=0.0)
+    if max_capacity <= 0:
+        return 0.0
+
+    total = 0.0
+    delta = max_capacity
+    floor = max(max_capacity * 1e-12, _EPS)
+    while delta >= floor:
+        while True:
+            pushed = _augment_once(network, source, sink, delta)
+            if pushed <= 0:
+                break
+            total += pushed
+        delta /= 2.0
+    # Exactness pass: plain augmentation over any positive residual.
+    while True:
+        pushed = _augment_once(network, source, sink, _EPS)
+        if pushed <= 0:
+            break
+        total += pushed
+    return total

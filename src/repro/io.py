@@ -1,0 +1,88 @@
+"""Serialization of point sets: CSV and JSON round trips.
+
+CSV layout: one point per row with columns ``x0 .. x{d-1}, label, weight``
+(label ``-1`` = hidden).  JSON layout mirrors the columnar structure of
+:class:`~repro.core.points.PointSet`.  Both formats preserve labels,
+weights, and (JSON only) point names exactly.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .core.points import PointSet
+
+__all__ = ["save_csv", "load_csv", "save_json", "load_json"]
+
+PathLike = Union[str, Path]
+
+
+def save_csv(points: PointSet, path: PathLike) -> None:
+    """Write a point set to CSV with a header row."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        header = [f"x{i}" for i in range(points.dim)] + ["label", "weight"]
+        writer.writerow(header)
+        for i in range(points.n):
+            row = [repr(float(c)) for c in points.coords[i]]
+            row.append(int(points.labels[i]))
+            row.append(repr(float(points.weights[i])))
+            writer.writerow(row)
+
+
+def load_csv(path: PathLike) -> PointSet:
+    """Read a point set previously written by :func:`save_csv`."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        if len(header) < 3 or header[-2] != "label" or header[-1] != "weight":
+            raise ValueError(
+                f"{path}: expected columns 'x0..x{{d-1}}, label, weight'; got {header}"
+            )
+        dim = len(header) - 2
+        coords, labels, weights = [], [], []
+        for lineno, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != dim + 2:
+                raise ValueError(f"{path}:{lineno}: expected {dim + 2} fields, got {len(row)}")
+            coords.append([float(v) for v in row[:dim]])
+            labels.append(int(row[dim]))
+            weights.append(float(row[dim + 1]))
+    if not coords:
+        return PointSet(np.empty((0, dim)), [], [])
+    return PointSet(coords, labels, weights)
+
+
+def save_json(points: PointSet, path: PathLike) -> None:
+    """Write a point set to JSON (coords/labels/weights/names)."""
+    path = Path(path)
+    payload = {
+        "dim": points.dim,
+        "coords": points.coords.tolist(),
+        "labels": points.labels.tolist(),
+        "weights": points.weights.tolist(),
+        "names": list(points.names) if points.names is not None else None,
+    }
+    path.write_text(json.dumps(payload, indent=1))
+
+
+def load_json(path: PathLike) -> PointSet:
+    """Read a point set previously written by :func:`save_json`."""
+    payload = json.loads(Path(path).read_text())
+    required = {"dim", "coords", "labels", "weights"}
+    missing = required - payload.keys()
+    if missing:
+        raise ValueError(f"{path}: missing keys {sorted(missing)}")
+    coords = np.asarray(payload["coords"], dtype=float)
+    if coords.size == 0:
+        coords = coords.reshape(0, payload["dim"])
+    return PointSet(coords, payload["labels"], payload["weights"],
+                    names=payload.get("names"))

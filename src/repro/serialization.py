@@ -1,0 +1,115 @@
+"""Classifier serialization: save and load trained monotone classifiers.
+
+A downstream system trains once (possibly paying for labels) and serves
+the classifier elsewhere; this module round-trips every classifier family
+in the package through a versioned JSON envelope:
+
+* :class:`~repro.core.classifier.ThresholdClassifier`
+* :class:`~repro.core.classifier.UpsetClassifier`
+* :class:`~repro.core.classifier.ConstantClassifier`
+* :class:`~repro.core.exceptions_variant.ExceptionAugmentedClassifier`
+
+``+/-inf`` thresholds are encoded as strings ("inf"/"-inf") because JSON
+has no infinities.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Union
+
+from .core.classifier import (
+    ConstantClassifier,
+    MonotoneClassifier,
+    ThresholdClassifier,
+    UpsetClassifier,
+)
+from .core.exceptions_variant import ExceptionAugmentedClassifier
+
+__all__ = ["classifier_to_dict", "classifier_from_dict",
+           "save_classifier", "load_classifier"]
+
+_FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+AnyClassifier = Union[MonotoneClassifier, ExceptionAugmentedClassifier]
+
+
+def _encode_float(value: float):
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    return value
+
+
+def _decode_float(value) -> float:
+    if value == "inf":
+        return float("inf")
+    if value == "-inf":
+        return float("-inf")
+    return float(value)
+
+
+def classifier_to_dict(classifier: AnyClassifier) -> dict:
+    """Encode a classifier as a JSON-safe dict."""
+    if isinstance(classifier, ConstantClassifier):
+        body = {"kind": "constant", "value": classifier.value}
+    elif isinstance(classifier, ThresholdClassifier):
+        body = {
+            "kind": "threshold",
+            "tau": _encode_float(classifier.tau),
+            "dim": classifier.dim,
+        }
+    elif isinstance(classifier, UpsetClassifier):
+        body = {
+            "kind": "upset",
+            "dim": int(classifier.anchors.shape[1]),
+            "anchors": classifier.anchors.tolist(),
+        }
+    elif isinstance(classifier, ExceptionAugmentedClassifier):
+        body = {
+            "kind": "with_exceptions",
+            "base": classifier_to_dict(classifier.base),
+            "exceptions": [
+                {"coords": list(coords), "label": label}
+                for coords, label in sorted(classifier.exceptions.items())
+            ],
+        }
+    else:
+        raise TypeError(f"cannot serialize classifier of type {type(classifier)!r}")
+    body["format_version"] = _FORMAT_VERSION
+    return body
+
+
+def classifier_from_dict(payload: dict) -> AnyClassifier:
+    """Decode a classifier from :func:`classifier_to_dict` output."""
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported classifier format version: {version!r}")
+    kind = payload.get("kind")
+    if kind == "constant":
+        return ConstantClassifier(int(payload["value"]))
+    if kind == "threshold":
+        return ThresholdClassifier(_decode_float(payload["tau"]),
+                                   dim=int(payload["dim"]))
+    if kind == "upset":
+        return UpsetClassifier(payload["anchors"], dim=int(payload["dim"]))
+    if kind == "with_exceptions":
+        base = classifier_from_dict(payload["base"])
+        exceptions = {
+            tuple(float(c) for c in item["coords"]): int(item["label"])
+            for item in payload["exceptions"]
+        }
+        return ExceptionAugmentedClassifier(base, exceptions)
+    raise ValueError(f"unknown classifier kind: {kind!r}")
+
+
+def save_classifier(classifier: AnyClassifier, path: PathLike) -> None:
+    """Write a classifier to a JSON file."""
+    Path(path).write_text(json.dumps(classifier_to_dict(classifier), indent=1))
+
+
+def load_classifier(path: PathLike) -> AnyClassifier:
+    """Read a classifier previously written by :func:`save_classifier`."""
+    return classifier_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,23 @@
+"""Sampling and estimation substrate (paper Section 2, Lemma 5, Appendix A)."""
+
+from .chernoff import (
+    chernoff_two_sided_bound,
+    chernoff_upper_tail_bound,
+    lemma5_case_sample_size,
+)
+from .estimation import (
+    SamplingPlan,
+    estimate_count,
+    lemma5_sample_size,
+    sample_with_replacement,
+)
+
+__all__ = [
+    "SamplingPlan",
+    "lemma5_sample_size",
+    "sample_with_replacement",
+    "estimate_count",
+    "chernoff_two_sided_bound",
+    "chernoff_upper_tail_bound",
+    "lemma5_case_sample_size",
+]

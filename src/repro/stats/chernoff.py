@@ -1,0 +1,93 @@
+"""Chernoff bounds used in the paper's Appendix A (proof of Lemma 5).
+
+The appendix invokes two standard forms for i.i.d. Bernoulli(mu) variables
+``X_1..X_t`` (eqs. (35) and (36) of the paper):
+
+* multiplicative two-sided, for ``gamma in (0, 1]``:
+  ``Pr[|mu - mean| >= gamma mu] <= 2 exp(-gamma^2 t mu / 3)``;
+* upper-tail, for ``gamma >= 0``:
+  ``Pr[mean >= (1+gamma) mu] <= exp(-gamma^2 t mu / (2 + gamma))``.
+
+This module exposes those bounds (probability of deviation, and the sample
+size inverting each), mirroring the appendix's two-case analysis:
+``mu >= phi`` uses the two-sided form, ``mu < phi`` the upper tail.  The
+tests verify both bounds empirically by Monte Carlo and check that
+:func:`repro.stats.estimation.lemma5_sample_size` dominates the per-case
+requirements derived here.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "chernoff_two_sided_bound",
+    "chernoff_upper_tail_bound",
+    "two_sided_sample_size",
+    "upper_tail_sample_size",
+    "lemma5_case_sample_size",
+]
+
+
+def chernoff_two_sided_bound(gamma: float, t: int, mu: float) -> float:
+    """Eq. (35): ``Pr[|mu - mean| >= gamma mu] <= 2 exp(-gamma^2 t mu / 3)``."""
+    if not 0 < gamma <= 1:
+        raise ValueError(f"gamma must be in (0, 1]; got {gamma}")
+    if t < 1:
+        raise ValueError("t must be a positive integer")
+    if not 0 <= mu <= 1:
+        raise ValueError(f"mu must be in [0, 1]; got {mu}")
+    return min(1.0, 2.0 * math.exp(-(gamma * gamma) * t * mu / 3.0))
+
+
+def chernoff_upper_tail_bound(gamma: float, t: int, mu: float) -> float:
+    """Eq. (36): ``Pr[mean >= (1+gamma) mu] <= exp(-gamma^2 t mu / (2+gamma))``."""
+    if gamma < 0:
+        raise ValueError(f"gamma must be non-negative; got {gamma}")
+    if t < 1:
+        raise ValueError("t must be a positive integer")
+    if not 0 <= mu <= 1:
+        raise ValueError(f"mu must be in [0, 1]; got {mu}")
+    if gamma == 0:
+        return 1.0
+    return min(1.0, math.exp(-(gamma * gamma) * t * mu / (2.0 + gamma)))
+
+
+def two_sided_sample_size(phi: float, delta: float, mu: float) -> int:
+    """Case 1 of the appendix (``mu >= phi``): t making eq. (35) <= delta.
+
+    With ``gamma = phi / mu``, the bound is at most ``delta`` once
+    ``t >= (3 mu / phi^2) ln(2 / delta)``.
+    """
+    if not 0 < phi <= mu <= 1:
+        raise ValueError("case 1 requires 0 < phi <= mu <= 1")
+    if not 0 < delta < 1:
+        raise ValueError("delta must be in (0, 1)")
+    return int(math.ceil((3.0 * mu / (phi * phi)) * math.log(2.0 / delta)))
+
+
+def upper_tail_sample_size(phi: float, delta: float, mu: float) -> int:
+    """Case 2 of the appendix (``mu < phi``): t making eq. (36) <= delta.
+
+    With ``gamma = phi / mu``, the bound is at most ``delta`` once
+    ``t >= ((2 mu + phi) / phi^2) ln(1 / delta) <= (3 / phi) ln(1 / delta)``.
+    """
+    if not 0 < mu < phi <= 1:
+        raise ValueError("case 2 requires 0 < mu < phi <= 1")
+    if not 0 < delta < 1:
+        raise ValueError("delta must be in (0, 1)")
+    return int(math.ceil(((2.0 * mu + phi) / (phi * phi)) * math.log(1.0 / delta)))
+
+
+def lemma5_case_sample_size(phi: float, delta: float, mu: float) -> int:
+    """The appendix's case split, as one function.
+
+    Returns the sample size the relevant Chernoff form demands for absolute
+    error ``phi`` at confidence ``1 - delta``, given the true mean ``mu``.
+    Always at most the distribution-free Lemma 5 prescription.
+    """
+    if mu >= phi:
+        return two_sided_sample_size(phi, delta, mu)
+    if mu > 0:
+        return upper_tail_sample_size(phi, delta, mu)
+    return 1  # mu = 0: the empirical mean is deterministically 0

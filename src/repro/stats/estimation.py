@@ -1,0 +1,125 @@
+"""Bernoulli estimation with absolute-error guarantees (paper Lemma 5).
+
+Lemma 5: for i.i.d. Bernoulli(mu) variables ``X_1..X_t``, the empirical mean
+deviates from ``mu`` by at least ``phi`` with probability at most ``delta``
+as long as ``t >= ceil(max(mu/phi^2, 1/phi) * 3 ln(2/delta))``.
+
+Consequently (Section 2), sampling ``t = O((1/phi^2) log(1/delta))`` points
+of ``P`` with replacement estimates the count of points satisfying any fixed
+predicate up to absolute error ``phi * n`` — in particular it estimates
+``err_P(h)`` for one classifier ``h``.
+
+The proof constants make literal sample sizes enormous (the recursion
+targets ``phi = eps/256``), so :class:`SamplingPlan` exposes a ``theory``
+profile with the exact constants and a ``practical`` default whose constants
+are small; the guarantee tests measure the practical profile empirically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .._util import RngLike, as_generator
+
+__all__ = [
+    "lemma5_sample_size",
+    "SamplingPlan",
+    "sample_with_replacement",
+    "estimate_count",
+]
+
+
+def lemma5_sample_size(phi: float, delta: float, mu_upper: float = 1.0) -> int:
+    """Sample size prescribed by Lemma 5 for absolute error ``phi``.
+
+    Parameters
+    ----------
+    phi:
+        Target absolute error of the empirical mean, in ``(0, 1]``.
+    delta:
+        Failure probability, in ``(0, 1]``.
+    mu_upper:
+        Known upper bound on the Bernoulli mean ``mu`` (1 when unknown).
+        The lemma's bound is monotone in ``mu``, so any valid upper bound
+        yields a valid sample size.
+    """
+    if not 0 < phi <= 1:
+        raise ValueError(f"phi must be in (0, 1]; got {phi}")
+    if not 0 < delta <= 1:
+        raise ValueError(f"delta must be in (0, 1]; got {delta}")
+    if not 0 < mu_upper <= 1:
+        raise ValueError(f"mu_upper must be in (0, 1]; got {mu_upper}")
+    factor = max(mu_upper / (phi * phi), 1.0 / phi)
+    return int(math.ceil(factor * 3.0 * math.log(2.0 / delta)))
+
+
+@dataclass(frozen=True)
+class SamplingPlan:
+    """Policy object converting (epsilon, delta, |P|) into sample sizes.
+
+    ``profile='theory'`` reproduces the proof constants of Sections 3.2-3.4
+    (absolute error target ``eps/256`` per estimator).  ``profile='practical'``
+    (the default everywhere) scales sample sizes by ``practical_constant /
+    (eps^2)`` times the same logarithmic term, preserving the *shape*
+    ``O((1/eps^2) log(|P| h / delta))`` while keeping experiments feasible.
+
+    ``max_fraction`` caps a level's sample at that fraction of the current
+    subproblem — beyond it, probing the whole subproblem is strictly better,
+    and the 1-D recursion does exactly that.
+    """
+
+    profile: str = "practical"
+    practical_constant: float = 6.0
+    max_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.profile not in ("theory", "practical"):
+            raise ValueError(f"profile must be 'theory' or 'practical'; got {self.profile!r}")
+        if self.practical_constant <= 0:
+            raise ValueError("practical_constant must be positive")
+        if not 0 < self.max_fraction <= 1:
+            raise ValueError("max_fraction must be in (0, 1]")
+
+    def level_sample_size(self, epsilon: float, delta: float, population: int,
+                          levels: int) -> int:
+        """Sample size for one estimator (g1 or g2) at one recursion level.
+
+        Matches Section 3.4: ``O((1/eps^2) * log(|P| h / delta))`` where
+        ``h`` is the recursion depth bound, union-bounded over the
+        ``|P| + 1`` effective classifiers and both estimators.
+        """
+        if population <= 0:
+            return 0
+        log_term = math.log(max(2.0, 2.0 * (population + 1) * max(1, levels) / delta))
+        if self.profile == "theory":
+            phi = epsilon / 256.0
+            per_classifier_delta = delta / (2.0 * max(1, levels) * (population + 1))
+            return lemma5_sample_size(phi, per_classifier_delta)
+        size = int(math.ceil(self.practical_constant / (epsilon * epsilon) * log_term))
+        return max(1, size)
+
+
+def sample_with_replacement(population: Sequence[int], size: int,
+                            rng: RngLike = None) -> np.ndarray:
+    """Draw ``size`` elements of ``population`` uniformly with replacement."""
+    gen = as_generator(rng)
+    pop = np.asarray(population)
+    if len(pop) == 0:
+        raise ValueError("cannot sample from an empty population")
+    picks = gen.integers(0, len(pop), size=size)
+    return pop[picks]
+
+
+def estimate_count(sample_hits: int, sample_size: int, population: int) -> float:
+    """Scale a sample count up to a population count (Section 2).
+
+    If ``x`` of ``t`` sampled points satisfy the predicate, ``(x/t) * n``
+    estimates the number of satisfying points up to ``phi * n``.
+    """
+    if sample_size <= 0:
+        raise ValueError("sample_size must be positive")
+    return (sample_hits / sample_size) * population

@@ -1,0 +1,241 @@
+"""Tests for the 1-D active framework (repro.core.active_1d, Section 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import LabelOracle, PointSet, error_count, solve_passive_1d
+from repro.core.active_1d import (
+    BASE_CASE_SIZE,
+    LevelTrace,
+    WeightedSample,
+    _empirical_threshold_errors,
+    active_classify_1d,
+    build_weighted_sample_1d,
+)
+from repro.datasets.synthetic import planted_threshold_1d
+from repro.stats.estimation import SamplingPlan
+
+
+class TestWeightedSample:
+    def test_accumulates_weight(self):
+        sigma = WeightedSample()
+        sigma.add(3, 1.5, 1)
+        sigma.add(3, 2.5, 1)
+        assert sigma.weights[3] == 4.0
+        assert sigma.size == 1
+        assert sigma.total_weight == 4.0
+
+    def test_merge(self):
+        a, b = WeightedSample(), WeightedSample()
+        a.add(0, 1.0, 0)
+        b.add(0, 2.0, 0)
+        b.add(1, 3.0, 1)
+        a.merge(b)
+        assert a.weights == {0: 3.0, 1: 3.0}
+
+    def test_arrays_sorted_by_index(self):
+        sigma = WeightedSample()
+        sigma.add(5, 1.0, 1)
+        sigma.add(2, 2.0, 0)
+        indices, weights, labels = sigma.arrays()
+        assert list(indices) == [2, 5]
+        assert list(weights) == [2.0, 1.0]
+        assert list(labels) == [0, 1]
+
+
+class TestEmpiricalThresholdErrors:
+    def test_counts(self):
+        values = np.array([1.0, 2.0, 3.0])
+        labels = np.array([0, 1, 1], dtype=np.int8)
+        taus, errors = _empirical_threshold_errors(values, labels)
+        assert list(taus) == [float("-inf"), 1.0, 2.0, 3.0]
+        assert list(errors) == [1.0, 0.0, 1.0, 2.0]
+
+    def test_multiset_duplicates(self):
+        values = np.array([1.0, 1.0, 2.0])
+        labels = np.array([1, 0, 1], dtype=np.int8)
+        taus, errors = _empirical_threshold_errors(values, labels)
+        assert list(taus) == [float("-inf"), 1.0, 2.0]
+        # tau=-inf: errs on the 0; tau=1: errs on the two... one 1 at value 1.
+        assert list(errors) == [1.0, 1.0, 2.0]
+
+
+class TestBaseCases:
+    def test_tiny_input_probes_everything(self):
+        n = BASE_CASE_SIZE
+        ps = planted_threshold_1d(n, rng=0)
+        oracle = LabelOracle(ps)
+        result = active_classify_1d(ps.with_hidden_labels(), oracle, epsilon=0.5, rng=0)
+        assert result.probing_cost == n
+        # Sigma is exactly the full population with unit weights.
+        assert result.sigma.size == n
+        assert all(w == 1.0 for w in result.sigma.weights.values())
+        # And the answer is therefore exactly optimal.
+        assert error_count(ps, result.classifier) == \
+            solve_passive_1d(ps).optimal_error
+
+    def test_empty_input(self):
+        ps = PointSet(np.empty((0, 1)), [], [])
+        oracle = LabelOracle(PointSet([(0.0,)], [0]))
+        result = active_classify_1d(ps, oracle, epsilon=0.5)
+        assert result.probing_cost == 0
+
+    def test_requires_1d(self, tiny_2d):
+        oracle = LabelOracle(tiny_2d)
+        with pytest.raises(ValueError):
+            active_classify_1d(tiny_2d.with_hidden_labels(), oracle, epsilon=0.5)
+
+    def test_epsilon_validation(self):
+        ps = planted_threshold_1d(10, rng=0)
+        oracle = LabelOracle(ps)
+        for eps in (0.0, -1.0, 1.5):
+            with pytest.raises(ValueError):
+                active_classify_1d(ps.with_hidden_labels(), oracle, epsilon=eps)
+
+    def test_delta_validation(self):
+        ps = planted_threshold_1d(10, rng=0)
+        oracle = LabelOracle(ps)
+        with pytest.raises(ValueError):
+            active_classify_1d(ps.with_hidden_labels(), oracle, epsilon=0.5, delta=2.0)
+
+
+class TestGuarantees:
+    def test_sublinear_probing_on_large_input(self):
+        n = 60_000
+        ps = planted_threshold_1d(n, noise=0.05, rng=1)
+        oracle = LabelOracle(ps)
+        result = active_classify_1d(ps.with_hidden_labels(), oracle,
+                                    epsilon=1.0, rng=2)
+        assert result.probing_cost < n // 4
+        assert result.probing_cost == oracle.cost
+
+    def test_error_guarantee_across_seeds(self):
+        """err <= (1 + eps) k* should hold for (nearly) every seed."""
+        n, eps = 20_000, 0.5
+        ps = planted_threshold_1d(n, noise=0.1, rng=3)
+        optimum = solve_passive_1d(ps).optimal_error
+        failures = 0
+        for seed in range(10):
+            oracle = LabelOracle(ps)
+            result = active_classify_1d(ps.with_hidden_labels(), oracle,
+                                        epsilon=eps, rng=seed)
+            err = error_count(ps, result.classifier)
+            if err > (1 + eps) * optimum:
+                failures += 1
+        assert failures == 0
+
+    def test_zero_noise_finds_optimal(self):
+        ps = planted_threshold_1d(20_000, noise=0.0, rng=4)
+        oracle = LabelOracle(ps)
+        result = active_classify_1d(ps.with_hidden_labels(), oracle,
+                                    epsilon=0.5, rng=5)
+        assert error_count(ps, result.classifier) == 0
+
+    def test_probing_grows_with_inverse_epsilon(self):
+        ps = planted_threshold_1d(100_000, noise=0.05, rng=6)
+        costs = {}
+        for eps in (1.0, 0.25):
+            oracle = LabelOracle(ps)
+            result = active_classify_1d(ps.with_hidden_labels(), oracle,
+                                        epsilon=eps, rng=7)
+            costs[eps] = result.probing_cost
+        assert costs[0.25] > 3 * costs[1.0]
+
+    def test_sigma_error_is_certificate(self):
+        """The returned classifier minimizes w-err over Sigma (Lemma 13)."""
+        ps = planted_threshold_1d(5_000, noise=0.1, rng=8)
+        oracle = LabelOracle(ps)
+        result = active_classify_1d(ps.with_hidden_labels(), oracle,
+                                    epsilon=0.5, rng=9)
+        indices, weights, labels = result.sigma.arrays()
+        sigma_ps = PointSet(ps.coords[indices], labels, weights)
+        exact = solve_passive_1d(sigma_ps).optimal_error
+        assert result.sigma_error == pytest.approx(exact)
+
+    def test_all_labels_constant(self):
+        """Degenerate inputs (all 0 / all 1) are handled and solved exactly."""
+        for label in (0, 1):
+            ps = PointSet(np.linspace(0, 1, 2_000).reshape(-1, 1),
+                          [label] * 2_000)
+            oracle = LabelOracle(ps)
+            result = active_classify_1d(ps.with_hidden_labels(), oracle,
+                                        epsilon=0.5, rng=10)
+            assert error_count(ps, result.classifier) == 0
+
+    def test_probes_only_what_oracle_charges(self):
+        ps = planted_threshold_1d(10_000, noise=0.05, rng=11)
+        oracle = LabelOracle(ps)
+        result = active_classify_1d(ps.with_hidden_labels(), oracle,
+                                    epsilon=0.8, rng=12)
+        assert result.probing_cost == oracle.cost
+        # Every point in Sigma must actually have been probed.
+        for idx, label in result.sigma.labels.items():
+            assert oracle.peek(idx) == label
+
+
+class TestLevelTrace:
+    def test_trace_records_every_level(self):
+        ps = planted_threshold_1d(30_000, noise=0.1, rng=17)
+        oracle = LabelOracle(ps)
+        result = active_classify_1d(ps.with_hidden_labels(), oracle,
+                                    epsilon=0.5, rng=18)
+        assert len(result.trace) == result.levels
+        assert result.trace[0].population == 30_000
+        assert result.trace[-1].kind in ("base", "no-window", "degenerate")
+
+    def test_shrink_levels_obey_lemma10(self):
+        """Lemma 10: |P'| <= (5/8)|P| at every shrink level (whp)."""
+        failures = 0
+        total = 0
+        for seed in range(10):
+            ps = planted_threshold_1d(40_000, noise=0.08, rng=seed)
+            oracle = LabelOracle(ps)
+            result = active_classify_1d(ps.with_hidden_labels(), oracle,
+                                        epsilon=0.5, rng=seed + 100)
+            for level in result.trace:
+                if level.kind == "shrink":
+                    total += 1
+                    if level.shrink_factor > 5 / 8:
+                        failures += 1
+        assert total > 10  # the sweep actually exercised shrink levels
+        assert failures <= max(1, total // 20)  # whp, allow rare excursions
+
+    def test_populations_decrease_along_trace(self):
+        ps = planted_threshold_1d(20_000, noise=0.1, rng=19)
+        oracle = LabelOracle(ps)
+        result = active_classify_1d(ps.with_hidden_labels(), oracle,
+                                    epsilon=1.0, rng=20)
+        populations = [level.population for level in result.trace]
+        assert populations == sorted(populations, reverse=True)
+
+    def test_shrink_factor_none_for_base(self):
+        trace = LevelTrace(depth=0, population=10, sample_size=10, kind="base")
+        assert trace.shrink_factor is None
+
+
+class TestBuildWeightedSample:
+    def test_respects_global_indices(self):
+        ps = planted_threshold_1d(200, noise=0.1, rng=13)
+        oracle = LabelOracle(ps)
+        # Feed only the even-indexed points as the subproblem.
+        subset = np.arange(0, 200, 2)
+        sigma, _levels, _trace = build_weighted_sample_1d(
+            ps.coords[subset, 0], subset, oracle, epsilon=0.5, delta=0.01, rng=14)
+        assert set(sigma.weights) <= set(subset.tolist())
+
+    def test_length_mismatch_rejected(self):
+        ps = planted_threshold_1d(10, rng=0)
+        oracle = LabelOracle(ps)
+        with pytest.raises(ValueError):
+            build_weighted_sample_1d([0.0, 1.0], [0], oracle, 0.5, 0.1)
+
+    def test_theory_profile_runs(self):
+        """The proof-constant profile is usable (it just probes everything)."""
+        ps = planted_threshold_1d(500, noise=0.1, rng=15)
+        oracle = LabelOracle(ps)
+        result = active_classify_1d(ps.with_hidden_labels(), oracle, epsilon=0.5,
+                                    plan=SamplingPlan(profile="theory"), rng=16)
+        assert error_count(ps, result.classifier) == \
+            solve_passive_1d(ps).optimal_error

@@ -1,0 +1,86 @@
+"""Statistical quality of the baselines — the Section 1.2 claims, measured.
+
+Each baseline carries a qualitative promise; these tests measure it over
+multiple seeds so a single lucky/unlucky run cannot flip the verdict.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import LabelOracle, error_count, solve_passive
+from repro.baselines import (
+    a2_classify,
+    majority_classifier,
+    probe_all_classify,
+    tao2018_classify,
+)
+from repro.datasets.synthetic import width_controlled
+from repro.experiments._common import chainwise_optimum
+
+N, WIDTH, NOISE = 3_000, 4, 0.08
+SEEDS = range(6)
+
+
+def _mean_ratio(method) -> float:
+    ratios = []
+    for seed in SEEDS:
+        points = width_controlled(N, WIDTH, noise=NOISE, rng=seed)
+        optimum = chainwise_optimum(points)
+        oracle = LabelOracle(points)
+        classifier = method(points.with_hidden_labels(), oracle, seed)
+        err = error_count(points, classifier)
+        ratios.append(err / optimum if optimum else 1.0)
+    return float(np.mean(ratios))
+
+
+class TestTao2018Promise:
+    def test_mean_ratio_within_two(self):
+        """[25]'s promise is expected error <= 2 k*; our reconstruction
+        should track that in the mean (individual runs may exceed it)."""
+        ratio = _mean_ratio(
+            lambda hidden, oracle, seed: tao2018_classify(
+                hidden, oracle, rng=seed).classifier)
+        assert ratio <= 2.0
+
+    def test_probes_logarithmic_in_chain_length(self):
+        costs = {}
+        for n in (2_000, 32_000):
+            points = width_controlled(n, WIDTH, noise=NOISE, rng=0)
+            oracle = LabelOracle(points)
+            result = tao2018_classify(points.with_hidden_labels(), oracle,
+                                      rng=1)
+            costs[n] = result.probing_cost
+        # 16x the data should cost ~log-factor more probes, not 16x.
+        assert costs[32_000] <= costs[2_000] + 6 * WIDTH
+
+
+class TestA2Promise:
+    def test_mean_ratio_close_to_one(self):
+        ratio = _mean_ratio(
+            lambda hidden, oracle, seed: a2_classify(
+                hidden, oracle, epsilon=0.5, rng=seed).classifier)
+        assert ratio <= 1.3
+
+
+class TestProbeAllPromise:
+    def test_always_exactly_optimal(self):
+        for seed in SEEDS:
+            points = width_controlled(N, WIDTH, noise=NOISE, rng=seed)
+            oracle = LabelOracle(points)
+            result = probe_all_classify(points.with_hidden_labels(), oracle)
+            assert error_count(points, result.classifier) == \
+                pytest.approx(solve_passive(points).optimal_error)
+
+
+class TestMajorityFloor:
+    def test_majority_is_clearly_worse_than_real_methods(self):
+        """The floor is a floor: real methods beat it decisively."""
+        majority_ratio = _mean_ratio(
+            lambda hidden, oracle, seed: majority_classifier(
+                hidden, oracle, rng=seed))
+        tao_ratio = _mean_ratio(
+            lambda hidden, oracle, seed: tao2018_classify(
+                hidden, oracle, rng=seed).classifier)
+        assert majority_ratio > 2 * tao_ratio

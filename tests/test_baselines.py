@@ -1,0 +1,214 @@
+"""Tests for the baseline algorithms (repro.baselines)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    ConstantClassifier,
+    LabelOracle,
+    PointSet,
+    error_count,
+    solve_passive,
+    solve_passive_1d,
+    weighted_error,
+)
+from repro.baselines import (
+    a2_classify,
+    isotonic_fit,
+    isotonic_threshold_classifier,
+    majority_classifier,
+    pava,
+    probe_all_classify,
+    random_threshold_classifier,
+    tao2018_classify,
+)
+from repro.datasets.synthetic import planted_threshold_1d, width_controlled
+
+
+class TestProbeAll:
+    def test_probes_everything_and_is_optimal(self, tiny_2d):
+        oracle = LabelOracle(tiny_2d)
+        result = probe_all_classify(tiny_2d.with_hidden_labels(), oracle)
+        assert result.probing_cost == tiny_2d.n
+        assert error_count(tiny_2d, result.classifier) == 1
+        assert result.optimal_error == 1.0
+
+    def test_matches_passive_solver(self, rng):
+        from repro.datasets.synthetic import planted_monotone
+
+        ps = planted_monotone(200, 2, noise=0.15, rng=3)
+        oracle = LabelOracle(ps)
+        result = probe_all_classify(ps.with_hidden_labels(), oracle)
+        assert result.optimal_error == \
+            pytest.approx(solve_passive(ps).optimal_error)
+
+
+class TestTao2018:
+    def test_clean_chains_found_exactly(self):
+        """With zero noise the binary search finds the exact boundary."""
+        ps = width_controlled(1_000, 4, noise=0.0, rng=0)
+        oracle = LabelOracle(ps)
+        result = tao2018_classify(ps.with_hidden_labels(), oracle, rng=1)
+        assert error_count(ps, result.classifier) == 0
+        # O(log) probes per chain.
+        assert result.probing_cost < 4 * 14
+
+    def test_probing_is_logarithmic(self):
+        ps = width_controlled(32_000, 4, noise=0.05, rng=1)
+        oracle = LabelOracle(ps)
+        result = tao2018_classify(ps.with_hidden_labels(), oracle, rng=2)
+        assert result.probing_cost < 4 * 20 * 3  # w * log(n/w) * small const
+
+    def test_repeats_increase_cost(self):
+        ps = width_controlled(4_000, 4, noise=0.1, rng=2)
+        costs = {}
+        for repeats in (1, 5):
+            oracle = LabelOracle(ps)
+            result = tao2018_classify(ps.with_hidden_labels(), oracle,
+                                      repeats=repeats, rng=3)
+            costs[repeats] = oracle.total_requests
+        assert costs[5] > costs[1]
+
+    def test_rejects_bad_repeats(self, tiny_2d):
+        oracle = LabelOracle(tiny_2d)
+        with pytest.raises(ValueError):
+            tao2018_classify(tiny_2d.with_hidden_labels(), oracle, repeats=0)
+
+    def test_boundaries_recorded_per_chain(self):
+        ps = width_controlled(100, 5, noise=0.0, rng=4)
+        oracle = LabelOracle(ps)
+        result = tao2018_classify(ps.with_hidden_labels(), oracle, rng=5)
+        assert len(result.boundaries) == result.num_chains == 5
+
+
+class TestA2:
+    def test_runs_and_returns_reasonable_classifier(self):
+        ps = width_controlled(2_000, 4, noise=0.05, rng=5)
+        oracle = LabelOracle(ps)
+        result = a2_classify(ps.with_hidden_labels(), oracle, epsilon=0.5, rng=6)
+        assert result.probing_cost == oracle.cost
+        assert result.rounds >= 1
+        optimum = solve_passive(ps).optimal_error
+        err = error_count(ps, result.classifier)
+        assert err <= max(2.5 * optimum, optimum + 40)
+
+    def test_clean_input_converges(self):
+        ps = width_controlled(1_000, 2, noise=0.0, rng=7)
+        oracle = LabelOracle(ps)
+        result = a2_classify(ps.with_hidden_labels(), oracle, epsilon=0.5,
+                             max_rounds=200, rng=8)
+        assert error_count(ps, result.classifier) <= 2
+
+    def test_epsilon_validation(self, tiny_2d):
+        oracle = LabelOracle(tiny_2d)
+        with pytest.raises(ValueError):
+            a2_classify(tiny_2d.with_hidden_labels(), oracle, epsilon=0.0)
+
+    def test_budget_bounded_by_rounds(self):
+        ps = width_controlled(3_000, 4, noise=0.1, rng=9)
+        oracle = LabelOracle(ps)
+        result = a2_classify(ps.with_hidden_labels(), oracle, epsilon=0.5,
+                             samples_per_round=16, max_rounds=10, rng=10)
+        assert result.probing_cost <= 16 * 10
+
+
+class TestPAVA:
+    def test_already_monotone_unchanged(self):
+        values = np.array([1.0, 2.0, 3.0])
+        fit = pava(values, np.ones(3))
+        assert np.allclose(fit, values)
+
+    def test_decreasing_pools_to_mean(self):
+        fit = pava(np.array([3.0, 1.0]), np.ones(2))
+        assert np.allclose(fit, [2.0, 2.0])
+
+    def test_weighted_pooling(self):
+        fit = pava(np.array([3.0, 0.0]), np.array([3.0, 1.0]))
+        assert np.allclose(fit, [2.25, 2.25])
+
+    def test_output_is_monotone(self, rng):
+        values = rng.random(100)
+        weights = rng.random(100) + 0.1
+        fit = pava(values, weights)
+        assert (np.diff(fit) >= -1e-12).all()
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            pava(np.array([1.0]), np.array([0.0]))
+        with pytest.raises(ValueError):
+            pava(np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_empty(self):
+        assert pava(np.array([]), np.array([])).size == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(0, 1, allow_nan=False), min_size=1, max_size=30))
+    def test_pava_is_l2_projection(self, values):
+        """Property: no single-block perturbation improves the L2 fit."""
+        arr = np.asarray(values)
+        fit = pava(arr, np.ones(len(arr)))
+        assert (np.diff(fit) >= -1e-9).all()
+        base = float(((fit - arr) ** 2).sum())
+        # Block means property: the fit of each constant block equals the
+        # mean of its values (first-order optimality).
+        start = 0
+        for end in range(1, len(fit) + 1):
+            if end == len(fit) or fit[end] != fit[start]:
+                block_mean = arr[start:end].mean()
+                assert fit[start] == pytest.approx(block_mean)
+                start = end
+        assert base >= 0
+
+
+class TestIsotonicClassifier:
+    def test_matches_exact_1d_solver(self, rng):
+        ps = planted_threshold_1d(400, noise=0.2, rng=11, weights="random")
+        iso = isotonic_threshold_classifier(ps)
+        exact = solve_passive_1d(ps).optimal_error
+        assert weighted_error(ps, iso) == pytest.approx(exact)
+
+    def test_requires_1d(self, tiny_2d):
+        with pytest.raises(ValueError):
+            isotonic_threshold_classifier(tiny_2d)
+
+    def test_all_ones(self):
+        ps = PointSet([(1.0,), (2.0,)], [1, 1])
+        iso = isotonic_threshold_classifier(ps)
+        assert weighted_error(ps, iso) == 0.0
+
+    def test_isotonic_fit_pools_ties(self):
+        xs, fit = isotonic_fit([1.0, 1.0, 2.0], [0, 1, 1])
+        assert list(xs) == [1.0, 2.0]
+        assert fit[0] == pytest.approx(0.5)
+
+    def test_empty_pointset(self):
+        ps = PointSet(np.empty((0, 1)), [], [])
+        classifier = isotonic_threshold_classifier(ps)
+        assert classifier.tau == float("inf")
+
+
+class TestTrivialBaselines:
+    def test_majority_picks_the_majority(self):
+        ps = PointSet([(float(i),) for i in range(100)], [1] * 90 + [0] * 10)
+        oracle = LabelOracle(ps)
+        assert majority_classifier(ps.with_hidden_labels(), oracle,
+                                   rng=0) == ConstantClassifier(1)
+
+    def test_majority_cost_bounded(self):
+        ps = planted_threshold_1d(1_000, rng=12)
+        oracle = LabelOracle(ps)
+        majority_classifier(ps.with_hidden_labels(), oracle, sample_size=32, rng=1)
+        assert oracle.cost <= 32
+
+    def test_random_threshold_zero_probes(self):
+        ps = planted_threshold_1d(100, rng=13)
+        h = random_threshold_classifier(ps, rng=2)
+        assert h.tau in set(ps.coords[:, 0].tolist())
+
+    def test_random_threshold_empty(self):
+        ps = PointSet(np.empty((0, 1)), [], [])
+        assert random_threshold_classifier(ps, rng=3).tau == float("inf")

@@ -1,0 +1,100 @@
+"""Tests for boundary extraction and explanations (repro.core.boundary)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ThresholdClassifier, UpsetClassifier
+from repro.core.boundary import (
+    boundary_staircase_2d,
+    decision_boundary_1d,
+    explain_acceptance,
+    explain_rejection,
+)
+
+
+@pytest.fixture
+def staircase_classifier() -> UpsetClassifier:
+    return UpsetClassifier([(0.2, 0.8), (0.5, 0.5), (0.8, 0.2)])
+
+
+class TestExplainAcceptance:
+    def test_witness_is_dominated(self, staircase_classifier):
+        point = (0.6, 0.6)
+        witness = explain_acceptance(staircase_classifier, point)
+        assert witness is not None
+        assert (np.asarray(point) >= witness).all()
+
+    def test_tightest_witness_selected(self, staircase_classifier):
+        # (0.9, 0.9) dominates all three anchors; the tightest has the
+        # largest coordinate sum (any of the three sums to 1.0 — ties
+        # broken deterministically by argmax).
+        witness = explain_acceptance(staircase_classifier, (0.9, 0.9))
+        assert witness.sum() == pytest.approx(1.0)
+
+    def test_rejected_point_returns_none(self, staircase_classifier):
+        assert explain_acceptance(staircase_classifier, (0.1, 0.1)) is None
+
+
+class TestExplainRejection:
+    def test_deficit_vector_is_actionable(self, staircase_classifier):
+        point = (0.45, 0.45)
+        explanation = explain_rejection(staircase_classifier, point)
+        assert explanation is not None
+        deficit = explanation["deficit"]
+        # Raising the point by the deficit reaches the anchor => accepted.
+        boosted = np.asarray(point) + deficit
+        assert staircase_classifier.classify(tuple(boosted)) == 1
+        # The chosen anchor minimizes total shortfall: (0.5, 0.5) is closest.
+        assert explanation["anchor"] == pytest.approx([0.5, 0.5])
+
+    def test_accepted_point_returns_none(self, staircase_classifier):
+        assert explain_rejection(staircase_classifier, (0.9, 0.9)) is None
+
+    def test_all_zero_classifier(self):
+        h = UpsetClassifier([], dim=2)
+        explanation = explain_rejection(h, (0.5, 0.5))
+        assert explanation["anchor"] is None
+
+
+class TestDecisionBoundary1D:
+    def test_threshold_classifier_boundary_recovered(self):
+        h = ThresholdClassifier(0.37)
+        t = decision_boundary_1d(h, dim=0, fixed=[], lo=0.0, hi=1.0)
+        assert t == pytest.approx(0.37, abs=1e-6)
+
+    def test_upset_boundary_depends_on_fixed_coordinates(self):
+        h = UpsetClassifier([(0.2, 0.8), (0.8, 0.2)])
+        # With y fixed high (>= 0.8), x must exceed 0.2.
+        t_high = decision_boundary_1d(h, dim=0, fixed=[0.9], lo=0.0, hi=1.0)
+        assert t_high == pytest.approx(0.2, abs=1e-6)
+        # With y fixed low (< 0.2... at 0.5), only the (0.8, 0.2) anchor
+        # can be dominated once y >= 0.2: x must exceed 0.8.
+        t_low = decision_boundary_1d(h, dim=0, fixed=[0.5], lo=0.0, hi=1.0)
+        assert t_low == pytest.approx(0.8, abs=1e-6)
+
+    def test_constant_segments(self):
+        h = ThresholdClassifier(5.0)
+        assert decision_boundary_1d(h, 0, [], lo=0.0, hi=1.0) == 1.0  # all 0
+        assert decision_boundary_1d(h, 0, [], lo=6.0, hi=7.0) == 6.0  # all 1
+
+    def test_validation(self):
+        h = ThresholdClassifier(0.5)
+        with pytest.raises(ValueError):
+            decision_boundary_1d(h, 0, [], lo=1.0, hi=0.0)
+
+
+class TestBoundaryStaircase2D:
+    def test_corners_sorted_and_antichain(self, staircase_classifier):
+        corners = boundary_staircase_2d(staircase_classifier)
+        xs = [x for x, _y in corners]
+        ys = [y for _x, y in corners]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys, reverse=True)
+        assert len(corners) == 3
+
+    def test_requires_2d(self):
+        h = UpsetClassifier([(0.5,)])
+        with pytest.raises(ValueError):
+            boundary_staircase_2d(h)

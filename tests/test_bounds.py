@@ -1,0 +1,91 @@
+"""Tests for the closed-form bound calculators (repro.core.bounds)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import (
+    a2_probing_shape,
+    lemma9_probing_shape,
+    paper_log2,
+    tao2018_lower_bound_shape,
+    tao2018_probing_shape,
+    theorem2_probing_shape,
+)
+
+
+class TestPaperLog:
+    def test_convention(self):
+        # The paper defines log x = 1 + log2 x.
+        assert paper_log2(1.0) == 1.0
+        assert paper_log2(2.0) == 2.0
+        assert paper_log2(8.0) == 4.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            paper_log2(0.0)
+
+
+class TestTheorem2Shape:
+    def test_linear_in_w_at_fixed_log_terms(self):
+        # Doubling w doubles the w factor but shrinks log(n/w) slightly.
+        small = theorem2_probing_shape(10_000, 2, 1.0)
+        large = theorem2_probing_shape(10_000, 4, 1.0)
+        assert 1.5 < large / small < 2.0
+
+    def test_inverse_quadratic_in_eps(self):
+        base = theorem2_probing_shape(10_000, 8, 1.0)
+        tight = theorem2_probing_shape(10_000, 8, 0.5)
+        assert tight == pytest.approx(4 * base)
+
+    def test_polylog_in_n(self):
+        # Multiplying n by 16 should grow the bound by far less than 16x.
+        small = theorem2_probing_shape(2_000, 8, 1.0)
+        large = theorem2_probing_shape(32_000, 8, 1.0)
+        assert large / small < 2.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            theorem2_probing_shape(10, 20, 0.5)
+        with pytest.raises(ValueError):
+            theorem2_probing_shape(10, 2, 0.0)
+        with pytest.raises(ValueError):
+            theorem2_probing_shape(0, 1, 0.5)
+
+
+class TestOtherShapes:
+    def test_lemma9(self):
+        assert lemma9_probing_shape(1_000, 0.5, 0.01) > \
+            lemma9_probing_shape(1_000, 1.0, 0.01)
+        with pytest.raises(ValueError):
+            lemma9_probing_shape(1_000, 0.5, 1.5)
+
+    def test_tao2018_upper_vs_lower(self):
+        """The [25] upper bound dominates its own lower bound."""
+        for k_star in (0, 5, 50):
+            upper = tao2018_probing_shape(10_000, 8)
+            lower = tao2018_lower_bound_shape(10_000, 8, k_star)
+            assert lower <= upper
+
+    def test_tao2018_lower_bound_vacuous_for_huge_kstar(self):
+        assert tao2018_lower_bound_shape(100, 10, 1_000) == 0.0
+
+    def test_a2_quadratic_in_w(self):
+        assert a2_probing_shape(8, 0.5) == pytest.approx(4 * a2_probing_shape(4, 0.5))
+        with pytest.raises(ValueError):
+            a2_probing_shape(0, 0.5)
+
+    def test_theorem2_improves_on_a2_for_large_w(self):
+        """Section 1.2: the new bound beats A^2 by ~a factor of w.
+
+        The crossover sits where w exceeds the polylog factor (~log^2 n),
+        so compare beyond it and check the advantage keeps growing.
+        """
+        n, eps = 100_000, 0.5
+        ratios = []
+        for w in (256, 1_024, 4_096):
+            ours = theorem2_probing_shape(n, w, eps)
+            theirs = a2_probing_shape(w, eps)
+            assert theirs > ours
+            ratios.append(theirs / ours)
+        assert ratios == sorted(ratios)  # advantage grows with w

@@ -1,0 +1,90 @@
+"""Tests for budgeted active classification (repro.core.budgeted)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import LabelOracle, error_count, solve_passive
+from repro.core.budgeted import (
+    BudgetedResult,
+    active_classify_budgeted,
+    choose_epsilon_for_budget,
+)
+from repro.datasets.synthetic import width_controlled
+from repro.experiments._common import chainwise_optimum
+
+
+class TestChooseEpsilon:
+    def test_large_budget_gets_tight_epsilon(self):
+        assert choose_epsilon_for_budget(100_000, 4, 90_000) <= 0.5
+
+    def test_small_budget_gets_loose_epsilon_or_none(self):
+        epsilon = choose_epsilon_for_budget(100_000, 32, 500)
+        assert epsilon is None or epsilon >= 0.7
+
+    def test_monotone_in_budget(self):
+        epsilons = [choose_epsilon_for_budget(50_000, 8, b)
+                    for b in (2_000, 10_000, 40_000)]
+        usable = [e for e in epsilons if e is not None]
+        assert usable == sorted(usable, reverse=True)
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            choose_epsilon_for_budget(100, 2, 0)
+
+
+class TestBudgetedRun:
+    def test_budget_covering_n_is_exact(self):
+        points = width_controlled(500, 4, noise=0.1, rng=0)
+        oracle = LabelOracle(points)
+        result = active_classify_budgeted(points.with_hidden_labels(), oracle,
+                                          budget=500, rng=1)
+        assert result.mode == "exact"
+        assert result.probing_cost == 500
+        assert error_count(points, result.classifier) == \
+            solve_passive(points).optimal_error
+
+    def test_moderate_budget_never_exceeded(self):
+        points = width_controlled(20_000, 4, noise=0.05, rng=2)
+        oracle = LabelOracle(points)
+        budget = 8_000
+        result = active_classify_budgeted(points.with_hidden_labels(), oracle,
+                                          budget=budget, rng=3)
+        assert result.probing_cost <= budget
+        assert oracle.cost <= budget
+        assert result.mode in ("theorem2", "theorem2-truncated", "uniform")
+        # With a workable budget the answer should be decent.
+        optimum = chainwise_optimum(points)
+        assert error_count(points, result.classifier) <= 3 * optimum + 50
+
+    def test_tiny_budget_uniform_mode(self):
+        points = width_controlled(20_000, 32, noise=0.05, rng=4)
+        oracle = LabelOracle(points)
+        result = active_classify_budgeted(points.with_hidden_labels(), oracle,
+                                          budget=40, rng=5)
+        assert result.probing_cost <= 40
+        assert result.mode in ("uniform", "theorem2-truncated")
+
+    def test_respects_preexisting_oracle_budget(self):
+        points = width_controlled(1_000, 4, noise=0.1, rng=6)
+        oracle = LabelOracle(points, budget=100)
+        with pytest.raises(ValueError):
+            active_classify_budgeted(points.with_hidden_labels(), oracle,
+                                     budget=500, rng=7)
+
+    def test_validation(self):
+        points = width_controlled(100, 2, noise=0.1, rng=8)
+        oracle = LabelOracle(points)
+        with pytest.raises(ValueError):
+            active_classify_budgeted(points.with_hidden_labels(), oracle,
+                                     budget=0)
+
+    def test_result_records_mode_and_epsilon(self):
+        points = width_controlled(10_000, 2, noise=0.05, rng=9)
+        oracle = LabelOracle(points)
+        result = active_classify_budgeted(points.with_hidden_labels(), oracle,
+                                          budget=6_000, rng=10)
+        assert isinstance(result, BudgetedResult)
+        assert result.budget == 6_000
+        if result.mode.startswith("theorem2"):
+            assert result.epsilon is not None

@@ -1,0 +1,95 @@
+"""Tests for the Appendix A Chernoff forms (repro.stats.chernoff)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats.chernoff import (
+    chernoff_two_sided_bound,
+    chernoff_upper_tail_bound,
+    lemma5_case_sample_size,
+    two_sided_sample_size,
+    upper_tail_sample_size,
+)
+from repro.stats.estimation import lemma5_sample_size
+
+
+class TestBoundValues:
+    def test_two_sided_formula(self):
+        # 2 exp(-gamma^2 t mu / 3)
+        assert chernoff_two_sided_bound(0.5, 100, 0.3) == \
+            pytest.approx(min(1.0, 2 * np.exp(-0.25 * 100 * 0.3 / 3)))
+
+    def test_upper_tail_formula(self):
+        assert chernoff_upper_tail_bound(1.0, 50, 0.2) == \
+            pytest.approx(np.exp(-1.0 * 50 * 0.2 / 3.0))
+
+    def test_bounds_capped_at_one(self):
+        assert chernoff_two_sided_bound(0.01, 1, 0.01) == 1.0
+        assert chernoff_upper_tail_bound(0.0, 10, 0.5) == 1.0
+
+    def test_two_sided_validation(self):
+        with pytest.raises(ValueError):
+            chernoff_two_sided_bound(0.0, 10, 0.5)
+        with pytest.raises(ValueError):
+            chernoff_two_sided_bound(1.5, 10, 0.5)
+        with pytest.raises(ValueError):
+            chernoff_two_sided_bound(0.5, 0, 0.5)
+        with pytest.raises(ValueError):
+            chernoff_two_sided_bound(0.5, 10, 1.5)
+
+    def test_upper_tail_validation(self):
+        with pytest.raises(ValueError):
+            chernoff_upper_tail_bound(-0.1, 10, 0.5)
+
+    def test_monotone_in_t(self):
+        b1 = chernoff_two_sided_bound(0.5, 100, 0.3)
+        b2 = chernoff_two_sided_bound(0.5, 200, 0.3)
+        assert b2 < b1
+
+
+class TestSampleSizes:
+    def test_case1_achieves_delta(self):
+        phi, delta, mu = 0.05, 0.1, 0.4
+        t = two_sided_sample_size(phi, delta, mu)
+        assert chernoff_two_sided_bound(phi / mu, t, mu) <= delta + 1e-12
+
+    def test_case2_achieves_delta(self):
+        phi, delta, mu = 0.2, 0.1, 0.05
+        t = upper_tail_sample_size(phi, delta, mu)
+        assert chernoff_upper_tail_bound(phi / mu, t, mu) <= delta + 1e-12
+
+    def test_case_split_validation(self):
+        with pytest.raises(ValueError):
+            two_sided_sample_size(0.5, 0.1, 0.2)  # mu < phi
+        with pytest.raises(ValueError):
+            upper_tail_sample_size(0.1, 0.1, 0.2)  # mu >= phi
+
+    def test_lemma5_dominates_both_cases(self):
+        """The distribution-free Lemma 5 size covers either case."""
+        for mu in (0.02, 0.1, 0.5, 0.9):
+            for phi in (0.05, 0.1, 0.3):
+                for delta in (0.01, 0.2):
+                    case = lemma5_case_sample_size(phi, delta, mu)
+                    blanket = lemma5_sample_size(phi, delta)
+                    assert case <= blanket
+
+    def test_zero_mu(self):
+        assert lemma5_case_sample_size(0.1, 0.1, 0.0) == 1
+
+
+class TestEmpiricalValidity:
+    @pytest.mark.parametrize("mu,phi", [(0.4, 0.08), (0.04, 0.12)])
+    def test_monte_carlo_deviation_rate(self, mu, phi):
+        """Both sample-size formulas really hit their failure targets."""
+        delta = 0.2
+        t = lemma5_case_sample_size(phi, delta, mu)
+        gen = np.random.default_rng(0)
+        trials = 400
+        failures = 0
+        for _ in range(trials):
+            mean = (gen.random(t) < mu).mean()
+            if abs(mean - mu) >= phi:
+                failures += 1
+        assert failures / trials <= delta

@@ -1,0 +1,175 @@
+"""Tests for monotone classifiers (repro.core.classifier)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    ConstantClassifier,
+    PointSet,
+    ThresholdClassifier,
+    UpsetClassifier,
+    is_monotone_assignment,
+    monotone_extension,
+)
+
+
+class TestConstantClassifier:
+    def test_values(self):
+        coords = np.array([[0.0], [5.0]])
+        assert list(ConstantClassifier(0).classify_matrix(coords)) == [0, 0]
+        assert list(ConstantClassifier(1).classify_matrix(coords)) == [1, 1]
+
+    def test_rejects_bad_value(self):
+        with pytest.raises(ValueError):
+            ConstantClassifier(2)
+
+    def test_equality_and_hash(self):
+        assert ConstantClassifier(1) == ConstantClassifier(1)
+        assert ConstantClassifier(1) != ConstantClassifier(0)
+        assert hash(ConstantClassifier(0)) == hash(ConstantClassifier(0))
+
+
+class TestThresholdClassifier:
+    def test_strict_inequality_semantics(self):
+        """Paper eq. (6): h(p) = 1 iff p > tau (strictly)."""
+        h = ThresholdClassifier(1.0)
+        assert h.classify((1.0,)) == 0
+        assert h.classify((1.0000001,)) == 1
+        assert h.classify((0.5,)) == 0
+
+    def test_infinite_thresholds(self):
+        coords = np.array([[0.0], [1.0]])
+        all_one = ThresholdClassifier(float("-inf"))
+        all_zero = ThresholdClassifier(float("inf"))
+        assert list(all_one.classify_matrix(coords)) == [1, 1]
+        assert list(all_zero.classify_matrix(coords)) == [0, 0]
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            ThresholdClassifier(float("nan"))
+
+    def test_dim_selection(self):
+        h = ThresholdClassifier(0.5, dim=1)
+        assert h.classify((0.0, 1.0)) == 1
+        assert h.classify((1.0, 0.0)) == 0
+
+    def test_dim_out_of_range(self):
+        h = ThresholdClassifier(0.5, dim=3)
+        with pytest.raises(ValueError):
+            h.classify((0.0, 1.0))
+
+    def test_callable_protocol(self):
+        assert ThresholdClassifier(0.0)((1.0,)) == 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(-10, 10), st.floats(-10, 10), st.floats(-10, 10))
+    def test_monotone_property(self, tau, x, y):
+        """Property: x >= y implies h(x) >= h(y) for every threshold."""
+        h = ThresholdClassifier(tau)
+        lo, hi = min(x, y), max(x, y)
+        assert h.classify((hi,)) >= h.classify((lo,))
+
+
+class TestUpsetClassifier:
+    def test_empty_upset_is_all_zero(self):
+        h = UpsetClassifier([], dim=2)
+        assert h.classify((100.0, 100.0)) == 0
+        assert h.num_anchors == 0
+
+    def test_requires_dim_without_anchors(self):
+        with pytest.raises(ValueError):
+            UpsetClassifier([])
+
+    def test_single_anchor(self):
+        h = UpsetClassifier([(1.0, 1.0)])
+        assert h.classify((1.0, 1.0)) == 1  # weak dominance includes equality
+        assert h.classify((2.0, 1.0)) == 1
+        assert h.classify((0.9, 5.0)) == 0
+
+    def test_redundant_anchor_pruned(self):
+        h = UpsetClassifier([(1.0, 1.0), (2.0, 2.0)])
+        assert h.num_anchors == 1  # (2,2) dominates (1,1) => redundant
+
+    def test_duplicate_anchors_collapsed(self):
+        h = UpsetClassifier([(1.0, 1.0), (1.0, 1.0)])
+        assert h.num_anchors == 1
+
+    def test_antichain_anchors_kept(self):
+        h = UpsetClassifier([(2.0, 0.0), (0.0, 2.0)])
+        assert h.num_anchors == 2
+        assert h.classify((2.0, 0.0)) == 1
+        assert h.classify((0.0, 2.0)) == 1
+        assert h.classify((1.0, 1.0)) == 0
+
+    def test_dimension_mismatch_raises(self):
+        h = UpsetClassifier([(1.0, 1.0)])
+        with pytest.raises(ValueError):
+            h.classify((1.0, 1.0, 1.0))
+
+    def test_from_positive_points(self, tiny_2d):
+        h = UpsetClassifier.from_positive_points(tiny_2d, [0, 0, 0, 1])
+        assert h.classify((2.0, 2.0)) == 1
+        assert h.classify((0.0, 0.0)) == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.floats(0, 1), st.floats(0, 1)),
+                    min_size=1, max_size=8),
+           st.tuples(st.floats(0, 1), st.floats(0, 1)),
+           st.tuples(st.floats(0, 0.5), st.floats(0, 0.5)))
+    def test_monotone_property(self, anchors, base, delta):
+        """Property: adding a non-negative delta never decreases h."""
+        h = UpsetClassifier(anchors)
+        above = (base[0] + delta[0], base[1] + delta[1])
+        assert h.classify(above) >= h.classify(base)
+
+
+class TestMonotoneAssignment:
+    def test_valid_assignment(self, tiny_2d):
+        assert is_monotone_assignment(tiny_2d, [0, 0, 0, 1])
+        assert is_monotone_assignment(tiny_2d, [0, 0, 0, 0])
+        assert is_monotone_assignment(tiny_2d, [1, 1, 1, 1])
+
+    def test_invalid_assignment(self, tiny_2d):
+        # (1,1) assigned 0 while it dominates (0,0) assigned 1.
+        assert not is_monotone_assignment(tiny_2d, [1, 0, 0, 1])
+
+    def test_duplicates_must_agree(self):
+        ps = PointSet([(1.0, 1.0), (1.0, 1.0)], [0, 1])
+        assert not is_monotone_assignment(ps, [0, 1])
+        assert not is_monotone_assignment(ps, [1, 0])
+        assert is_monotone_assignment(ps, [1, 1])
+
+    def test_wrong_length_raises(self, tiny_2d):
+        with pytest.raises(ValueError):
+            is_monotone_assignment(tiny_2d, [0, 1])
+
+    def test_extension_agrees_on_input(self, tiny_2d):
+        assignment = [0, 0, 0, 1]
+        h = monotone_extension(tiny_2d, assignment)
+        assert list(h.classify_set(tiny_2d)) == assignment
+
+    def test_extension_rejects_non_monotone(self, tiny_2d):
+        with pytest.raises(ValueError):
+            monotone_extension(tiny_2d, [1, 0, 0, 1])
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_extension_always_agrees_with_monotone_assignment(data):
+    """Property: the upset extension reproduces any monotone assignment."""
+    rows = data.draw(st.lists(
+        st.tuples(st.floats(0, 1, allow_nan=False), st.floats(0, 1, allow_nan=False)),
+        min_size=1, max_size=12))
+    ps = PointSet(rows, [0] * len(rows))
+    # Build a monotone assignment from a random upset threshold on the sum.
+    cut = data.draw(st.floats(0, 2))
+    assignment = [1 if sum(row) >= cut else 0 for row in rows]
+    # A sum-threshold is NOT always monotone w.r.t. dominance ties... it is:
+    # dominance implies sum >=, so this assignment is monotone.
+    assert is_monotone_assignment(ps, assignment)
+    h = monotone_extension(ps, assignment)
+    assert list(h.classify_set(ps)) == assignment

@@ -1,0 +1,130 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io import load_csv
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+
+
+class TestGenerate:
+    def test_generate_monotone_csv(self, tmp_path, capsys):
+        out = tmp_path / "data.csv"
+        code = main(["generate", str(out), "--kind", "monotone",
+                     "--n", "50", "--dim", "2", "--seed", "1"])
+        assert code == 0
+        points = load_csv(out)
+        assert points.n == 50 and points.dim == 2
+
+    def test_generate_width_json(self, tmp_path):
+        out = tmp_path / "data.json"
+        code = main(["generate", str(out), "--kind", "width",
+                     "--n", "40", "--width", "4"])
+        assert code == 0
+        from repro import dominance_width
+        from repro.io import load_json
+
+        assert dominance_width(load_json(out)) == 4
+
+    def test_generate_entity(self, tmp_path):
+        out = tmp_path / "pairs.csv"
+        assert main(["generate", str(out), "--kind", "entity", "--n", "30"]) == 0
+        assert load_csv(out).n == 30
+
+
+class TestSolveCommands:
+    @pytest.fixture
+    def data_file(self, tmp_path):
+        out = tmp_path / "d.csv"
+        main(["generate", str(out), "--kind", "threshold1d",
+              "--n", "200", "--noise", "0.1", "--seed", "3"])
+        return out
+
+    def test_passive(self, data_file, capsys):
+        assert main(["passive", str(data_file)]) == 0
+        out = capsys.readouterr().out
+        assert "optimal_weighted_error" in out
+
+    def test_passive_push_relabel(self, data_file, capsys):
+        assert main(["passive", str(data_file), "--backend", "push_relabel"]) == 0
+
+    def test_active(self, data_file, capsys):
+        assert main(["active", str(data_file), "--epsilon", "0.8"]) == 0
+        out = capsys.readouterr().out
+        assert "probes" in out and "ratio" in out
+
+    def test_width(self, data_file, capsys):
+        assert main(["width", str(data_file)]) == 0
+        assert "width_w" in capsys.readouterr().out
+
+
+class TestAuditCommand:
+    def test_audit_passes_on_valid_data(self, tmp_path, capsys):
+        out = tmp_path / "d.csv"
+        main(["generate", str(out), "--kind", "monotone", "--n", "80",
+              "--noise", "0.1", "--seed", "5"])
+        assert main(["audit", str(out)]) == 0
+        output = capsys.readouterr().out
+        assert "pass" in output
+        assert "FAIL" not in output
+        assert "matching lower bound" in output
+
+
+class TestRepairCommand:
+    def test_repair_reports_and_writes(self, tmp_path, capsys):
+        src = tmp_path / "dirty.csv"
+        dst = tmp_path / "clean.csv"
+        main(["generate", str(src), "--kind", "monotone", "--n", "80",
+              "--noise", "0.2", "--seed", "8"])
+        assert main(["repair", str(src), str(dst)]) == 0
+        out = capsys.readouterr().out
+        assert "consistent_after" in out and "True" in out
+        from repro.io import load_csv
+
+        assert load_csv(dst).is_monotone_labeling()
+
+
+class TestVizCommand:
+    def test_renders_scatter(self, tmp_path, capsys):
+        out = tmp_path / "d.csv"
+        main(["generate", str(out), "--kind", "width", "--n", "60",
+              "--width", "3", "--seed", "6"])
+        assert main(["viz", str(out)]) == 0
+        output = capsys.readouterr().out
+        assert "label 0/1" in output
+
+    def test_renders_solved_region(self, tmp_path, capsys):
+        out = tmp_path / "d.csv"
+        main(["generate", str(out), "--kind", "monotone", "--n", "60",
+              "--dim", "2", "--seed", "6"])
+        assert main(["viz", str(out), "--solve", "--width", "30",
+                     "--height", "12"]) == 0
+        output = capsys.readouterr().out
+        assert "#" in output and "optimal weighted error" in output
+
+
+class TestExperimentCommand:
+    def test_list(self, capsys):
+        assert main(["experiment", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure1" in out and "lowerbound" in out
+
+    def test_run_figure1(self, capsys):
+        assert main(["experiment", "figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "dominance width w" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "nope"]) == 2

@@ -1,0 +1,97 @@
+"""Tests for the greedy closure repairs (repro.baselines.closure_repair)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PointSet, repair_labels
+from repro.baselines.closure_repair import (
+    closure_repair,
+    downward_closure_labels,
+    upward_closure_labels,
+)
+from repro.core.classifier import is_monotone_assignment
+from repro.datasets.synthetic import planted_monotone
+
+
+class TestClosureSweeps:
+    def test_upward_promotes(self, tiny_2d):
+        # Labels [1, 0, 0, 1]: (1,1) and (2,0) sit above the label-1 (0,0).
+        up = upward_closure_labels(tiny_2d)
+        assert list(up) == [1, 1, 1, 1]
+
+    def test_downward_demotes(self, tiny_2d):
+        down = downward_closure_labels(tiny_2d)
+        assert list(down) == [0, 0, 0, 1]
+
+    def test_monotone_input_untouched(self, monotone_2d):
+        assert (upward_closure_labels(monotone_2d)
+                == monotone_2d.labels).all()
+        assert (downward_closure_labels(monotone_2d)
+                == monotone_2d.labels).all()
+
+    def test_chain_propagation(self):
+        """Promotion cascades transitively along a chain."""
+        ps = PointSet([(float(i),) for i in range(5)], [1, 0, 0, 0, 0])
+        assert list(upward_closure_labels(ps)) == [1, 1, 1, 1, 1]
+        assert list(downward_closure_labels(ps)) == [0, 0, 0, 0, 0]
+
+
+class TestClosureRepair:
+    def test_result_is_monotone(self):
+        gen = np.random.default_rng(0)
+        for seed in range(10):
+            n = int(gen.integers(3, 40))
+            ps = PointSet(gen.integers(0, 4, size=(n, 2)).astype(float),
+                          gen.integers(0, 2, size=n))
+            result = closure_repair(ps)
+            assert is_monotone_assignment(ps, result.labels)
+
+    def test_cost_upper_bounds_exact_repair(self):
+        for seed in range(10):
+            ps = planted_monotone(80, 2, noise=0.25, rng=seed,
+                                  weights="random")
+            greedy = closure_repair(ps)
+            exact = repair_labels(ps)
+            assert greedy.repair_weight >= exact.repair_weight - 1e-9
+
+    def test_greedy_is_strictly_suboptimal_somewhere(self):
+        """The gap the min-cut repair closes actually exists."""
+        found = False
+        for seed in range(40):
+            gen = np.random.default_rng(seed)
+            n = 20
+            ps = PointSet(gen.integers(0, 3, size=(n, 2)).astype(float),
+                          gen.integers(0, 2, size=n), gen.random(n) + 0.1)
+            if closure_repair(ps).repair_weight > \
+                    repair_labels(ps).repair_weight + 1e-9:
+                found = True
+                break
+        assert found
+
+    def test_direction_choice(self):
+        # Heavy 1s: demoting them is costly; promotion should win.
+        ps = PointSet([(0.0,), (1.0,), (2.0,)], [1, 0, 1],
+                      [10.0, 1.0, 10.0])
+        result = closure_repair(ps)
+        assert result.direction == "up"
+        assert result.repair_weight == 1.0
+
+    def test_accounting(self, tiny_2d):
+        result = closure_repair(tiny_2d)
+        assert result.num_flips == \
+            int((result.labels != tiny_2d.labels).sum())
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 20), st.integers(0, 10_000))
+def test_both_sweeps_always_monotone(n, seed):
+    """Property: closure outputs are monotone on arbitrary labelings."""
+    gen = np.random.default_rng(seed)
+    ps = PointSet(gen.integers(0, 4, size=(n, 2)).astype(float),
+                  gen.integers(0, 2, size=n))
+    assert is_monotone_assignment(ps, upward_closure_labels(ps))
+    assert is_monotone_assignment(ps, downward_closure_labels(ps))

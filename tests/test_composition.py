@@ -1,0 +1,103 @@
+"""Tests for monotone classifier compositions (AND/OR closure)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ThresholdClassifier, UpsetClassifier
+from repro.core.classifier import (
+    ConstantClassifier,
+    IntersectionClassifier,
+    UnionClassifier,
+)
+
+
+class TestConstruction:
+    def test_requires_members(self):
+        with pytest.raises(ValueError):
+            IntersectionClassifier([])
+        with pytest.raises(ValueError):
+            UnionClassifier([])
+
+    def test_rejects_non_classifiers(self):
+        with pytest.raises(TypeError):
+            IntersectionClassifier([lambda p: 1])
+
+    def test_repr(self):
+        c = UnionClassifier([ConstantClassifier(0), ConstantClassifier(1)])
+        assert "members=2" in repr(c)
+
+
+class TestSemantics:
+    def test_intersection_is_and(self):
+        both = IntersectionClassifier([
+            ThresholdClassifier(0.5, dim=0),
+            ThresholdClassifier(0.5, dim=1),
+        ])
+        assert both.classify((0.6, 0.6)) == 1
+        assert both.classify((0.6, 0.4)) == 0
+        assert both.classify((0.4, 0.6)) == 0
+
+    def test_union_is_or(self):
+        either = UnionClassifier([
+            ThresholdClassifier(0.5, dim=0),
+            ThresholdClassifier(0.5, dim=1),
+        ])
+        assert either.classify((0.6, 0.4)) == 1
+        assert either.classify((0.4, 0.6)) == 1
+        assert either.classify((0.4, 0.4)) == 0
+
+    def test_intersection_of_thresholds_is_box_upset(self):
+        """AND of per-axis thresholds == upset of the corner point."""
+        both = IntersectionClassifier([
+            ThresholdClassifier(0.3, dim=0),
+            ThresholdClassifier(0.7, dim=1),
+        ])
+        gen = np.random.default_rng(0)
+        coords = gen.random((200, 2))
+        corner = UpsetClassifier([(0.3 + 1e-12, 0.7 + 1e-12)])
+        # Strict vs weak at the exact boundary differs on a null set only;
+        # random points avoid it almost surely.
+        assert (both.classify_matrix(coords)
+                == corner.classify_matrix(coords)).all()
+
+    def test_nesting(self):
+        nested = UnionClassifier([
+            IntersectionClassifier([ThresholdClassifier(0.8, dim=0),
+                                    ThresholdClassifier(0.2, dim=1)]),
+            IntersectionClassifier([ThresholdClassifier(0.2, dim=0),
+                                    ThresholdClassifier(0.8, dim=1)]),
+        ])
+        assert nested.classify((0.9, 0.3)) == 1
+        assert nested.classify((0.3, 0.9)) == 1
+        assert nested.classify((0.5, 0.5)) == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.floats(0, 1), st.floats(0, 1)),
+                min_size=1, max_size=4),
+       st.tuples(st.floats(0, 1), st.floats(0, 1)),
+       st.tuples(st.floats(0, 0.5), st.floats(0, 0.5)))
+def test_compositions_preserve_monotonicity(anchor_rows, base, delta):
+    """Property: AND/OR of monotone classifiers stay monotone."""
+    members = [UpsetClassifier([a]) for a in anchor_rows]
+    members.append(ThresholdClassifier(0.4, dim=0))
+    above = (base[0] + delta[0], base[1] + delta[1])
+    for composite in (IntersectionClassifier(members),
+                      UnionClassifier(members)):
+        assert composite.classify(above) >= composite.classify(base)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.tuples(st.floats(0, 1), st.floats(0, 1)))
+def test_de_morgan_like_bounds(point):
+    """AND <= each member <= OR, pointwise."""
+    members = [ThresholdClassifier(0.3, dim=0), ThresholdClassifier(0.6, dim=1)]
+    lower = IntersectionClassifier(members).classify(point)
+    upper = UnionClassifier(members).classify(point)
+    for member in members:
+        value = member.classify(point)
+        assert lower <= value <= upper

@@ -1,0 +1,100 @@
+"""Reproducibility: same seed, same everything.
+
+Experiments and debugging both depend on byte-identical reruns; these
+tests pin that every randomized entry point is a pure function of its
+seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import LabelOracle, active_classify, active_classify_1d
+from repro.baselines import a2_classify, tao2018_classify
+from repro.datasets.entity_matching import generate_entity_matching
+from repro.datasets.noise import NOISE_MODELS
+from repro.datasets.synthetic import (
+    correlated_monotone,
+    planted_monotone,
+    planted_threshold_1d,
+    staircase,
+    width_controlled,
+)
+
+
+class TestGeneratorDeterminism:
+    @pytest.mark.parametrize("factory", [
+        lambda seed: planted_threshold_1d(200, noise=0.1, rng=seed),
+        lambda seed: planted_monotone(200, 3, noise=0.1, rng=seed),
+        lambda seed: width_controlled(200, 4, noise=0.1, rng=seed),
+        lambda seed: staircase(200, 3, noise=0.1, rng=seed),
+        lambda seed: correlated_monotone(200, 2, rng=seed),
+        lambda seed: generate_entity_matching(200, rng=seed).points,
+    ])
+    def test_same_seed_same_data(self, factory):
+        a, b = factory(42), factory(42)
+        assert (a.coords == b.coords).all()
+        assert (a.labels == b.labels).all()
+        c = factory(43)
+        assert not ((c.coords == a.coords).all() and (c.labels == a.labels).all())
+
+    def test_noise_models_deterministic(self):
+        clean = planted_monotone(150, 2, noise=0.0, rng=0)
+        for name, transform in NOISE_MODELS.items():
+            a = transform(clean, 0.1, rng=5)
+            b = transform(clean, 0.1, rng=5)
+            assert (a.labels == b.labels).all(), name
+
+
+class TestAlgorithmDeterminism:
+    def test_active_1d_identical_probe_sequence(self):
+        points = planted_threshold_1d(5_000, noise=0.1, rng=1)
+        logs = []
+        for _ in range(2):
+            oracle = LabelOracle(points)
+            result = active_classify_1d(points.with_hidden_labels(), oracle,
+                                        epsilon=0.5, rng=7)
+            logs.append((oracle.log, result.classifier.tau,
+                         result.probing_cost))
+        assert logs[0] == logs[1]
+
+    def test_active_multid_identical_outcome(self):
+        points = width_controlled(3_000, 4, noise=0.1, rng=2)
+        outcomes = []
+        for _ in range(2):
+            oracle = LabelOracle(points)
+            result = active_classify(points.with_hidden_labels(), oracle,
+                                     epsilon=0.5, rng=9)
+            outcomes.append((
+                result.probing_cost,
+                tuple(sorted(result.sigma.weights.items())),
+                tuple(result.classifier.classify_set(points).tolist()),
+            ))
+        assert outcomes[0] == outcomes[1]
+
+    def test_baselines_deterministic(self):
+        points = width_controlled(1_000, 3, noise=0.1, rng=3)
+        for runner in (
+            lambda o: tao2018_classify(points.with_hidden_labels(), o, rng=4),
+            lambda o: a2_classify(points.with_hidden_labels(), o,
+                                  epsilon=0.5, rng=4),
+        ):
+            results = []
+            for _ in range(2):
+                oracle = LabelOracle(points)
+                result = runner(oracle)
+                results.append((result.probing_cost,
+                                tuple(result.classifier.classify_set(points)
+                                      .tolist())))
+            assert results[0] == results[1]
+
+    def test_passive_is_deterministic_without_seed(self):
+        """The exact solver has no randomness at all."""
+        from repro import solve_passive
+
+        points = planted_monotone(150, 2, noise=0.2, rng=5, weights="random")
+        a = solve_passive(points)
+        b = solve_passive(points)
+        assert (a.assignment == b.assignment).all()
+        assert a.optimal_error == b.optimal_error

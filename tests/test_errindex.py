@@ -1,0 +1,142 @@
+"""Tests for the incremental threshold-error index (repro.core.errindex)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PointSet, solve_passive_1d, weighted_error
+from repro.core.errindex import NEG_INF, OnlineThreshold1D, ThresholdErrorIndex
+from repro.core.passive_1d import best_threshold, threshold_errors
+
+
+class TestThresholdErrorIndex:
+    def test_empty_index(self):
+        index = ThresholdErrorIndex([1.0, 2.0])
+        tau, err = index.best()
+        assert err == 0.0
+        assert index.num_inserted == 0
+
+    def test_single_label1_point(self):
+        index = ThresholdErrorIndex([1.0, 2.0, 3.0])
+        index.insert(2.0, 1)
+        # h^tau misclassifies the point iff 2.0 <= tau.
+        assert index.error_at(NEG_INF) == 0.0
+        assert index.error_at(1.0) == 0.0
+        assert index.error_at(2.0) == 1.0
+        assert index.error_at(3.0) == 1.0
+
+    def test_single_label0_point(self):
+        index = ThresholdErrorIndex([1.0, 2.0, 3.0])
+        index.insert(2.0, 0, weight=2.5)
+        # h^tau misclassifies iff 2.0 > tau.
+        assert index.error_at(NEG_INF) == 2.5
+        assert index.error_at(1.0) == 2.5
+        assert index.error_at(2.0) == 0.0
+
+    def test_best_matches_prefix_sum_solver(self, rng):
+        values = rng.random(300)
+        labels = (values > 0.6).astype(int)
+        labels = np.where(rng.random(300) < 0.2, 1 - labels, labels)
+        weights = rng.random(300) + 0.1
+        index = ThresholdErrorIndex(values)
+        index.extend(values, labels, weights)
+        _tau, err = index.best()
+        _tau2, expected = best_threshold(values, labels, weights)
+        assert err == pytest.approx(expected)
+
+    def test_error_curve_matches_threshold_errors(self, rng):
+        values = rng.integers(0, 10, size=60).astype(float)
+        labels = rng.integers(0, 2, size=60)
+        index = ThresholdErrorIndex(values)
+        index.extend(values, labels)
+        taus, errors = threshold_errors(values, labels)
+        for tau, expected in zip(taus, errors):
+            assert index.error_at(float(tau)) == pytest.approx(expected)
+
+    def test_duplicate_values(self):
+        index = ThresholdErrorIndex([1.0, 1.0, 2.0])
+        index.insert(1.0, 0)
+        index.insert(1.0, 1)
+        # h^1: value-1 points predicted 0 -> errs on the label-1 one.
+        assert index.error_at(1.0) == 1.0
+        # h^-inf: everything predicted 1 -> errs on the label-0 one.
+        assert index.error_at(NEG_INF) == 1.0
+
+    def test_query_between_candidates(self):
+        index = ThresholdErrorIndex([1.0, 3.0])
+        index.insert(1.0, 0)
+        # tau = 2.0 behaves like the largest candidate <= 2.0, i.e. tau=1.
+        assert index.error_at(2.0) == index.error_at(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdErrorIndex([float("inf")])
+        index = ThresholdErrorIndex([1.0])
+        with pytest.raises(ValueError):
+            index.insert(1.0, 2)
+        with pytest.raises(ValueError):
+            index.insert(1.0, 1, weight=0.0)
+
+    def test_accounting(self):
+        index = ThresholdErrorIndex([1.0, 2.0])
+        index.insert(1.0, 0, 2.0)
+        index.insert(2.0, 1, 3.0)
+        assert index.num_inserted == 2
+        assert index.total_weight == 5.0
+        assert "inserted=2" in repr(index)
+
+
+class TestOnlineThreshold1D:
+    def test_streaming_stays_optimal(self, rng):
+        values = rng.random(200)
+        labels = (values > 0.5).astype(int)
+        labels = np.where(rng.random(200) < 0.25, 1 - labels, labels)
+        learner = OnlineThreshold1D(values)
+        for i in range(200):
+            learner.observe(float(values[i]), int(labels[i]))
+            if i % 40 == 39:
+                seen = PointSet(values[: i + 1].reshape(-1, 1), labels[: i + 1])
+                expected = solve_passive_1d(seen).optimal_error
+                assert learner.current_error == pytest.approx(expected)
+                achieved = weighted_error(seen, learner.classifier())
+                assert achieved == pytest.approx(expected)
+        assert learner.num_observations == 200
+
+    def test_classifier_type(self):
+        learner = OnlineThreshold1D([0.0, 1.0])
+        learner.observe(0.0, 0)
+        h = learner.classifier()
+        assert h.classify((0.5,)) in (0, 1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 6), st.integers(0, 1),
+                          st.floats(0.1, 3.0)),
+                min_size=1, max_size=25))
+def test_index_minimum_equals_exact_solver(rows):
+    """Property: segment-tree minimum == prefix-sum solver minimum."""
+    values = [float(v) for v, _l, _w in rows]
+    labels = [l for _v, l, _w in rows]
+    weights = [w for _v, _l, w in rows]
+    index = ThresholdErrorIndex(values)
+    index.extend(values, labels, weights)
+    _tau, err = index.best()
+    _tau2, expected = best_threshold(values, labels, weights)
+    assert err == pytest.approx(expected)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 1)),
+                min_size=1, max_size=20))
+def test_index_best_is_achievable(rows):
+    """Property: the reported (tau, err) is achieved by the classifier."""
+    values = np.asarray([float(v) for v, _l in rows])
+    labels = np.asarray([l for _v, l in rows])
+    index = ThresholdErrorIndex(values)
+    index.extend(values, labels)
+    tau, err = index.best()
+    pred = (values > tau).astype(int)
+    assert float((pred != labels).sum()) == pytest.approx(err)

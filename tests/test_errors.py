@@ -1,0 +1,111 @@
+"""Tests for error functionals (repro.core.errors)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ConstantClassifier, PointSet, ThresholdClassifier
+from repro.core.errors import (
+    error_count,
+    misclassified_mask,
+    prediction_error_count,
+    prediction_weighted_error,
+    weighted_error,
+)
+
+
+class TestErrorCount:
+    def test_constant_classifier_errors(self, tiny_2d):
+        # Labels [1, 0, 0, 1]: all-0 errs on the two 1s, all-1 on the two 0s.
+        assert error_count(tiny_2d, ConstantClassifier(0)) == 2
+        assert error_count(tiny_2d, ConstantClassifier(1)) == 2
+
+    def test_with_prediction_vector(self, tiny_2d):
+        assert error_count(tiny_2d, [1, 0, 0, 1]) == 0
+        assert error_count(tiny_2d, [0, 1, 1, 0]) == 4
+
+    def test_requires_full_labels(self, tiny_2d):
+        with pytest.raises(ValueError):
+            error_count(tiny_2d.with_hidden_labels(), ConstantClassifier(0))
+
+    def test_wrong_prediction_length(self, tiny_2d):
+        with pytest.raises(ValueError):
+            error_count(tiny_2d, [0, 1])
+
+    def test_mask_identifies_points(self, tiny_2d):
+        mask = misclassified_mask(tiny_2d, ConstantClassifier(0))
+        assert list(mask) == [True, False, False, True]
+
+
+class TestWeightedError:
+    def test_weights_are_summed(self):
+        ps = PointSet([(0.0,), (1.0,), (2.0,)], [1, 0, 1], [10.0, 2.0, 5.0])
+        # all-0 misses the two label-1 points.
+        assert weighted_error(ps, ConstantClassifier(0)) == 15.0
+        assert weighted_error(ps, ConstantClassifier(1)) == 2.0
+
+    def test_unit_weights_match_count(self, tiny_2d):
+        h = ThresholdClassifier(1.0)
+        assert weighted_error(tiny_2d, h) == error_count(tiny_2d, h)
+
+    def test_paper_example_weighted_error(self):
+        """Section 1.1: the unweighted-optimal h has w-err = 220 on Fig 1(b)."""
+        from repro.datasets.figures import figure1_weighted_point_set
+
+        ps = figure1_weighted_point_set()
+        # h misclassifies exactly p1 (w=100), p11 (60), p15 (60).
+        predictions = ps.labels.copy()
+        for name in ("p1", "p11", "p15"):
+            idx = int(name[1:]) - 1
+            predictions[idx] = 1 - predictions[idx]
+        assert weighted_error(ps, predictions) == 220.0
+
+
+class TestRawPredictionErrors:
+    def test_hidden_labels_ignored(self):
+        labels = np.array([1, -1, 0], dtype=np.int8)
+        predictions = np.array([0, 1, 0], dtype=np.int8)
+        assert prediction_error_count(labels, predictions) == 1
+
+    def test_weighted_variant(self):
+        labels = np.array([1, -1, 0], dtype=np.int8)
+        predictions = np.array([0, 1, 1], dtype=np.int8)
+        weights = np.array([2.0, 100.0, 3.0])
+        assert prediction_weighted_error(labels, predictions, weights) == 5.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.floats(0, 1, allow_nan=False),
+                          st.integers(0, 1)),
+                min_size=1, max_size=30),
+       st.floats(-0.5, 1.5))
+def test_error_decomposes_over_partition(rows, tau):
+    """Property: err_P = err_P' + err_{P \\ P'} for any split (paper eq. 21)."""
+    values = [(v,) for v, _label in rows]
+    labels = [label for _v, label in rows]
+    ps = PointSet(values, labels)
+    h = ThresholdClassifier(tau)
+    half = len(rows) // 2
+    left = ps.subset(range(half))
+    right = ps.subset(range(half, len(rows)))
+    total = error_count(ps, h)
+    split = (error_count(left, h) if left.n else 0) + \
+        (error_count(right, h) if right.n else 0)
+    assert total == split
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.floats(0, 1, allow_nan=False), st.integers(0, 1),
+                          st.floats(0.1, 5.0)),
+                min_size=1, max_size=25))
+def test_all0_all1_weighted_errors_sum_to_total_weight(rows):
+    """Property: w-err(all-0) + w-err(all-1) = total weight."""
+    ps = PointSet([(v,) for v, _l, _w in rows],
+                  [l for _v, l, _w in rows],
+                  [w for _v, _l, w in rows])
+    total = weighted_error(ps, ConstantClassifier(0)) + \
+        weighted_error(ps, ConstantClassifier(1))
+    assert total == pytest.approx(ps.total_weight)

@@ -1,0 +1,124 @@
+"""Tests for the Lemma 5 sampling machinery (repro.stats.estimation)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.estimation import (
+    SamplingPlan,
+    estimate_count,
+    lemma5_sample_size,
+    sample_with_replacement,
+)
+
+
+class TestLemma5SampleSize:
+    def test_formula(self):
+        # t >= ceil(max(mu/phi^2, 1/phi) * 3 ln(2/delta))
+        phi, delta = 0.1, 0.05
+        expected = math.ceil(max(1.0 / phi ** 2, 1.0 / phi) * 3 * math.log(2 / delta))
+        assert lemma5_sample_size(phi, delta) == expected
+
+    def test_mu_upper_reduces_size(self):
+        assert lemma5_sample_size(0.01, 0.1, mu_upper=0.02) < \
+            lemma5_sample_size(0.01, 0.1, mu_upper=1.0)
+
+    def test_small_mu_uses_linear_regime(self):
+        # With mu <= phi the 1/phi branch dominates.
+        phi, delta = 0.2, 0.1
+        expected = math.ceil((1.0 / phi) * 3 * math.log(2 / delta))
+        assert lemma5_sample_size(phi, delta, mu_upper=0.01) == expected
+
+    @pytest.mark.parametrize("phi", [0.0, -0.1, 1.5])
+    def test_rejects_bad_phi(self, phi):
+        with pytest.raises(ValueError):
+            lemma5_sample_size(phi, 0.1)
+
+    @pytest.mark.parametrize("delta", [0.0, -0.1, 1.5])
+    def test_rejects_bad_delta(self, delta):
+        with pytest.raises(ValueError):
+            lemma5_sample_size(0.1, delta)
+
+    def test_empirical_guarantee(self):
+        """Monte-Carlo check of the lemma's deviation bound."""
+        phi, delta, mu = 0.1, 0.2, 0.35
+        t = lemma5_sample_size(phi, delta)
+        gen = np.random.default_rng(0)
+        failures = 0
+        trials = 300
+        for _ in range(trials):
+            draws = gen.random(t) < mu
+            if abs(draws.mean() - mu) >= phi:
+                failures += 1
+        assert failures / trials <= delta  # the bound is loose; this is safe
+
+
+class TestSamplingPlan:
+    def test_defaults(self):
+        plan = SamplingPlan()
+        assert plan.profile == "practical"
+
+    def test_rejects_unknown_profile(self):
+        with pytest.raises(ValueError):
+            SamplingPlan(profile="fast")
+
+    def test_rejects_bad_constant(self):
+        with pytest.raises(ValueError):
+            SamplingPlan(practical_constant=0.0)
+
+    def test_theory_profile_is_much_larger(self):
+        practical = SamplingPlan().level_sample_size(0.5, 0.01, 1000, 10)
+        theory = SamplingPlan(profile="theory").level_sample_size(0.5, 0.01, 1000, 10)
+        assert theory > 50 * practical
+
+    def test_scales_inversely_with_epsilon_squared(self):
+        plan = SamplingPlan()
+        small = plan.level_sample_size(1.0, 0.01, 10_000, 10)
+        large = plan.level_sample_size(0.25, 0.01, 10_000, 10)
+        assert large == pytest.approx(16 * small, rel=0.05)
+
+    def test_zero_population(self):
+        assert SamplingPlan().level_sample_size(0.5, 0.1, 0, 5) == 0
+
+    def test_grows_with_population_logarithmically(self):
+        plan = SamplingPlan()
+        s1 = plan.level_sample_size(0.5, 0.01, 1_000, 10)
+        s2 = plan.level_sample_size(0.5, 0.01, 1_000_000, 10)
+        assert s1 < s2 < 3 * s1
+
+
+class TestSampling:
+    def test_with_replacement_size(self, rng):
+        draws = sample_with_replacement([1, 2, 3], 100, rng)
+        assert len(draws) == 100
+        assert set(np.unique(draws)) <= {1, 2, 3}
+
+    def test_empty_population_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sample_with_replacement([], 1, rng)
+
+    def test_deterministic_given_seed(self):
+        a = sample_with_replacement(range(50), 20, 42)
+        b = sample_with_replacement(range(50), 20, 42)
+        assert (a == b).all()
+
+
+class TestEstimateCount:
+    def test_scaling(self):
+        assert estimate_count(5, 10, 100) == 50.0
+
+    def test_zero_sample_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_count(0, 0, 10)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(1, 100), st.integers(0, 100), st.integers(0, 10_000))
+    def test_bounds(self, t, x, n):
+        x = min(x, t)
+        estimate = estimate_count(x, t, n)
+        assert 0 <= estimate <= n

@@ -1,0 +1,110 @@
+"""Tests for generalization evaluation (repro.evaluation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ConstantClassifier, PointSet
+from repro.datasets.entity_matching import generate_entity_matching
+from repro.datasets.synthetic import planted_monotone
+from repro.evaluation import (
+    classification_metrics,
+    confusion_matrix,
+    cross_validate,
+    holdout_evaluation,
+    train_test_split,
+)
+
+
+class TestTrainTestSplit:
+    def test_partitions_all_points(self):
+        ps = planted_monotone(100, 2, noise=0.1, rng=0)
+        train, test = train_test_split(ps, 0.3, rng=1)
+        assert train.n + test.n == 100
+        assert test.n == 30
+
+    def test_deterministic_given_seed(self):
+        ps = planted_monotone(50, 2, rng=0)
+        a_train, _a_test = train_test_split(ps, 0.2, rng=7)
+        b_train, _b_test = train_test_split(ps, 0.2, rng=7)
+        assert (a_train.coords == b_train.coords).all()
+
+    def test_validation(self):
+        ps = planted_monotone(10, 2, rng=0)
+        with pytest.raises(ValueError):
+            train_test_split(ps, 0.0)
+        with pytest.raises(ValueError):
+            train_test_split(ps, 1.0)
+        with pytest.raises(ValueError):
+            train_test_split(PointSet([(0.0,)], [0]), 0.5)
+
+    def test_each_side_nonempty_even_for_extreme_fraction(self):
+        ps = planted_monotone(4, 2, rng=0)
+        train, test = train_test_split(ps, 0.01, rng=2)
+        assert train.n >= 1 and test.n >= 1
+
+
+class TestMetrics:
+    def test_confusion_matrix_counts(self):
+        ps = PointSet([(0.0,), (1.0,), (2.0,), (3.0,)], [0, 0, 1, 1])
+        counts = confusion_matrix(ps, ConstantClassifier(1))
+        assert counts == {"tp": 2, "fp": 2, "fn": 0, "tn": 0}
+
+    def test_perfect_classifier_metrics(self):
+        from repro import ThresholdClassifier
+
+        ps = PointSet([(0.0,), (1.0,), (2.0,)], [0, 1, 1])
+        metrics = classification_metrics(ps, ThresholdClassifier(0.5))
+        assert metrics["accuracy"] == 1.0
+        assert metrics["f1"] == 1.0
+        assert metrics["error_count"] == 0
+
+    def test_degenerate_denominators(self):
+        ps = PointSet([(0.0,), (1.0,)], [0, 0])
+        metrics = classification_metrics(ps, ConstantClassifier(0))
+        assert metrics["precision"] == 0.0  # no predicted positives
+        assert metrics["recall"] == 0.0  # no actual positives
+        assert metrics["f1"] == 0.0
+        assert metrics["accuracy"] == 1.0
+
+
+class TestHoldout:
+    def test_monotone_workload_generalizes(self):
+        ps = planted_monotone(600, 2, noise=0.05, rng=3)
+        report = holdout_evaluation(ps, 0.25, rng=4)
+        assert report.train_size + report.test_size == 600
+        # Training error-rate close to the noise level (exact fit on train;
+        # small slack for noise realization).
+        assert 1 - report.train_metrics["accuracy"] <= 0.08
+        # Held-out performance close behind: the boundary generalizes.
+        assert report.test_metrics["accuracy"] >= 0.85
+        assert abs(report.generalization_gap) < 0.15
+
+    def test_entity_matching_workload(self):
+        workload = generate_entity_matching(800, dim=2, label_noise=0.05, rng=5)
+        report = holdout_evaluation(workload.points, rng=6)
+        assert report.test_metrics["f1"] > 0.7
+
+
+class TestCrossValidate:
+    def test_folds_cover_everything(self):
+        ps = planted_monotone(200, 2, noise=0.1, rng=7)
+        rows = cross_validate(ps, folds=4, rng=8)
+        assert len(rows) == 4
+        assert {row["fold"] for row in rows} == {0.0, 1.0, 2.0, 3.0}
+        for row in rows:
+            assert 0 <= row["accuracy"] <= 1
+
+    def test_validation(self):
+        ps = planted_monotone(10, 2, rng=9)
+        with pytest.raises(ValueError):
+            cross_validate(ps, folds=1)
+        with pytest.raises(ValueError):
+            cross_validate(ps, folds=11)
+
+    def test_low_noise_high_accuracy(self):
+        ps = planted_monotone(400, 2, noise=0.02, rng=10)
+        rows = cross_validate(ps, folds=5, rng=11)
+        mean_accuracy = np.mean([row["accuracy"] for row in rows])
+        assert mean_accuracy > 0.9

@@ -1,0 +1,107 @@
+"""Tests for classification with exceptions (repro.core.exceptions_variant)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConstantClassifier,
+    LabelOracle,
+    PointSet,
+    ThresholdClassifier,
+    active_classify,
+    error_count,
+)
+from repro.core.exceptions_variant import (
+    ExceptionAugmentedClassifier,
+    error_decomposition,
+    exception_error,
+    with_exceptions,
+)
+from repro.datasets.synthetic import planted_threshold_1d, width_controlled
+
+
+class TestExceptionAugmentedClassifier:
+    def test_exception_overrides_base(self):
+        base = ConstantClassifier(0)
+        h = ExceptionAugmentedClassifier(base, {(1.0,): 1})
+        assert h.classify((1.0,)) == 1
+        assert h.classify((2.0,)) == 0
+
+    def test_matrix_classification(self):
+        base = ThresholdClassifier(0.5)
+        h = ExceptionAugmentedClassifier(base, {(0.2,): 1, (0.9,): 0})
+        coords = np.array([[0.2], [0.9], [0.6]])
+        assert list(h.classify_matrix(coords)) == [1, 0, 1]
+
+    def test_rejects_bad_label(self):
+        with pytest.raises(ValueError):
+            ExceptionAugmentedClassifier(ConstantClassifier(0), {(0.0,): 2})
+
+    def test_repr(self):
+        h = ExceptionAugmentedClassifier(ConstantClassifier(1), {(0.0,): 0})
+        assert "num_exceptions=1" in repr(h)
+
+
+class TestWithExceptions:
+    def test_memorizes_probed_labels(self):
+        ps = PointSet([(0.0,), (1.0,), (2.0,)], [1, 0, 1])
+        oracle = LabelOracle(ps)
+        oracle.probe(0)
+        oracle.probe(2)
+        h = with_exceptions(ConstantClassifier(0), ps, oracle)
+        assert h.num_exceptions == 2
+        # Probed points are scored correctly; the unprobed one follows base.
+        assert exception_error(ps, h) == 0.0 + (1 if ps.labels[1] != 0 else 0)
+
+    def test_exceptions_never_hurt(self):
+        """The variant's error <= the standard error, always."""
+        ps = planted_threshold_1d(2_000, noise=0.1, rng=0)
+        from repro import active_classify_1d
+
+        oracle = LabelOracle(ps)
+        result = active_classify_1d(ps.with_hidden_labels(), oracle,
+                                    epsilon=0.5, rng=1)
+        decomposition = error_decomposition(ps, result.classifier, oracle)
+        assert decomposition["exceptions_error"] <= decomposition["standard_error"]
+        assert decomposition["saving"] >= 0
+        assert decomposition["num_exceptions"] == oracle.cost
+
+    def test_probe_all_gives_zero_variant_error(self):
+        """Memorizing every label makes the variant error vanish."""
+        ps = planted_threshold_1d(200, noise=0.3, rng=2)
+        oracle = LabelOracle(ps)
+        oracle.probe_many(range(ps.n))
+        h = with_exceptions(ConstantClassifier(0), ps, oracle)
+        assert exception_error(ps, h) == 0.0
+
+    def test_weighted_variant(self):
+        ps = PointSet([(0.0,), (1.0,)], [1, 1], [5.0, 7.0])
+        oracle = LabelOracle(ps)
+        oracle.probe(0)
+        h = with_exceptions(ConstantClassifier(0), ps, oracle)
+        # Point 0 memorized (correct); point 1 misclassified: weight 7.
+        assert exception_error(ps, h, weighted=True) == 7.0
+
+    def test_duplicate_coordinates_last_probe_wins(self):
+        ps = PointSet([(1.0,), (1.0,)], [0, 1])
+        oracle = LabelOracle(ps)
+        oracle.probe(0)
+        oracle.probe(1)
+        h = with_exceptions(ConstantClassifier(0), ps, oracle)
+        assert h.num_exceptions == 1
+        # One of the duplicate pair is necessarily misclassified.
+        assert exception_error(ps, h) == 1.0
+
+
+class TestEndToEnd:
+    def test_active_run_with_exceptions_evaluation(self):
+        ps = width_controlled(3_000, 4, noise=0.1, rng=3)
+        oracle = LabelOracle(ps)
+        result = active_classify(ps.with_hidden_labels(), oracle,
+                                 epsilon=0.5, rng=4)
+        augmented = with_exceptions(result.classifier, ps, oracle)
+        standard = error_count(ps, result.classifier)
+        variant = exception_error(ps, augmented)
+        assert variant <= standard

@@ -1,0 +1,132 @@
+"""Tests verifying the Figure 1 reconstruction (repro.datasets.figures).
+
+Every assertion here is a number or structure the paper states explicitly;
+collectively they certify that the reconstructed coordinates are a faithful
+executable version of the running example.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    dominance_width,
+    error_count,
+    solve_passive,
+    weighted_error,
+)
+from repro.core.passive import contending_mask
+from repro.datasets.figures import (
+    FIGURE1_ANTICHAIN,
+    FIGURE1_CHAINS,
+    FIGURE1_CONTENDING,
+    FIGURE1_OPTIMAL_UNWEIGHTED_ERROR,
+    FIGURE1_OPTIMAL_WEIGHTED_ERROR,
+    FIGURE1_WIDTH,
+    figure1_point_set,
+    figure1_weighted_point_set,
+)
+from repro.poset.chains import ChainDecomposition, is_valid_chain_decomposition
+from repro.poset.width import is_antichain
+
+
+@pytest.fixture(scope="module")
+def points():
+    return figure1_point_set()
+
+
+@pytest.fixture(scope="module")
+def weighted():
+    return figure1_weighted_point_set()
+
+
+def _idx(name: str) -> int:
+    return int(name[1:]) - 1
+
+
+class TestStructure:
+    def test_sixteen_named_2d_points(self, points):
+        assert points.n == 16
+        assert points.dim == 2
+        assert points.names == tuple(f"p{i}" for i in range(1, 17))
+
+    def test_label_split(self, points):
+        blacks = {f"p{i + 1}" for i in np.flatnonzero(points.labels == 1)}
+        assert blacks == {"p1", "p4", "p9", "p10", "p12", "p13", "p14", "p16"}
+
+    def test_width_is_six(self, points):
+        assert dominance_width(points) == FIGURE1_WIDTH
+
+    def test_papers_antichain_is_valid(self, points):
+        indices = [_idx(name) for name in FIGURE1_ANTICHAIN]
+        assert is_antichain(points, indices)
+        assert len(indices) == FIGURE1_WIDTH
+
+    def test_papers_chain_decomposition_is_valid(self, points):
+        decomposition = ChainDecomposition(
+            [[_idx(name) for name in chain] for chain in FIGURE1_CHAINS],
+            points.n, method="paper")
+        assert is_valid_chain_decomposition(points, decomposition)
+        assert decomposition.num_chains == FIGURE1_WIDTH
+
+    def test_contending_sets_match_figure_2a(self, points):
+        mask = contending_mask(points)
+        for label in (0, 1):
+            got = sorted(f"p{i + 1}"
+                         for i in np.flatnonzero(mask & (points.labels == label)))
+            assert got == sorted(FIGURE1_CONTENDING[label])
+
+
+class TestAnswers:
+    def test_unweighted_optimum_is_three(self, points):
+        assert solve_passive(points).optimal_error == \
+            FIGURE1_OPTIMAL_UNWEIGHTED_ERROR
+
+    def test_papers_unweighted_classifier_achieves_three(self, points):
+        """The h of Section 1.1: blacks except p1 -> 1, plus p11 and p15."""
+        predictions = points.labels.copy()
+        for name in ("p1", "p11", "p15"):
+            predictions[_idx(name)] = 1 - predictions[_idx(name)]
+        assert error_count(points, predictions) == 3
+        from repro import is_monotone_assignment
+
+        assert is_monotone_assignment(points, predictions)
+
+    def test_weighted_optimum_is_104(self, weighted):
+        result = solve_passive(weighted)
+        assert result.optimal_error == FIGURE1_OPTIMAL_WEIGHTED_ERROR
+        assert result.flow_value == pytest.approx(104.0)
+
+    def test_weighted_optimal_assignment(self, weighted):
+        """The paper's h': maps p10, p12, p16 to 1 and everything else to 0."""
+        result = solve_passive(weighted)
+        ones = {f"p{i + 1}" for i in np.flatnonzero(result.assignment == 1)}
+        assert ones == {"p10", "p12", "p16"}
+
+    def test_papers_unweighted_h_is_bad_on_weights(self, weighted):
+        """Section 1.1: the unweighted-optimal h has w-err 220 on Fig 1(b)."""
+        predictions = weighted.labels.copy()
+        for name in ("p1", "p11", "p15"):
+            predictions[_idx(name)] = 1 - predictions[_idx(name)]
+        assert weighted_error(weighted, predictions) == 220.0
+
+    def test_min_cut_contains_all_five_sink_edges(self, weighted):
+        """Section 5.1: the optimal cut is exactly the five type-2 edges."""
+        result = solve_passive(weighted)
+        flipped_to_zero = {
+            f"p{i + 1}"
+            for i in np.flatnonzero((weighted.labels == 1) & (result.assignment == 0))
+        }
+        assert flipped_to_zero == {"p1", "p4", "p9", "p13", "p14"}
+        # Their weight sum is the 104 of the example.
+        total = sum(weighted.weights[_idx(name)] for name in flipped_to_zero)
+        assert total == 104.0
+
+    def test_weights_match_figure_1b(self, weighted):
+        assert weighted.weights[_idx("p1")] == 100.0
+        assert weighted.weights[_idx("p11")] == 60.0
+        assert weighted.weights[_idx("p15")] == 60.0
+        others = [i for i in range(16)
+                  if i not in {_idx("p1"), _idx("p11"), _idx("p15")}]
+        assert (weighted.weights[others] == 1.0).all()

@@ -1,0 +1,194 @@
+"""Tests for the max-flow substrate (repro.flow)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.flow_backends import random_flow_network
+from repro.flow import (
+    FLOW_BACKENDS,
+    FlowNetwork,
+    dinic_max_flow,
+    min_cut_from_residual,
+    push_relabel_max_flow,
+    solve_max_flow,
+    solve_min_cut,
+)
+
+
+def _diamond() -> FlowNetwork:
+    """Classic 4-node diamond: max flow 2 via two disjoint paths + cross edge."""
+    net = FlowNetwork(4)
+    net.add_edge(0, 1, 1.0)
+    net.add_edge(0, 2, 1.0)
+    net.add_edge(1, 3, 1.0)
+    net.add_edge(2, 3, 1.0)
+    net.add_edge(1, 2, 1.0)
+    return net
+
+
+class TestFlowNetwork:
+    def test_add_edge_and_reverse_arc(self):
+        net = FlowNetwork(2)
+        arc = net.add_edge(0, 1, 5.0)
+        assert net.residual(arc) == 5.0
+        assert net.residual(arc ^ 1) == 0.0
+
+    def test_push_updates_both_directions(self):
+        net = FlowNetwork(2)
+        arc = net.add_edge(0, 1, 5.0)
+        net.push(arc, 3.0)
+        assert net.residual(arc) == 2.0
+        assert net.residual(arc ^ 1) == 3.0
+
+    def test_reset_flow(self):
+        net = FlowNetwork(2)
+        arc = net.add_edge(0, 1, 5.0)
+        net.push(arc, 3.0)
+        net.reset_flow()
+        assert net.residual(arc) == 5.0
+
+    def test_rejects_negative_capacity(self):
+        net = FlowNetwork(2)
+        with pytest.raises(ValueError):
+            net.add_edge(0, 1, -1.0)
+
+    def test_rejects_bad_vertex(self):
+        net = FlowNetwork(2)
+        with pytest.raises(ValueError):
+            net.add_edge(0, 2, 1.0)
+
+    def test_add_node(self):
+        net = FlowNetwork(1)
+        new = net.add_node()
+        assert new == 1
+        net.add_edge(0, 1, 1.0)
+
+    def test_conservation_check(self):
+        net = _diamond()
+        dinic_max_flow(net, 0, 3)
+        assert net.check_flow_conservation(0, 3)
+
+
+@pytest.mark.parametrize("backend", sorted(FLOW_BACKENDS))
+class TestBackends:
+    def test_diamond(self, backend):
+        net = _diamond()
+        assert solve_max_flow(net, 0, 3, backend=backend) == pytest.approx(2.0)
+
+    def test_single_edge(self, backend):
+        net = FlowNetwork(2)
+        net.add_edge(0, 1, 7.5)
+        assert solve_max_flow(net, 0, 1, backend=backend) == pytest.approx(7.5)
+
+    def test_disconnected(self, backend):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 4.0)
+        assert solve_max_flow(net, 0, 2, backend=backend) == 0.0
+
+    def test_parallel_edges_accumulate(self, backend):
+        net = FlowNetwork(2)
+        net.add_edge(0, 1, 2.0)
+        net.add_edge(0, 1, 3.5)
+        assert solve_max_flow(net, 0, 1, backend=backend) == pytest.approx(5.5)
+
+    def test_bottleneck_path(self, backend):
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 10.0)
+        net.add_edge(1, 2, 0.5)
+        net.add_edge(2, 3, 10.0)
+        assert solve_max_flow(net, 0, 3, backend=backend) == pytest.approx(0.5)
+
+    def test_source_equals_sink_rejected(self, backend):
+        net = FlowNetwork(2)
+        with pytest.raises(ValueError):
+            solve_max_flow(net, 0, 0, backend=backend)
+
+    def test_flow_is_feasible(self, backend):
+        net = random_flow_network(40, 0.2, seed=3)
+        solve_max_flow(net, 0, 39, backend=backend)
+        assert net.check_flow_conservation(0, 39)
+
+    def test_clrs_figure_example(self, backend):
+        """The CLRS flow-network example: known max flow 23."""
+        net = FlowNetwork(6)
+        s, v1, v2, v3, v4, t = range(6)
+        net.add_edge(s, v1, 16)
+        net.add_edge(s, v2, 13)
+        net.add_edge(v1, v3, 12)
+        net.add_edge(v2, v1, 4)
+        net.add_edge(v2, v4, 14)
+        net.add_edge(v3, v2, 9)
+        net.add_edge(v3, t, 20)
+        net.add_edge(v4, v3, 7)
+        net.add_edge(v4, t, 4)
+        assert solve_max_flow(net, s, t, backend=backend) == pytest.approx(23.0)
+
+
+class TestMinCut:
+    def test_cut_weight_equals_flow(self):
+        cut = solve_min_cut(_diamond(), 0, 3)
+        assert cut.value == pytest.approx(2.0)
+
+    def test_cut_separates(self):
+        net = _diamond()
+        cut = solve_min_cut(net, 0, 3)
+        assert 0 in cut.source_side
+        assert 3 not in cut.source_side
+
+    def test_cut_edges_materialized(self):
+        net = FlowNetwork(2)
+        net.add_edge(0, 1, 4.0)
+        cut = solve_min_cut(net, 0, 1)
+        assert cut.cut_edges(net) == [(0, 1, 4.0)]
+        assert cut.weight(net) == 4.0
+
+    def test_residual_extraction_rejects_non_max_flow(self):
+        net = _diamond()  # zero flow: sink still reachable
+        with pytest.raises(AssertionError):
+            min_cut_from_residual(net, 0, 3, 0.0)
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            solve_max_flow(_diamond(), 0, 3, backend="bogus")
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(4, 30), st.floats(0.05, 0.5), st.integers(0, 100_000))
+def test_backends_agree_with_each_other(size, density, seed):
+    """Property (Lemma 7): both from-scratch backends compute equal values."""
+    values = {}
+    for backend in FLOW_BACKENDS:
+        net = random_flow_network(size, density, seed)
+        values[backend] = solve_max_flow(net, 0, size - 1, backend=backend)
+    assert values["dinic"] == pytest.approx(values["push_relabel"], rel=1e-9, abs=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(4, 25), st.floats(0.1, 0.5), st.integers(0, 100_000))
+def test_backends_agree_with_networkx(size, density, seed):
+    """Property: our backends match networkx's preflow-push."""
+    nx = pytest.importorskip("networkx")
+    net = random_flow_network(size, density, seed)
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(net.num_nodes))
+    for _arc, arc in net.forward_arcs():
+        if graph.has_edge(arc.tail, arc.head):
+            graph[arc.tail][arc.head]["capacity"] += arc.capacity
+        else:
+            graph.add_edge(arc.tail, arc.head, capacity=arc.capacity)
+    expected = nx.maximum_flow_value(graph, 0, size - 1)
+    ours = solve_max_flow(net, 0, size - 1, backend="dinic")
+    assert ours == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(4, 25), st.floats(0.1, 0.5), st.integers(0, 100_000))
+def test_min_cut_weight_equals_max_flow(size, density, seed):
+    """Property (Lemmas 7+8): extracted cut-edge weight equals flow value."""
+    net = random_flow_network(size, density, seed)
+    cut = solve_min_cut(net, 0, size - 1, check=False)
+    assert cut.weight(net) == pytest.approx(cut.value, rel=1e-9, abs=1e-9)

@@ -1,0 +1,122 @@
+"""Additional max-flow coverage: scaling backend, degenerate networks,
+structural stress cases for the gap heuristic and long paths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.flow_backends import random_flow_network
+from repro.flow import (
+    FLOW_BACKENDS,
+    FlowNetwork,
+    capacity_scaling_max_flow,
+    solve_max_flow,
+    solve_min_cut,
+)
+
+
+class TestCapacityScaling:
+    def test_zero_capacity_network(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 0.0)
+        net.add_edge(1, 2, 0.0)
+        assert capacity_scaling_max_flow(net, 0, 2) == 0.0
+
+    def test_no_edges(self):
+        net = FlowNetwork(2)
+        assert capacity_scaling_max_flow(net, 0, 1) == 0.0
+
+    def test_extreme_capacity_ratio(self):
+        """One tiny and one huge parallel path: both fully used."""
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 1e9)
+        net.add_edge(1, 3, 1e9)
+        net.add_edge(0, 2, 1e-6)
+        net.add_edge(2, 3, 1e-6)
+        assert capacity_scaling_max_flow(net, 0, 3) == \
+            pytest.approx(1e9 + 1e-6)
+
+    def test_rejects_same_source_sink(self):
+        net = FlowNetwork(2)
+        with pytest.raises(ValueError):
+            capacity_scaling_max_flow(net, 0, 0)
+
+
+class TestStructuralStress:
+    def _long_path(self, length: int) -> FlowNetwork:
+        net = FlowNetwork(length + 1)
+        for i in range(length):
+            net.add_edge(i, i + 1, float(i % 3 + 1))
+        return net
+
+    @pytest.mark.parametrize("backend", sorted(FLOW_BACKENDS))
+    def test_long_path(self, backend):
+        """Hundreds of vertices in series: exercises relabeling depth."""
+        net = self._long_path(300)
+        assert solve_max_flow(net, 0, 300, backend=backend) == 1.0
+
+    @pytest.mark.parametrize("backend", sorted(FLOW_BACKENDS))
+    def test_wide_bipartite(self, backend):
+        """The passive-reduction shape: source -> L -> R -> sink."""
+        gen = np.random.default_rng(0)
+        left, right = 40, 40
+        net = FlowNetwork(2 + left + right)
+        source, sink = 0, 1
+        for i in range(left):
+            net.add_edge(source, 2 + i, float(gen.random() + 0.1))
+        for j in range(right):
+            net.add_edge(2 + left + j, sink, float(gen.random() + 0.1))
+        for i in range(left):
+            for j in range(right):
+                if gen.random() < 0.15:
+                    net.add_edge(2 + i, 2 + left + j, 1e6)
+        values = {}
+        for other in FLOW_BACKENDS:
+            fresh = FlowNetwork(net.num_nodes)
+            for _arc, arc in net.forward_arcs():
+                fresh.add_edge(arc.tail, arc.head, arc.capacity)
+            values[other] = solve_max_flow(fresh, source, sink, backend=other)
+        assert values[backend] == pytest.approx(values["dinic"])
+
+    def test_gap_heuristic_network(self):
+        """A network whose middle layer disconnects mid-run (gap trigger)."""
+        net = FlowNetwork(8)
+        # Two layers with a single fragile bridge.
+        net.add_edge(0, 1, 5.0)
+        net.add_edge(0, 2, 5.0)
+        net.add_edge(1, 3, 1.0)
+        net.add_edge(2, 3, 1.0)
+        net.add_edge(3, 4, 1.5)  # bridge saturates early
+        net.add_edge(4, 5, 5.0)
+        net.add_edge(4, 6, 5.0)
+        net.add_edge(5, 7, 5.0)
+        net.add_edge(6, 7, 5.0)
+        for backend in FLOW_BACKENDS:
+            fresh = FlowNetwork(8)
+            for _arc, arc in net.forward_arcs():
+                fresh.add_edge(arc.tail, arc.head, arc.capacity)
+            assert solve_max_flow(fresh, 0, 7, backend=backend) == \
+                pytest.approx(1.5), backend
+
+    def test_min_cut_on_bridge_network(self):
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 10.0)
+        net.add_edge(1, 2, 2.0)
+        net.add_edge(2, 3, 10.0)
+        cut = solve_min_cut(net, 0, 3)
+        assert cut.value == pytest.approx(2.0)
+        assert cut.cut_edges(net) == [(1, 2, 2.0)]
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_all_four_backends_agree(seed):
+    """Agreement across four independent implementations."""
+    size = 35
+    values = {}
+    for backend in FLOW_BACKENDS:
+        net = random_flow_network(size, 0.25, seed=seed)
+        values[backend] = solve_max_flow(net, 0, size - 1, backend=backend)
+    reference = values["dinic"]
+    for backend, value in values.items():
+        assert value == pytest.approx(reference, rel=1e-9, abs=1e-9), backend

@@ -1,0 +1,55 @@
+"""Tests for Hasse diagrams (repro.poset.hasse)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PointSet
+from repro.poset.dominance import _order_matrix
+from repro.poset.hasse import covers, hasse_edges, transitive_closure_from_hasse
+
+
+class TestHasseEdges:
+    def test_chain_has_consecutive_edges(self):
+        ps = PointSet([(float(i),) for i in range(5)], [0] * 5)
+        edges = set(hasse_edges(ps))
+        assert edges == {(i, i + 1) for i in range(4)}
+
+    def test_antichain_has_no_edges(self):
+        ps = PointSet([(0.0, 2.0), (1.0, 1.0), (2.0, 0.0)], [0] * 3)
+        assert hasse_edges(ps) == []
+
+    def test_transitive_edge_removed(self, tiny_2d):
+        edges = set(hasse_edges(tiny_2d))
+        # (0,0) -> (2,2) is implied via (1,1) and via (2,0): not covering.
+        assert (0, 3) not in edges
+        assert (0, 1) in edges and (0, 2) in edges
+        assert (1, 3) in edges and (2, 3) in edges
+
+    def test_empty(self):
+        assert hasse_edges(PointSet.from_points([])) == []
+
+    def test_duplicates_chain_through_tie_break(self):
+        ps = PointSet([(1.0,), (1.0,), (1.0,)], [0] * 3)
+        edges = set(hasse_edges(ps))
+        assert edges == {(0, 1), (1, 2)}
+
+
+class TestCovers:
+    def test_direct_cover(self, tiny_2d):
+        assert covers(tiny_2d, upper=1, lower=0)
+        assert not covers(tiny_2d, upper=3, lower=0)  # something between
+        assert not covers(tiny_2d, upper=0, lower=1)  # wrong direction
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 15), st.integers(1, 3), st.integers(0, 10_000))
+def test_closure_of_hasse_recovers_order(n, dim, seed):
+    """Property: transitive closure of covering edges == full order."""
+    gen = np.random.default_rng(seed)
+    ps = PointSet(gen.integers(0, 4, size=(n, dim)).astype(float), [0] * n)
+    closure = transitive_closure_from_hasse(ps)
+    assert (closure == _order_matrix(ps)).all()

@@ -1,0 +1,98 @@
+"""Tests for point-set serialization (repro.io)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PointSet
+from repro.datasets.figures import figure1_weighted_point_set
+from repro.io import load_csv, load_json, save_csv, save_json
+
+
+@pytest.fixture
+def sample() -> PointSet:
+    return PointSet(
+        [(0.25, 1.0), (2.0, 3.5), (1.0, 1.0)],
+        [0, 1, -1],
+        [1.0, 2.5, 0.125],
+    )
+
+
+class TestCSV:
+    def test_round_trip(self, sample, tmp_path):
+        path = tmp_path / "points.csv"
+        save_csv(sample, path)
+        loaded = load_csv(path)
+        assert (loaded.coords == sample.coords).all()
+        assert (loaded.labels == sample.labels).all()
+        assert (loaded.weights == sample.weights).all()
+
+    def test_round_trip_preserves_exact_floats(self, tmp_path):
+        values = np.array([[0.1 + 0.2], [1e-17 + 1.0]])
+        ps = PointSet(values, [0, 1])
+        path = tmp_path / "exact.csv"
+        save_csv(ps, path)
+        assert (load_csv(path).coords == values).all()
+
+    def test_header_validation(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError):
+            load_csv(path)
+
+    def test_field_count_validation(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("x0,label,weight\n1.0,0\n")
+        with pytest.raises(ValueError):
+            load_csv(path)
+
+    def test_empty_body(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("x0,x1,label,weight\n")
+        loaded = load_csv(path)
+        assert loaded.n == 0
+        assert loaded.dim == 2
+
+
+class TestJSON:
+    def test_round_trip(self, sample, tmp_path):
+        path = tmp_path / "points.json"
+        save_json(sample, path)
+        loaded = load_json(path)
+        assert (loaded.coords == sample.coords).all()
+        assert (loaded.labels == sample.labels).all()
+        assert (loaded.weights == sample.weights).all()
+
+    def test_names_preserved(self, tmp_path):
+        ps = figure1_weighted_point_set()
+        path = tmp_path / "fig1.json"
+        save_json(ps, path)
+        loaded = load_json(path)
+        assert loaded.names == ps.names
+
+    def test_missing_key_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text('{"dim": 1, "coords": [[0.0]]}')
+        with pytest.raises(ValueError):
+            load_json(path)
+
+    def test_empty_set(self, tmp_path):
+        ps = PointSet(np.empty((0, 3)), [], [])
+        path = tmp_path / "empty.json"
+        save_json(ps, path)
+        loaded = load_json(path)
+        assert loaded.n == 0
+        assert loaded.dim == 3
+
+
+class TestCrossFormat:
+    def test_csv_and_json_agree(self, sample, tmp_path):
+        csv_path = tmp_path / "p.csv"
+        json_path = tmp_path / "p.json"
+        save_csv(sample, csv_path)
+        save_json(sample, json_path)
+        a, b = load_csv(csv_path), load_json(json_path)
+        assert (a.coords == b.coords).all()
+        assert (a.labels == b.labels).all()
+        assert (a.weights == b.weights).all()

@@ -1,0 +1,211 @@
+"""Tests for the Section 6 lower-bound machinery (repro.core.lowerbound)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConstantClassifier,
+    DeterministicPairProber,
+    ThresholdClassifier,
+    adversarial_family,
+    adversarial_input,
+    error_count,
+    evaluate_on_family,
+    optimal_error_of_family_input,
+    solve_passive_1d,
+    theoretical_nonoptcnt_lower_bound,
+    theoretical_totalcost,
+)
+
+
+class TestAdversarialInputs:
+    def test_default_labels_alternate(self):
+        ps = adversarial_input(8, 1, "00")
+        # Pair (1,2) flipped to 0,0; pairs (3,4),(5,6),(7,8) normal (1,0).
+        assert list(ps.labels) == [0, 0, 1, 0, 1, 0, 1, 0]
+
+    def test_11_input(self):
+        ps = adversarial_input(8, 2, "11")
+        assert list(ps.labels) == [1, 0, 1, 1, 1, 0, 1, 0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            adversarial_input(7, 1, "00")  # odd n
+        with pytest.raises(ValueError):
+            adversarial_input(2, 1, "00")  # n < 4
+        with pytest.raises(ValueError):
+            adversarial_input(8, 5, "00")  # pair out of range
+        with pytest.raises(ValueError):
+            adversarial_input(8, 1, "01")  # bad kind
+
+    def test_family_size_is_n(self):
+        family = adversarial_family(10)
+        assert len(family) == 10
+
+    def test_every_input_has_optimal_error_half_minus_one(self):
+        """Section 6.1: k* = n/2 - 1 for every family member."""
+        n = 12
+        for _kind, _pair, points in adversarial_family(n):
+            assert solve_passive_1d(points).optimal_error == n // 2 - 1
+            assert optimal_error_of_family_input(n) == n // 2 - 1
+
+    def test_lemma21_no_classifier_optimal_for_both(self):
+        """Lemma 21: no threshold is optimal for P_00(i) and P_11(i)."""
+        n = 10
+        for i in range(1, n // 2 + 1):
+            p00 = adversarial_input(n, i, "00")
+            p11 = adversarial_input(n, i, "11")
+            optimal = n // 2 - 1
+            for tau in [float("-inf")] + [float(v) for v in range(1, n + 1)]:
+                h = ThresholdClassifier(tau)
+                both = (error_count(p00, h) == optimal
+                        and error_count(p11, h) == optimal)
+                assert not both, f"tau={tau} optimal for both at i={i}"
+
+
+class TestDeterministicPairProber:
+    def test_rejects_duplicate_pairs(self):
+        with pytest.raises(ValueError):
+            DeterministicPairProber((1, 1), ConstantClassifier(0))
+
+    def test_catches_anomaly_and_stops(self):
+        prober = DeterministicPairProber((3, 1, 2), ConstantClassifier(0))
+        probes, errs = prober.run(8, "00", 1)
+        assert probes == 2  # probed pair 3 then pair 1
+        assert not errs
+
+    def test_exhausts_sequence_and_falls_back(self):
+        prober = DeterministicPairProber((1,), ConstantClassifier(0))
+        # Anomaly at pair 4, never probed; fallback all-0.
+        probes, errs = prober.run(8, "00", 4)
+        assert probes == 1
+        assert not errs  # all-0 IS optimal for a 00-input
+        probes, errs = prober.run(8, "11", 4)
+        assert probes == 1
+        assert errs  # all-0 is non-optimal for a 11-input
+
+    def test_invalid_pair_in_sequence(self):
+        prober = DeterministicPairProber((9,), ConstantClassifier(0))
+        with pytest.raises(ValueError):
+            prober.run(8, "00", 1)
+
+
+class TestFamilyEvaluation:
+    @pytest.mark.parametrize("n", [8, 16, 32])
+    def test_totalcost_matches_closed_form(self, n):
+        """Lemma 19 accounting (with the +ell sign fix) holds exactly."""
+        for ell in range(0, n // 2 + 1):
+            prober = DeterministicPairProber(
+                tuple(range(1, ell + 1)), ConstantClassifier(0))
+            evaluation = evaluate_on_family(prober, n)
+            assert evaluation.totalcost == theoretical_totalcost(n, ell)
+
+    @pytest.mark.parametrize("n", [8, 16])
+    def test_nonoptcnt_lower_bound_holds(self, n):
+        """Eq. (33): any prober errs on >= n/2 - ell inputs."""
+        for ell in (0, n // 4, n // 2):
+            prober = DeterministicPairProber(
+                tuple(range(1, ell + 1)), ConstantClassifier(0))
+            evaluation = evaluate_on_family(prober, n)
+            assert evaluation.nonoptcnt >= \
+                theoretical_nonoptcnt_lower_bound(n, ell)
+
+    def test_order_of_probes_does_not_change_totals(self):
+        n = 16
+        a = DeterministicPairProber((1, 2, 3, 4), ConstantClassifier(0))
+        b = DeterministicPairProber((4, 3, 2, 1), ConstantClassifier(0))
+        assert evaluate_on_family(a, n).totalcost == \
+            evaluate_on_family(b, n).totalcost
+
+    def test_accurate_prober_pays_quadratic(self):
+        """The Theorem 1 punchline: accuracy forces Omega(n^2) total cost."""
+        n = 64
+        full = DeterministicPairProber(
+            tuple(range(1, n // 2 + 1)), ConstantClassifier(0))
+        evaluation = evaluate_on_family(full, n)
+        assert evaluation.nonoptcnt == 0
+        assert evaluation.totalcost >= n * n / 8  # Lemma 19's bound
+
+    def test_per_input_records(self):
+        prober = DeterministicPairProber((1,), ConstantClassifier(0))
+        evaluation = evaluate_on_family(prober, 8)
+        assert len(evaluation.per_input) == 8
+
+
+class TestRandomizedPairProber:
+    """Corollary 20 / Appendix D: mixtures of deterministic probers."""
+
+    @staticmethod
+    def _prober(length: int) -> DeterministicPairProber:
+        return DeterministicPairProber(tuple(range(1, length + 1)),
+                                       ConstantClassifier(0))
+
+    def test_mixture_expectations_are_averages(self):
+        from repro import evaluate_on_family
+        from repro.core.lowerbound import RandomizedPairProber
+
+        n = 16
+        a, b = self._prober(2), self._prober(8)
+        mixture = RandomizedPairProber((a, b), (0.25, 0.75))
+        nonopt, cost = mixture.expected_performance(n)
+        ea, eb = evaluate_on_family(a, n), evaluate_on_family(b, n)
+        assert nonopt == pytest.approx(0.25 * ea.nonoptcnt + 0.75 * eb.nonoptcnt)
+        assert cost == pytest.approx(0.25 * ea.totalcost + 0.75 * eb.totalcost)
+
+    def test_corollary20_on_accurate_mixture(self):
+        from repro.core.lowerbound import RandomizedPairProber
+
+        n = 64
+        full = self._prober(n // 2)
+        mixture = RandomizedPairProber((full,), (1.0,))
+        nonopt, cost = mixture.expected_performance(n)
+        assert nonopt == 0
+        assert mixture.verify_corollary20(n)
+        assert cost >= 3 * n * n / 400
+
+    def test_corollary20_vacuous_for_sloppy_mixture(self):
+        from repro.core.lowerbound import RandomizedPairProber
+
+        n = 32
+        lazy = self._prober(0)
+        mixture = RandomizedPairProber((lazy,), (1.0,))
+        # E[nonoptcnt] = n/2 > n/3: hypothesis unmet, check passes trivially.
+        assert mixture.verify_corollary20(n)
+
+    def test_validation(self):
+        from repro.core.lowerbound import RandomizedPairProber
+
+        with pytest.raises(ValueError):
+            RandomizedPairProber((), ())
+        with pytest.raises(ValueError):
+            RandomizedPairProber((self._prober(1),), (0.5,))
+        with pytest.raises(ValueError):
+            RandomizedPairProber((self._prober(1), self._prober(2)), (1.0,))
+        with pytest.raises(ValueError):
+            RandomizedPairProber((self._prober(1),), (-1.0,))
+
+    def test_every_accurate_mixture_pays_quadratic(self):
+        """Sweep mixtures over prober lengths; the corollary always holds."""
+        from repro.core.lowerbound import RandomizedPairProber
+
+        n = 48
+        gen = np.random.default_rng(1)
+        for _ in range(10):
+            lengths = gen.integers(0, n // 2 + 1, size=3)
+            raw = gen.random(3)
+            probabilities = tuple((raw / raw.sum()).tolist())
+            mixture = RandomizedPairProber(
+                tuple(self._prober(int(l)) for l in lengths), probabilities)
+            assert mixture.verify_corollary20(n)
+
+
+class TestClosedForms:
+    def test_totalcost_range_check(self):
+        with pytest.raises(ValueError):
+            theoretical_totalcost(8, 5)
+
+    def test_nonoptcnt_never_negative(self):
+        assert theoretical_nonoptcnt_lower_bound(8, 4) == 0
+        assert theoretical_nonoptcnt_lower_bound(8, 1) == 3

@@ -1,0 +1,138 @@
+"""Tests for Hopcroft–Karp maximum matching (repro.poset.matching)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.poset.matching import hopcroft_karp, maximum_bipartite_matching
+
+
+def _matching_is_consistent(result, adjacency, n_right):
+    """Structural validity: matched pairs are edges and mutually consistent."""
+    for u, v in enumerate(result.left_match):
+        if v != -1:
+            assert v in adjacency[u]
+            assert result.right_match[v] == u
+    matched_rights = [v for v in result.left_match if v != -1]
+    assert len(matched_rights) == len(set(matched_rights))
+    assert result.size == len(matched_rights)
+
+
+class TestHopcroftKarp:
+    def test_empty_graph(self):
+        result = hopcroft_karp([], 0)
+        assert result.size == 0
+
+    def test_no_edges(self):
+        result = hopcroft_karp([[], [], []], 3)
+        assert result.size == 0
+        assert result.left_match == [-1, -1, -1]
+
+    def test_perfect_matching(self):
+        result = hopcroft_karp([[0], [1], [2]], 3)
+        assert result.size == 3
+
+    def test_requires_augmenting_path(self):
+        # Left 0 -> {0, 1}; left 1 -> {0}.  Greedy could match 0-0 and
+        # strand left 1; an augmenting path fixes it.
+        result = hopcroft_karp([[0, 1], [0]], 2)
+        assert result.size == 2
+        assert result.left_match == [1, 0]
+
+    def test_bottleneck_right_vertex(self):
+        # Three left vertices all pointing at one right vertex.
+        result = hopcroft_karp([[0], [0], [0]], 1)
+        assert result.size == 1
+
+    def test_classic_crown(self):
+        # K_{3,3} minus a perfect matching still has a perfect matching.
+        adjacency = [[1, 2], [0, 2], [0, 1]]
+        result = hopcroft_karp(adjacency, 3)
+        assert result.size == 3
+
+    def test_invalid_right_vertex_rejected(self):
+        with pytest.raises(ValueError):
+            hopcroft_karp([[5]], 2)
+
+    def test_pairs_accessor(self):
+        result = hopcroft_karp([[0], []], 1)
+        assert result.pairs() == [(0, 0)]
+
+    def test_edge_list_wrapper(self):
+        result = maximum_bipartite_matching([(0, 1), (1, 0)], 2, 2)
+        assert result.size == 2
+
+    def test_edge_list_wrapper_validates(self):
+        with pytest.raises(ValueError):
+            maximum_bipartite_matching([(3, 0)], 2, 2)
+
+    def test_long_augmenting_chain(self):
+        # Path graph forcing an augmenting path of maximal length.
+        # left i -> {i, i+1} for i < k, left k-1 -> {k-1}.
+        k = 50
+        adjacency = [[i, i + 1] for i in range(k - 1)] + [[k - 1]]
+        result = hopcroft_karp(adjacency, k)
+        assert result.size == k
+
+
+def _brute_force_matching(adjacency, n_right):
+    """Exponential exact matching size for cross-checking."""
+    best = 0
+
+    def backtrack(u, used):
+        nonlocal best
+        if u == len(adjacency):
+            best = max(best, len(used))
+            return
+        # Upper-bound prune.
+        if len(used) + (len(adjacency) - u) <= best:
+            return
+        backtrack(u + 1, used)
+        for v in adjacency[u]:
+            if v not in used:
+                used.add(v)
+                backtrack(u + 1, used)
+                used.remove(v)
+
+    backtrack(0, set())
+    return best
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(1, 7), st.integers(1, 7), st.data())
+def test_matches_brute_force(n_left, n_right, data):
+    """Property: Hopcroft–Karp size equals brute-force optimal size."""
+    adjacency = [
+        sorted(data.draw(st.sets(st.integers(0, n_right - 1), max_size=n_right)))
+        for _ in range(n_left)
+    ]
+    result = hopcroft_karp(adjacency, n_right)
+    _matching_is_consistent(result, adjacency, n_right)
+    assert result.size == _brute_force_matching(adjacency, n_right)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(5, 40), st.integers(5, 40), st.floats(0.05, 0.5), st.integers(0, 10_000))
+def test_matches_networkx(n_left, n_right, density, seed):
+    """Property: agrees with networkx's matching on random bipartite graphs."""
+    nx = pytest.importorskip("networkx")
+    gen = np.random.default_rng(seed)
+    adjacency = [
+        np.flatnonzero(gen.random(n_right) < density).tolist()
+        for _ in range(n_left)
+    ]
+    result = hopcroft_karp(adjacency, n_right)
+    _matching_is_consistent(result, adjacency, n_right)
+
+    graph = nx.Graph()
+    graph.add_nodes_from(("L", u) for u in range(n_left))
+    graph.add_nodes_from(("R", v) for v in range(n_right))
+    for u, neighbors in enumerate(adjacency):
+        for v in neighbors:
+            graph.add_edge(("L", u), ("R", v))
+    nx_matching = nx.bipartite.maximum_matching(
+        graph, top_nodes=[("L", u) for u in range(n_left)])
+    assert result.size == len(nx_matching) // 2

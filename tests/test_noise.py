@@ -1,0 +1,114 @@
+"""Tests for the noise models (repro.datasets.noise)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import solve_passive
+from repro.datasets.noise import (
+    NOISE_MODELS,
+    adversarial_pairs,
+    asymmetric_flip,
+    boundary_concentrated_flip,
+    uniform_flip,
+)
+from repro.datasets.synthetic import planted_monotone, width_controlled
+
+
+@pytest.fixture
+def clean():
+    return planted_monotone(500, 2, noise=0.0, rng=0)
+
+
+class TestUniformFlip:
+    def test_rate_zero_is_identity(self, clean):
+        noisy = uniform_flip(clean, 0.0, rng=1)
+        assert (noisy.labels == clean.labels).all()
+
+    def test_flip_rate_approximate(self, clean):
+        noisy = uniform_flip(clean, 0.2, rng=2)
+        rate = (noisy.labels != clean.labels).mean()
+        assert 0.14 < rate < 0.26
+
+    def test_coordinates_untouched(self, clean):
+        noisy = uniform_flip(clean, 0.3, rng=3)
+        assert noisy.coords is clean.coords or (noisy.coords == clean.coords).all()
+
+    def test_validation(self, clean):
+        with pytest.raises(ValueError):
+            uniform_flip(clean, 0.5)
+
+
+class TestBoundaryConcentratedFlip:
+    def test_total_rate_comparable_to_uniform(self, clean):
+        noisy = boundary_concentrated_flip(clean, 0.1, rng=4)
+        rate = (noisy.labels != clean.labels).mean()
+        assert 0.04 < rate < 0.2
+
+    def test_flips_concentrate_near_boundary(self, clean):
+        noisy = boundary_concentrated_flip(clean, 0.1, rng=5,
+                                           concentration=6.0)
+        flipped = noisy.labels != clean.labels
+        if flipped.sum() >= 10:
+            sums = clean.coords.sum(axis=1)
+            ones = sums[clean.labels == 1]
+            zeros = sums[clean.labels == 0]
+            margins = np.array([
+                np.abs((zeros if clean.labels[i] == 1 else ones) - sums[i]).min()
+                for i in range(clean.n)
+            ])
+            # Flipped points sit closer to the boundary on average.
+            assert margins[flipped].mean() < margins[~flipped].mean()
+
+    def test_single_class_falls_back(self):
+        from repro import PointSet
+
+        ps = PointSet([(0.0, 0.0), (1.0, 1.0)], [1, 1])
+        noisy = boundary_concentrated_flip(ps, 0.4, rng=6)
+        assert noisy.n == 2  # no crash; uniform fallback
+
+    def test_validation(self, clean):
+        with pytest.raises(ValueError):
+            boundary_concentrated_flip(clean, 0.6)
+        with pytest.raises(ValueError):
+            boundary_concentrated_flip(clean, 0.1, concentration=0.0)
+
+
+class TestAsymmetricFlip:
+    def test_directional_rates(self, clean):
+        noisy = asymmetric_flip(clean, 0.0, 0.4, rng=7)
+        flipped = noisy.labels != clean.labels
+        # Only label-1 points flip.
+        assert not flipped[clean.labels == 0].any()
+        assert flipped[clean.labels == 1].mean() > 0.25
+
+    def test_validation(self, clean):
+        with pytest.raises(ValueError):
+            asymmetric_flip(clean, 0.6, 0.1)
+
+
+class TestAdversarialPairs:
+    def test_each_flip_costs_the_optimum(self):
+        clean = width_controlled(200, 2, noise=0.0, rng=8)
+        assert solve_passive(clean).optimal_error == 0.0
+        for budget in (0, 3, 8):
+            noisy = adversarial_pairs(clean, budget, rng=9)
+            flips = int((noisy.labels != clean.labels).sum())
+            assert flips <= budget
+            # Vertex-disjoint conflicting pairs: k* equals the flip count.
+            assert solve_passive(noisy).optimal_error == flips
+
+    def test_validation(self, clean):
+        with pytest.raises(ValueError):
+            adversarial_pairs(clean, -1)
+
+
+class TestRegistry:
+    def test_models_registered(self):
+        assert set(NOISE_MODELS) == {"uniform", "boundary", "asymmetric"}
+
+    def test_all_models_runnable(self, clean):
+        for name, transform in NOISE_MODELS.items():
+            noisy = transform(clean, 0.1, rng=10)
+            assert noisy.n == clean.n, name

@@ -1,0 +1,95 @@
+"""Tests for the probing oracle (repro.core.oracle)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import HIDDEN, LabelOracle, PointSet, ProbeBudgetExceeded
+
+
+@pytest.fixture
+def truth() -> PointSet:
+    return PointSet([(float(i),) for i in range(6)], [0, 0, 1, 0, 1, 1])
+
+
+class TestProbing:
+    def test_probe_returns_label(self, truth):
+        oracle = LabelOracle(truth)
+        assert oracle.probe(2) == 1
+        assert oracle.probe(0) == 0
+
+    def test_cost_counts_distinct_points(self, truth):
+        oracle = LabelOracle(truth)
+        oracle.probe(1)
+        oracle.probe(1)
+        oracle.probe(1)
+        assert oracle.cost == 1
+        assert oracle.total_requests == 3
+
+    def test_probe_many(self, truth):
+        oracle = LabelOracle(truth)
+        labels = oracle.probe_many([0, 1, 2])
+        assert labels == [0, 0, 1]
+        assert oracle.cost == 3
+
+    def test_index_bounds(self, truth):
+        oracle = LabelOracle(truth)
+        with pytest.raises(IndexError):
+            oracle.probe(6)
+        with pytest.raises(IndexError):
+            oracle.probe(-1)
+
+    def test_requires_fully_labeled_ground_truth(self, truth):
+        with pytest.raises(ValueError):
+            LabelOracle(truth.with_hidden_labels())
+
+    def test_peek_never_charges(self, truth):
+        oracle = LabelOracle(truth)
+        assert oracle.peek(3) is None
+        oracle.probe(3)
+        assert oracle.peek(3) == 0
+        assert oracle.cost == 1
+
+
+class TestBudget:
+    def test_budget_enforced_on_distinct_points(self, truth):
+        oracle = LabelOracle(truth, budget=2)
+        oracle.probe(0)
+        oracle.probe(0)  # repeat: free
+        oracle.probe(1)
+        with pytest.raises(ProbeBudgetExceeded):
+            oracle.probe(2)
+
+    def test_remaining_budget(self, truth):
+        oracle = LabelOracle(truth, budget=3)
+        assert oracle.remaining_budget() == 3
+        oracle.probe(0)
+        assert oracle.remaining_budget() == 2
+        assert LabelOracle(truth).remaining_budget() is None
+
+
+class TestAccounting:
+    def test_revealed_labels_vector(self, truth):
+        oracle = LabelOracle(truth)
+        oracle.probe(2)
+        oracle.probe(5)
+        revealed = oracle.revealed_labels(truth.n)
+        assert revealed[2] == 1 and revealed[5] == 1
+        assert all(revealed[i] == HIDDEN for i in (0, 1, 3, 4))
+
+    def test_log_keeps_repeats(self, truth):
+        oracle = LabelOracle(truth)
+        oracle.probe(1)
+        oracle.probe(1)
+        assert oracle.log == [1, 1]
+
+    def test_reset(self, truth):
+        oracle = LabelOracle(truth)
+        oracle.probe(0)
+        oracle.reset()
+        assert oracle.cost == 0
+        assert oracle.log == []
+
+    def test_repr(self, truth):
+        oracle = LabelOracle(truth, budget=5)
+        assert "budget=5" in repr(oracle)

@@ -1,0 +1,111 @@
+"""Tests for blockwise pairwise computations (repro.core.pairwise)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PointSet, is_monotone_assignment, solve_passive
+from repro.core.pairwise import (
+    blocked_contending_mask,
+    blocked_dominance_pairs,
+    blocked_is_monotone_assignment,
+)
+from repro.core.passive import contending_mask
+from repro.datasets.synthetic import planted_monotone
+
+
+def _random_labeled(seed: int, n: int, dim: int, grid: int = 5) -> PointSet:
+    gen = np.random.default_rng(seed)
+    coords = gen.integers(0, grid, size=(n, dim)).astype(float)
+    labels = gen.integers(0, 2, size=n)
+    return PointSet(coords, labels)
+
+
+class TestBlockedContendingMask:
+    @pytest.mark.parametrize("block_size", [1, 3, 64])
+    def test_matches_matrix_version(self, block_size):
+        for seed in range(10):
+            ps = _random_labeled(seed, 40, 2)
+            assert (blocked_contending_mask(ps, block_size)
+                    == contending_mask(ps)).all()
+
+    def test_empty_and_single_class(self):
+        empty = PointSet.from_points([])
+        assert blocked_contending_mask(empty).shape == (0,)
+        ones = PointSet([(0.0,), (1.0,)], [1, 1])
+        assert not blocked_contending_mask(ones).any()
+
+    def test_requires_labels(self, tiny_2d):
+        with pytest.raises(ValueError):
+            blocked_contending_mask(tiny_2d.with_hidden_labels())
+
+
+class TestBlockedDominancePairs:
+    def test_stream_matches_matrix(self):
+        ps = _random_labeled(3, 30, 2)
+        weak = ps.weak_dominance_matrix()
+        zeros = np.flatnonzero(ps.labels == 0)
+        ones = np.flatnonzero(ps.labels == 1)
+        got = {src: set(hits)
+               for src, hits in blocked_dominance_pairs(ps, zeros, ones, 4)}
+        for p in zeros:
+            expected = {int(q) for q in ones if weak[p, q]}
+            assert got.get(int(p), set()) == expected
+
+    def test_empty_sides(self, tiny_2d):
+        assert list(blocked_dominance_pairs(tiny_2d, np.array([]), np.array([0]))) == []
+        assert list(blocked_dominance_pairs(tiny_2d, np.array([0]), np.array([]))) == []
+
+
+class TestBlockedMonotoneCheck:
+    @pytest.mark.parametrize("block_size", [1, 2, 128])
+    def test_matches_matrix_version(self, block_size):
+        gen = np.random.default_rng(0)
+        for seed in range(10):
+            ps = _random_labeled(seed + 100, 25, 2)
+            pred = gen.integers(0, 2, size=25).astype(np.int8)
+            assert blocked_is_monotone_assignment(ps, pred, block_size) == \
+                is_monotone_assignment(ps, pred)
+
+    def test_all_same_prediction_is_monotone(self, tiny_2d):
+        assert blocked_is_monotone_assignment(tiny_2d, np.zeros(4, dtype=np.int8))
+        assert blocked_is_monotone_assignment(tiny_2d, np.ones(4, dtype=np.int8))
+
+    def test_shape_validation(self, tiny_2d):
+        with pytest.raises(ValueError):
+            blocked_is_monotone_assignment(tiny_2d, np.zeros(3, dtype=np.int8))
+
+
+class TestSolvePassiveBlockwise:
+    def test_forced_blockwise_matches_default(self):
+        ps = planted_monotone(400, 3, noise=0.15, rng=7, weights="random")
+        default = solve_passive(ps)
+        blocked = solve_passive(ps, block_size=37)
+        assert blocked.optimal_error == pytest.approx(default.optimal_error)
+        assert blocked.num_contending == default.num_contending
+        assert (blocked.assignment == default.assignment).all()
+
+    def test_blockwise_with_push_relabel(self):
+        ps = planted_monotone(200, 2, noise=0.2, rng=8)
+        a = solve_passive(ps, block_size=16, backend="push_relabel")
+        b = solve_passive(ps)
+        assert a.optimal_error == pytest.approx(b.optimal_error)
+
+    def test_blockwise_without_reduction(self):
+        ps = planted_monotone(150, 2, noise=0.2, rng=9)
+        a = solve_passive(ps, block_size=10, use_contending_reduction=False)
+        b = solve_passive(ps)
+        assert a.optimal_error == pytest.approx(b.optimal_error)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 25), st.integers(1, 3), st.integers(1, 7),
+       st.integers(0, 10_000))
+def test_blocked_mask_equals_matrix_mask(n, dim, block_size, seed):
+    """Property: blockwise and matrix contending masks always agree."""
+    ps = _random_labeled(seed, n, dim)
+    assert (blocked_contending_mask(ps, block_size)
+            == contending_mask(ps)).all()

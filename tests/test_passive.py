@@ -1,0 +1,156 @@
+"""Tests for the Theorem 4 min-cut passive solver (repro.core.passive)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    PointSet,
+    brute_force_passive,
+    is_monotone_assignment,
+    solve_passive,
+    solve_passive_1d,
+    weighted_error,
+)
+from repro.core.passive import contending_mask
+from repro.datasets.synthetic import planted_monotone
+
+
+class TestContendingMask:
+    def test_monotone_labeling_has_no_contenders(self, monotone_2d):
+        assert not contending_mask(monotone_2d).any()
+
+    def test_conflicting_pair(self):
+        ps = PointSet([(0.0, 0.0), (1.0, 1.0)], [1, 0])
+        assert contending_mask(ps).all()
+
+    def test_duplicates_with_opposite_labels_contend(self):
+        ps = PointSet([(1.0, 1.0), (1.0, 1.0)], [0, 1])
+        assert contending_mask(ps).all()
+
+    def test_figure2a_exact_sets(self):
+        from repro.datasets.figures import FIGURE1_CONTENDING, figure1_point_set
+
+        ps = figure1_point_set()
+        mask = contending_mask(ps)
+        for label in (0, 1):
+            got = sorted(f"p{i + 1}"
+                         for i in np.flatnonzero(mask & (ps.labels == label)))
+            assert got == sorted(FIGURE1_CONTENDING[label])
+
+    def test_empty(self):
+        assert contending_mask(PointSet.from_points([])).shape == (0,)
+
+
+class TestSolvePassive:
+    def test_tiny_example(self, tiny_2d):
+        result = solve_passive(tiny_2d)
+        assert result.optimal_error == 1.0
+        assert is_monotone_assignment(tiny_2d, result.assignment)
+        assert weighted_error(tiny_2d, result.classifier) == 1.0
+
+    def test_monotone_input_zero_error(self, monotone_2d):
+        result = solve_passive(monotone_2d)
+        assert result.optimal_error == 0.0
+        assert list(result.assignment) == list(monotone_2d.labels)
+
+    def test_empty_input(self):
+        result = solve_passive(PointSet.from_points([]))
+        assert result.optimal_error == 0.0
+
+    def test_classifier_extends_beyond_input(self, tiny_2d):
+        result = solve_passive(tiny_2d)
+        # Any point dominating everything must be classified like the top.
+        top = result.classifier.classify((10.0, 10.0))
+        assert top == result.assignment[3]
+
+    def test_figure1_unweighted(self):
+        from repro.datasets.figures import figure1_point_set
+
+        assert solve_passive(figure1_point_set()).optimal_error == 3.0
+
+    def test_figure1_weighted(self):
+        from repro.datasets.figures import figure1_weighted_point_set
+
+        result = solve_passive(figure1_weighted_point_set())
+        assert result.optimal_error == 104.0
+        assert result.flow_value == pytest.approx(104.0)
+
+    def test_backends_agree(self, rng):
+        ps = planted_monotone(150, 3, noise=0.2, rng=1, weights="random")
+        dinic = solve_passive(ps, backend="dinic")
+        push = solve_passive(ps, backend="push_relabel")
+        assert dinic.optimal_error == pytest.approx(push.optimal_error)
+
+    def test_without_contending_reduction_same_answer(self, rng):
+        ps = planted_monotone(120, 2, noise=0.2, rng=2, weights="random")
+        a = solve_passive(ps, use_contending_reduction=True)
+        b = solve_passive(ps, use_contending_reduction=False)
+        assert a.optimal_error == pytest.approx(b.optimal_error)
+        assert a.num_contending <= b.num_contending
+
+    def test_agrees_with_1d_exact(self, rng):
+        values = rng.random((200, 1))
+        labels = (values[:, 0] > 0.5).astype(int)
+        flips = rng.random(200) < 0.3
+        labels = np.where(flips, 1 - labels, labels)
+        weights = rng.random(200) + 0.1
+        ps = PointSet(values, labels, weights)
+        assert solve_passive(ps).optimal_error == \
+            pytest.approx(solve_passive_1d(ps).optimal_error)
+
+    def test_heavy_weights_steer_the_cut(self):
+        # A label-1 point below a label-0 point: flip whichever is lighter.
+        ps = PointSet([(0.0,), (1.0,)], [1, 0], [10.0, 1.0])
+        result = solve_passive(ps)
+        assert result.optimal_error == 1.0
+        assert list(result.assignment) == [1, 1]
+        ps2 = PointSet([(0.0,), (1.0,)], [1, 0], [1.0, 10.0])
+        result2 = solve_passive(ps2)
+        assert result2.optimal_error == 1.0
+        assert list(result2.assignment) == [0, 0]
+
+    def test_requires_labels(self, tiny_2d):
+        with pytest.raises(ValueError):
+            solve_passive(tiny_2d.with_hidden_labels())
+
+
+class TestBruteForce:
+    def test_guard(self):
+        ps = PointSet(np.zeros((20, 1)), [0] * 20)
+        with pytest.raises(ValueError):
+            brute_force_passive(ps)
+
+    def test_tiny(self, tiny_2d):
+        assert brute_force_passive(tiny_2d) == 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 10), st.integers(1, 3), st.integers(0, 100_000))
+def test_solver_matches_brute_force(n, dim, seed):
+    """Property (Theorem 4): min-cut optimum equals exhaustive optimum."""
+    gen = np.random.default_rng(seed)
+    coords = gen.integers(0, 4, size=(n, dim)).astype(float)
+    labels = gen.integers(0, 2, size=n)
+    weights = gen.random(n) + 0.1
+    ps = PointSet(coords, labels, weights)
+    result = solve_passive(ps)
+    assert result.optimal_error == pytest.approx(brute_force_passive(ps))
+    assert is_monotone_assignment(ps, result.assignment)
+    assert weighted_error(ps, result.assignment) == pytest.approx(result.optimal_error)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(1, 9), st.integers(0, 100_000))
+def test_both_backends_match_brute_force(n, seed):
+    """Property: push-relabel solves the reduction exactly, too."""
+    gen = np.random.default_rng(seed)
+    coords = gen.integers(0, 3, size=(n, 2)).astype(float)
+    labels = gen.integers(0, 2, size=n)
+    ps = PointSet(coords, labels)
+    expected = brute_force_passive(ps)
+    assert solve_passive(ps, backend="push_relabel").optimal_error == \
+        pytest.approx(expected)

@@ -1,0 +1,151 @@
+"""Tests for the exact 1-D passive solver (repro.core.passive_1d)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PointSet, ThresholdClassifier, solve_passive_1d, weighted_error
+from repro.core.passive_1d import NEG_INF, best_threshold, threshold_errors
+
+
+def _naive_best(values, labels, weights=None):
+    """Reference: evaluate every effective threshold directly."""
+    values = np.asarray(values, dtype=float)
+    labels = np.asarray(labels)
+    weights = np.ones(len(values)) if weights is None else np.asarray(weights)
+    best = None
+    for tau in [NEG_INF] + sorted(set(values.tolist())):
+        pred = (values > tau).astype(int)
+        err = float(weights[pred != labels].sum())
+        if best is None or err < best[1]:
+            best = (tau, err)
+    return best
+
+
+class TestBestThreshold:
+    def test_clean_separation(self):
+        tau, err = best_threshold([1.0, 2.0, 3.0, 4.0], [0, 0, 1, 1])
+        assert err == 0.0
+        assert tau == 2.0
+
+    def test_all_ones_prefers_neg_inf(self):
+        tau, err = best_threshold([1.0, 2.0], [1, 1])
+        assert err == 0.0
+        assert tau == NEG_INF
+
+    def test_all_zeros(self):
+        tau, err = best_threshold([1.0, 2.0], [0, 0])
+        assert err == 0.0
+        assert tau == 2.0  # everything at or below tau -> predicted 0
+
+    def test_single_noise_point(self):
+        # 0 0 1 0 1 1: flipping position 3 (label 0 at value 4) costs 1.
+        tau, err = best_threshold([1, 2, 3, 4, 5, 6], [0, 0, 1, 0, 1, 1])
+        assert err == 1.0
+
+    def test_weights_change_the_answer(self):
+        values = [1.0, 2.0]
+        labels = [1, 0]
+        # Unweighted: any threshold errs on exactly one point.
+        _tau, err = best_threshold(values, labels)
+        assert err == 1.0
+        # Heavy weight on the label-1 point: classifier must cover it.
+        tau, err = best_threshold(values, labels, weights=[10.0, 1.0])
+        assert err == 1.0
+        assert tau == NEG_INF  # all-1: errs only on the light label-0 point
+
+    def test_ties_stay_together(self):
+        # Two copies of the same value with different labels: one always errs.
+        _tau, err = best_threshold([1.0, 1.0], [0, 1])
+        assert err == 1.0
+
+    def test_empty(self):
+        tau, err = best_threshold([], [])
+        assert err == 0.0
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            best_threshold([1.0], [0, 1])
+        with pytest.raises(ValueError):
+            best_threshold([1.0], [0], weights=[1.0, 2.0])
+
+
+class TestThresholdErrors:
+    def test_curve_contains_all_candidates(self):
+        taus, errors = threshold_errors([1.0, 2.0, 3.0], [0, 1, 1])
+        assert taus[0] == NEG_INF
+        assert list(taus[1:]) == [1.0, 2.0, 3.0]
+        # tau=-inf: errs on the label-0 point; tau=1: clean; tau=3: errs on 2 ones.
+        assert list(errors) == [1.0, 0.0, 1.0, 2.0]
+
+    def test_min_matches_best_threshold(self, rng):
+        values = rng.random(200)
+        labels = (values > 0.4).astype(int)
+        flips = rng.random(200) < 0.2
+        labels = np.where(flips, 1 - labels, labels)
+        weights = rng.random(200) + 0.1
+        _taus, errors = threshold_errors(values, labels, weights)
+        _tau, err = best_threshold(values, labels, weights)
+        assert errors.min() == pytest.approx(err)
+
+
+class TestSolvePassive1D:
+    def test_returns_threshold_classifier(self):
+        ps = PointSet([(1.0,), (2.0,), (3.0,)], [0, 1, 1])
+        result = solve_passive_1d(ps)
+        assert isinstance(result.classifier, ThresholdClassifier)
+        assert result.optimal_error == 0.0
+        assert weighted_error(ps, result.classifier) == 0.0
+
+    def test_classifier_achieves_reported_error(self, rng):
+        values = rng.random((300, 1))
+        labels = (values[:, 0] > 0.5).astype(int)
+        flips = rng.random(300) < 0.25
+        labels = np.where(flips, 1 - labels, labels)
+        weights = rng.random(300) + 0.5
+        ps = PointSet(values, labels, weights)
+        result = solve_passive_1d(ps)
+        assert weighted_error(ps, result.classifier) == pytest.approx(result.optimal_error)
+
+    def test_requires_1d(self, tiny_2d):
+        with pytest.raises(ValueError):
+            solve_passive_1d(tiny_2d)
+
+    def test_requires_labels(self):
+        ps = PointSet([(1.0,)], [0]).with_hidden_labels()
+        with pytest.raises(ValueError):
+            solve_passive_1d(ps)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 8), st.integers(0, 1),
+                          st.floats(0.1, 5.0)),
+                min_size=1, max_size=25))
+def test_matches_naive_enumeration(rows):
+    """Property: the prefix-sum solver equals brute-force threshold search."""
+    values = [float(v) for v, _l, _w in rows]
+    labels = [l for _v, l, _w in rows]
+    weights = [w for _v, _l, w in rows]
+    tau, err = best_threshold(values, labels, weights)
+    naive_tau, naive_err = _naive_best(values, labels, weights)
+    assert err == pytest.approx(naive_err)
+    # The solver must achieve its reported error (tie-broken tau may differ).
+    pred = (np.asarray(values) > tau).astype(int)
+    achieved = float(np.asarray(weights)[pred != np.asarray(labels)].sum())
+    assert achieved == pytest.approx(err)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 6), st.integers(0, 1)),
+                min_size=1, max_size=20))
+def test_agrees_with_isotonic_baseline(rows):
+    """Property: PAVA@1/2 achieves the same optimal unweighted error."""
+    from repro.baselines.isotonic import isotonic_threshold_classifier
+
+    ps = PointSet([(float(v),) for v, _l in rows], [l for _v, l in rows])
+    exact = solve_passive_1d(ps).optimal_error
+    iso = isotonic_threshold_classifier(ps)
+    assert weighted_error(ps, iso) == pytest.approx(exact)

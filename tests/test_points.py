@@ -1,0 +1,200 @@
+"""Tests for the point/label/weight data model (repro.core.points)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import HIDDEN, LabeledPoint, PointSet
+from repro.core.points import strictly_dominates, weakly_dominates
+
+
+class TestLabeledPoint:
+    def test_basic_construction(self):
+        p = LabeledPoint((1.0, 2.0), label=1, weight=3.0, name="a")
+        assert p.dim == 2
+        assert p.label == 1
+        assert p.weight == 3.0
+        assert p.name == "a"
+
+    def test_default_label_is_hidden(self):
+        assert LabeledPoint((0.0,)).label == HIDDEN
+
+    def test_rejects_bad_label(self):
+        with pytest.raises(ValueError):
+            LabeledPoint((0.0,), label=2)
+
+    @pytest.mark.parametrize("weight", [0.0, -1.0, float("inf"), float("nan")])
+    def test_rejects_bad_weight(self, weight):
+        with pytest.raises(ValueError):
+            LabeledPoint((0.0,), weight=weight)
+
+    def test_weak_dominance_includes_equality(self):
+        p = LabeledPoint((1.0, 2.0))
+        q = LabeledPoint((1.0, 2.0))
+        assert p.weakly_dominates(q)
+        assert q.weakly_dominates(p)
+        assert not p.strictly_dominates(q)
+
+    def test_strict_dominance(self):
+        hi = LabeledPoint((2.0, 2.0))
+        lo = LabeledPoint((1.0, 2.0))
+        assert hi.strictly_dominates(lo)
+        assert not lo.strictly_dominates(hi)
+
+    def test_incomparable(self):
+        a = LabeledPoint((2.0, 0.0))
+        b = LabeledPoint((0.0, 2.0))
+        assert not a.weakly_dominates(b)
+        assert not b.weakly_dominates(a)
+
+
+class TestDominancePredicates:
+    def test_weakly_dominates_function(self):
+        assert weakly_dominates(np.array([1.0, 1.0]), np.array([1.0, 0.0]))
+        assert not weakly_dominates(np.array([1.0, 0.0]), np.array([1.0, 1.0]))
+
+    def test_strictly_dominates_needs_distinct(self):
+        v = np.array([1.0, 1.0])
+        assert not strictly_dominates(v, v.copy())
+
+
+class TestPointSetConstruction:
+    def test_from_rows(self):
+        ps = PointSet([(0.0, 1.0), (1.0, 0.0)], [0, 1])
+        assert ps.n == 2
+        assert ps.dim == 2
+        assert list(ps.labels) == [0, 1]
+        assert ps.total_weight == 2.0
+
+    def test_flat_1d_input_is_reshaped(self):
+        ps = PointSet(np.array([1.0, 2.0, 3.0]), [0, 0, 1])
+        assert ps.dim == 1
+        assert ps.n == 3
+
+    def test_rejects_mismatched_labels(self):
+        with pytest.raises(ValueError):
+            PointSet([(0.0,), (1.0,)], [0])
+
+    def test_rejects_nonpositive_weights(self):
+        with pytest.raises(ValueError):
+            PointSet([(0.0,), (1.0,)], [0, 1], [1.0, 0.0])
+
+    def test_rejects_nonfinite_coords(self):
+        with pytest.raises(ValueError):
+            PointSet([(float("nan"),)], [0])
+
+    def test_rejects_bad_label_values(self):
+        with pytest.raises(ValueError):
+            PointSet([(0.0,)], [3])
+
+    def test_from_points_round_trip(self):
+        pts = [LabeledPoint((0.0, 1.0), 1, 2.0, "x"), LabeledPoint((1.0, 0.0), 0)]
+        ps = PointSet.from_points(pts)
+        assert ps.point(0) == pts[0]
+        assert ps.point(1) == pts[1]
+
+    def test_from_points_rejects_mixed_dims(self):
+        with pytest.raises(ValueError):
+            PointSet.from_points([LabeledPoint((0.0,)), LabeledPoint((0.0, 1.0))])
+
+    def test_empty_set(self):
+        ps = PointSet.from_points([])
+        assert ps.n == 0
+        assert ps.is_monotone_labeling()
+
+    def test_names_length_checked(self):
+        with pytest.raises(ValueError):
+            PointSet([(0.0,)], [0], names=["a", "b"])
+
+    def test_coords_are_immutable(self):
+        ps = PointSet([(0.0,)], [0])
+        with pytest.raises(ValueError):
+            ps.coords[0, 0] = 5.0
+
+
+class TestPointSetOperations:
+    def test_subset_preserves_order_and_data(self, tiny_2d):
+        sub = tiny_2d.subset([2, 0])
+        assert sub.n == 2
+        assert tuple(sub.coords[0]) == (2.0, 0.0)
+        assert tuple(sub.coords[1]) == (0.0, 0.0)
+        assert list(sub.labels) == [0, 1]
+
+    def test_replace_labels(self, tiny_2d):
+        swapped = tiny_2d.replace(labels=[0, 0, 0, 0])
+        assert list(swapped.labels) == [0, 0, 0, 0]
+        assert list(tiny_2d.labels) == [1, 0, 0, 1]  # original untouched
+
+    def test_with_hidden_labels(self, tiny_2d):
+        hidden = tiny_2d.with_hidden_labels()
+        assert hidden.has_hidden_labels
+        assert not tiny_2d.has_hidden_labels
+        with pytest.raises(ValueError):
+            hidden.require_full_labels()
+
+    def test_iteration_yields_labeled_points(self, tiny_2d):
+        pts = list(tiny_2d)
+        assert len(pts) == 4
+        assert all(isinstance(p, LabeledPoint) for p in pts)
+
+    def test_repr_mentions_size(self, tiny_2d):
+        assert "n=4" in repr(tiny_2d)
+
+
+class TestDominanceMatrices:
+    def test_weak_matrix_diagonal_true(self, tiny_2d):
+        weak = tiny_2d.weak_dominance_matrix()
+        assert weak.diagonal().all()
+
+    def test_weak_matrix_contents(self, tiny_2d):
+        weak = tiny_2d.weak_dominance_matrix()
+        # (1,1) dominates (0,0); (2,0) dominates (0,0); (2,2) dominates all.
+        assert weak[1, 0] and weak[2, 0] and weak[3, 0]
+        assert weak[3, 1] and weak[3, 2]
+        assert not weak[1, 2] and not weak[2, 1]
+
+    def test_strict_matrix_excludes_duplicates(self):
+        ps = PointSet([(1.0, 1.0), (1.0, 1.0)], [0, 1])
+        strict = ps.strict_dominance_matrix()
+        assert not strict.any()
+        weak = ps.weak_dominance_matrix()
+        assert weak.all()
+
+    def test_matrix_is_cached(self, tiny_2d):
+        assert tiny_2d.weak_dominance_matrix() is tiny_2d.weak_dominance_matrix()
+
+    def test_monotone_labeling_detection(self, tiny_2d, monotone_2d):
+        assert not tiny_2d.is_monotone_labeling()
+        assert monotone_2d.is_monotone_labeling()
+
+    def test_comparable(self, tiny_2d):
+        assert tiny_2d.comparable(0, 3)
+        assert not tiny_2d.comparable(1, 2)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.floats(0, 1, allow_nan=False),
+                          st.floats(0, 1, allow_nan=False)),
+                min_size=1, max_size=20))
+def test_weak_dominance_matrix_matches_pairwise(coord_rows):
+    """Property: the vectorized matrix agrees with pairwise comparison."""
+    ps = PointSet(coord_rows, [0] * len(coord_rows))
+    weak = ps.weak_dominance_matrix()
+    for i in range(ps.n):
+        for j in range(ps.n):
+            expected = all(ps.coords[i][k] >= ps.coords[j][k] for k in range(2))
+            assert bool(weak[i, j]) == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.floats(0, 1, allow_nan=False),
+                          st.floats(0, 1, allow_nan=False)),
+                min_size=2, max_size=15))
+def test_strict_dominance_is_antisymmetric(coord_rows):
+    """Property: strict dominance never holds in both directions."""
+    ps = PointSet(coord_rows, [0] * len(coord_rows))
+    strict = ps.strict_dominance_matrix()
+    assert not (strict & strict.T).any()

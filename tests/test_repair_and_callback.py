@@ -1,0 +1,118 @@
+"""Tests for label repair (repro.core.repair) and CallbackOracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PointSet, ProbeBudgetExceeded, active_classify, error_count
+from repro.core.callback_oracle import CallbackOracle
+from repro.core.repair import repair_labels
+from repro.datasets.synthetic import planted_monotone, width_controlled
+
+
+class TestRepairLabels:
+    def test_already_monotone_untouched(self, monotone_2d):
+        report = repair_labels(monotone_2d)
+        assert report.num_flips == 0
+        assert report.repair_weight == 0.0
+        assert (report.repaired.labels == monotone_2d.labels).all()
+
+    def test_repair_is_monotone_and_minimal(self, tiny_2d):
+        report = repair_labels(tiny_2d)
+        assert report.repaired.is_monotone_labeling()
+        assert report.repair_weight == 1.0  # the known optimum
+        assert report.num_flips == 1
+
+    def test_direction_counts(self):
+        # A 1 below a 0: one of them flips.
+        ps = PointSet([(0.0,), (1.0,)], [1, 0], [1.0, 10.0])
+        report = repair_labels(ps)
+        # Cheapest repair flips the label-1 point to 0... wait: weight 1
+        # on the label-1 point, so flip it (1 -> 0).
+        assert report.flips_1_to_0 + report.flips_0_to_1 == 1
+        assert report.repair_weight == 1.0
+
+    def test_weights_steer_the_repair(self):
+        ps = PointSet([(0.0,), (1.0,)], [1, 0], [10.0, 1.0])
+        report = repair_labels(ps)
+        assert report.flipped_indices == [1]
+        assert report.flips_0_to_1 == 1
+
+    def test_flip_count_bounded_by_injected_noise(self):
+        clean = planted_monotone(300, 2, noise=0.0, rng=0)
+        from repro.datasets.noise import uniform_flip
+
+        noisy = uniform_flip(clean, 0.1, rng=1)
+        injected = int((noisy.labels != clean.labels).sum())
+        report = repair_labels(noisy)
+        # Reverting the injected flips is one valid repair; the optimum
+        # cannot cost more.
+        assert report.repair_weight <= injected
+
+    def test_requires_labels(self, tiny_2d):
+        with pytest.raises(ValueError):
+            repair_labels(tiny_2d.with_hidden_labels())
+
+
+class TestCallbackOracle:
+    @pytest.fixture
+    def workload(self):
+        return width_controlled(1_000, 3, noise=0.0, rng=2)
+
+    def test_calls_labeler_once_per_point(self, workload):
+        calls = []
+
+        def labeler(coords):
+            calls.append(coords)
+            return 1 if coords[0] + coords[1] > 0 else 0
+
+        oracle = CallbackOracle(workload.with_hidden_labels(), labeler)
+        oracle.probe(5)
+        oracle.probe(5)
+        oracle.probe(7)
+        assert len(calls) == 2
+        assert oracle.cost == 2
+        assert oracle.total_requests == 3
+
+    def test_budget_enforced(self, workload):
+        oracle = CallbackOracle(workload.with_hidden_labels(),
+                                lambda c: 0, budget=1)
+        oracle.probe(0)
+        with pytest.raises(ProbeBudgetExceeded):
+            oracle.probe(1)
+
+    def test_rejects_bad_labeler_output(self, workload):
+        oracle = CallbackOracle(workload.with_hidden_labels(), lambda c: 7)
+        with pytest.raises(ValueError):
+            oracle.probe(0)
+
+    def test_index_bounds(self, workload):
+        oracle = CallbackOracle(workload.with_hidden_labels(), lambda c: 0)
+        with pytest.raises(IndexError):
+            oracle.probe(10_000)
+
+    def test_drives_the_active_algorithm(self, workload):
+        """End to end: active learning against a labeling function."""
+        truth = {tuple(float(c) for c in workload.coords[i]):
+                 int(workload.labels[i]) for i in range(workload.n)}
+
+        oracle = CallbackOracle(workload.with_hidden_labels(),
+                                lambda coords: truth[coords])
+        result = active_classify(workload.with_hidden_labels(), oracle,
+                                 epsilon=1.0, rng=3)
+        # Clean labels: the learner should be exactly right.
+        assert error_count(workload, result.classifier) == 0
+        assert result.probing_cost == oracle.cost
+
+    def test_revealed_labels_vector(self, workload):
+        oracle = CallbackOracle(workload.with_hidden_labels(), lambda c: 1)
+        oracle.probe(3)
+        revealed = oracle.revealed_labels(workload.n)
+        assert revealed[3] == 1
+        assert (revealed != -1).sum() == 1
+
+    def test_repr(self, workload):
+        oracle = CallbackOracle(workload.with_hidden_labels(), lambda c: 0,
+                                budget=9)
+        assert "budget=9" in repr(oracle)

@@ -1,0 +1,52 @@
+"""Tests for the experiment report generator (repro.experiments.report)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import check_rows, generate_report, main
+
+
+class TestCheckRows:
+    def test_healthy_rows(self):
+        rows = [{"match": True, "n": 3}, {"agree": True}]
+        assert check_rows(rows) == []
+
+    def test_boolean_failure_detected(self):
+        rows = [{"match": True}, {"match": False}]
+        failures = check_rows(rows)
+        assert len(failures) == 1
+        assert "row 1" in failures[0]
+
+    def test_mismatch_string_detected(self):
+        rows = [{"optimality_check": "ok"}, {"optimality_check": "MISMATCH"}]
+        assert len(check_rows(rows)) == 1
+
+    def test_na_strings_pass(self):
+        assert check_rows([{"optimality_check": "n/a"}]) == []
+
+    def test_non_check_columns_ignored(self):
+        assert check_rows([{"enabled": False, "value": 0}]) == []
+
+
+class TestGenerateReport:
+    def test_contains_sections_and_tables(self):
+        report = generate_report(["figure1"])
+        assert "# Experiment report" in report
+        assert "Figure 1 worked example" in report
+        assert "ALL PASS" in report
+        assert "```" in report
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            generate_report(["bogus"])
+
+
+class TestMain:
+    def test_writes_file_and_exits_zero(self, tmp_path, capsys):
+        output = tmp_path / "report.md"
+        code = main([str(output), "figure1", "lowerbound"])
+        assert code == 0
+        text = output.read_text()
+        assert "Figure 1" in text and "lower-bound" in text
+        assert "FAILURES SUMMARY" not in text

@@ -1,0 +1,113 @@
+"""Tests for classifier serialization (repro.serialization)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConstantClassifier,
+    PointSet,
+    ThresholdClassifier,
+    UpsetClassifier,
+)
+from repro.core.exceptions_variant import ExceptionAugmentedClassifier
+from repro.serialization import (
+    classifier_from_dict,
+    classifier_to_dict,
+    load_classifier,
+    save_classifier,
+)
+
+
+def _predictions_match(a, b, coords):
+    return (a.classify_matrix(coords) == b.classify_matrix(coords)).all()
+
+
+@pytest.fixture
+def probe_coords(rng):
+    return rng.random((50, 2))
+
+
+class TestRoundTrips:
+    def test_constant(self, tmp_path):
+        for value in (0, 1):
+            path = tmp_path / f"c{value}.json"
+            save_classifier(ConstantClassifier(value), path)
+            loaded = load_classifier(path)
+            assert isinstance(loaded, ConstantClassifier)
+            assert loaded.value == value
+
+    def test_threshold(self, tmp_path, probe_coords):
+        h = ThresholdClassifier(0.37, dim=1)
+        path = tmp_path / "t.json"
+        save_classifier(h, path)
+        loaded = load_classifier(path)
+        assert loaded.tau == 0.37 and loaded.dim == 1
+        assert _predictions_match(h, loaded, probe_coords)
+
+    def test_threshold_infinities(self, tmp_path):
+        for tau in (float("inf"), float("-inf")):
+            path = tmp_path / "inf.json"
+            save_classifier(ThresholdClassifier(tau), path)
+            assert load_classifier(path).tau == tau
+
+    def test_upset(self, tmp_path, probe_coords):
+        h = UpsetClassifier([(0.2, 0.8), (0.7, 0.1)])
+        path = tmp_path / "u.json"
+        save_classifier(h, path)
+        loaded = load_classifier(path)
+        assert isinstance(loaded, UpsetClassifier)
+        assert loaded.num_anchors == 2
+        assert _predictions_match(h, loaded, probe_coords)
+
+    def test_empty_upset(self, tmp_path, probe_coords):
+        h = UpsetClassifier([], dim=2)
+        path = tmp_path / "u0.json"
+        save_classifier(h, path)
+        loaded = load_classifier(path)
+        assert loaded.num_anchors == 0
+        assert _predictions_match(h, loaded, probe_coords)
+
+    def test_with_exceptions(self, tmp_path, probe_coords):
+        base = ThresholdClassifier(0.5)
+        h = ExceptionAugmentedClassifier(base, {(0.25, 0.25): 1, (0.75, 0.75): 0})
+        path = tmp_path / "e.json"
+        save_classifier(h, path)
+        loaded = load_classifier(path)
+        assert isinstance(loaded, ExceptionAugmentedClassifier)
+        assert loaded.num_exceptions == 2
+        coords = np.array([[0.25, 0.25], [0.75, 0.75], [0.9, 0.9]])
+        assert (h.classify_matrix(coords) == loaded.classify_matrix(coords)).all()
+
+
+class TestValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            classifier_from_dict({"format_version": 1, "kind": "mystery"})
+
+    def test_wrong_version(self):
+        payload = classifier_to_dict(ConstantClassifier(0))
+        payload["format_version"] = 99
+        with pytest.raises(ValueError):
+            classifier_from_dict(payload)
+
+    def test_unserializable_type(self):
+        class Weird:
+            pass
+
+        with pytest.raises(TypeError):
+            classifier_to_dict(Weird())
+
+
+class TestTrainedClassifierRoundTrip:
+    def test_passive_solution_survives_round_trip(self, tmp_path, rng):
+        from repro import solve_passive
+        from repro.datasets.synthetic import planted_monotone
+
+        ps = planted_monotone(200, 2, noise=0.1, rng=5)
+        result = solve_passive(ps)
+        path = tmp_path / "trained.json"
+        save_classifier(result.classifier, path)
+        loaded = load_classifier(path)
+        assert (loaded.classify_set(ps) == result.assignment).all()

@@ -1,0 +1,107 @@
+"""Tests for shared utilities (repro._util)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util import (
+    as_float_matrix,
+    as_generator,
+    ceil_log2,
+    format_table,
+    log_levels,
+    validate_labels,
+    validate_weights,
+)
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_seed_is_deterministic(self):
+        assert as_generator(5).random() == as_generator(5).random()
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+
+class TestAsFloatMatrix:
+    def test_rows(self):
+        matrix = as_float_matrix([(1, 2), (3, 4)])
+        assert matrix.shape == (2, 2)
+        assert matrix.dtype == float
+
+    def test_flat_reshaped_to_1d_points(self):
+        assert as_float_matrix(np.array([1.0, 2.0])).shape == (2, 1)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            as_float_matrix(np.zeros((2, 2, 2)))
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueError):
+            as_float_matrix([(float("inf"),)])
+
+
+class TestValidators:
+    def test_labels_hidden_allowed_only_when_asked(self):
+        validate_labels([0, 1, -1], 3, allow_hidden=True)
+        with pytest.raises(ValueError):
+            validate_labels([0, 1, -1], 3, allow_hidden=False)
+
+    def test_labels_shape(self):
+        with pytest.raises(ValueError):
+            validate_labels([0, 1], 3)
+
+    def test_weights_default_units(self):
+        assert (validate_weights(None, 4) == 1.0).all()
+
+    def test_weights_positive(self):
+        with pytest.raises(ValueError):
+            validate_weights([1.0, -1.0], 2)
+        with pytest.raises(ValueError):
+            validate_weights([1.0, float("nan")], 2)
+
+
+class TestLogHelpers:
+    def test_ceil_log2(self):
+        assert ceil_log2(1) == 0
+        assert ceil_log2(2) == 1
+        assert ceil_log2(5) == 3
+        assert ceil_log2(0.5) == 0
+
+    def test_log_levels_bounds_recursion_depth(self):
+        # Shrink factor 5/8 per level: depth <= log_{8/5} n + 2.
+        assert log_levels(1) == 1
+        for n in (10, 1_000, 1_000_000):
+            depth = log_levels(n)
+            assert (5 / 8) ** (depth - 2) * n <= 1.01
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        rows = [{"name": "a", "value": 1.23456}, {"name": "bb", "value": 2}]
+        table = format_table(rows)
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.235" in table  # floatfmt .4g
+        assert len(lines) == 4
+
+    def test_column_subset(self):
+        rows = [{"a": 1, "b": 2}]
+        table = format_table(rows, columns=["b"])
+        assert "a" not in table.splitlines()[0]
+
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_bool_rendering(self):
+        table = format_table([{"ok": True}])
+        assert "True" in table
+
+    def test_missing_cells_blank(self):
+        table = format_table([{"a": 1}, {}], columns=["a"])
+        assert table.count("1") == 1

@@ -1,0 +1,138 @@
+"""Tests for result auditing and certificates (repro.core.validation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import LabelOracle, PointSet, active_classify, solve_passive
+from repro.core.validation import (
+    AuditReport,
+    audit_active_result,
+    audit_passive_result,
+    conflict_matching_lower_bound,
+)
+from repro.datasets.synthetic import planted_monotone, width_controlled
+
+
+class TestAuditReport:
+    def test_ok_when_no_failures(self):
+        report = AuditReport()
+        report.record("a", True)
+        assert report.ok
+        report.raise_on_failure()  # no raise
+
+    def test_failure_recorded_and_raised(self):
+        report = AuditReport()
+        report.record("good", True)
+        report.record("bad", False)
+        assert not report.ok
+        assert report.failures == ["bad"]
+        with pytest.raises(AssertionError, match="bad"):
+            report.raise_on_failure()
+
+    def test_repr(self):
+        report = AuditReport()
+        report.record("x", True)
+        assert "failures=none" in repr(report)
+
+
+class TestConflictMatchingLowerBound:
+    def test_monotone_input_zero(self, monotone_2d):
+        assert conflict_matching_lower_bound(monotone_2d) == 0.0
+
+    def test_single_conflict(self):
+        ps = PointSet([(0.0,), (1.0,)], [1, 0], [5.0, 3.0])
+        # One conflicting pair; the lighter endpoint weighs 3.
+        assert conflict_matching_lower_bound(ps) == 3.0
+        assert solve_passive(ps).optimal_error == 3.0
+
+    def test_tight_for_unit_weights(self):
+        gen = np.random.default_rng(1)
+        for seed in range(10):
+            ps = planted_monotone(60, 2, noise=0.25, rng=seed)
+            bound = conflict_matching_lower_bound(ps)
+            optimum = solve_passive(ps).optimal_error
+            assert bound == pytest.approx(optimum)
+
+    def test_sound_for_general_weights(self):
+        for seed in range(10):
+            ps = planted_monotone(50, 2, noise=0.25, rng=seed, weights="random")
+            bound = conflict_matching_lower_bound(ps)
+            optimum = solve_passive(ps).optimal_error
+            assert bound <= optimum + 1e-9
+
+    def test_empty(self):
+        assert conflict_matching_lower_bound(PointSet.from_points([])) == 0.0
+
+
+class TestAuditPassive:
+    def test_valid_result_passes(self, tiny_2d):
+        result = solve_passive(tiny_2d)
+        report = audit_passive_result(tiny_2d, result)
+        assert report.ok, report.failures
+
+    def test_weighted_result_passes(self):
+        from repro.datasets.figures import figure1_weighted_point_set
+
+        points = figure1_weighted_point_set()
+        report = audit_passive_result(points, solve_passive(points))
+        assert report.ok, report.failures
+
+    def test_corrupted_result_fails(self, tiny_2d):
+        result = solve_passive(tiny_2d)
+        tampered = PassiveResultTamper(result)
+        report = audit_passive_result(tiny_2d, tampered)
+        assert not report.ok
+
+
+class PassiveResultTamper:
+    """A PassiveResult stand-in with an inflated error claim."""
+
+    def __init__(self, result):
+        self.assignment = result.assignment
+        self.optimal_error = result.optimal_error + 5.0  # lie
+        self.flow_value = result.flow_value
+        self.classifier = result.classifier
+
+
+class TestAuditActive:
+    def test_valid_run_passes(self):
+        points = width_controlled(2_000, 4, noise=0.08, rng=2)
+        oracle = LabelOracle(points)
+        result = active_classify(points.with_hidden_labels(), oracle,
+                                 epsilon=0.5, rng=3)
+        from repro.experiments._common import chainwise_optimum
+
+        report = audit_active_result(points, result, oracle,
+                                     true_optimum=chainwise_optimum(points))
+        assert report.ok, report.failures
+
+    def test_audit_without_optimum(self, monotone_2d):
+        oracle = LabelOracle(monotone_2d)
+        result = active_classify(monotone_2d.with_hidden_labels(), oracle,
+                                 epsilon=1.0, rng=4)
+        report = audit_active_result(monotone_2d, result, oracle)
+        assert report.ok, report.failures
+
+    def test_foreign_oracle_fails_label_check(self, monotone_2d):
+        oracle = LabelOracle(monotone_2d)
+        result = active_classify(monotone_2d.with_hidden_labels(), oracle,
+                                 epsilon=1.0, rng=5)
+        fresh_oracle = LabelOracle(monotone_2d)  # never probed
+        report = audit_active_result(monotone_2d, result, fresh_oracle)
+        assert "Sigma labels match the oracle's revealed labels" in report.failures
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 12), st.integers(0, 10_000))
+def test_matching_bound_tight_under_unit_weights(n, seed):
+    """Property (König duality): matching bound == k* for unit weights."""
+    gen = np.random.default_rng(seed)
+    coords = gen.integers(0, 4, size=(n, 2)).astype(float)
+    labels = gen.integers(0, 2, size=n)
+    ps = PointSet(coords, labels)
+    assert conflict_matching_lower_bound(ps) == \
+        pytest.approx(solve_passive(ps).optimal_error)

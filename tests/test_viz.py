@@ -1,0 +1,85 @@
+"""Tests for the text renderer (repro.viz)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ConstantClassifier, PointSet, ThresholdClassifier, UpsetClassifier
+from repro.viz import render_decision_region, render_points
+
+
+def _grid_body(art: str) -> str:
+    """The character grid without borders and legend."""
+    lines = art.splitlines()
+    return "\n".join(line[1:-1] for line in lines[1:-2])
+
+
+class TestRenderPoints:
+    def test_labels_rendered(self, tiny_2d):
+        art = render_points(tiny_2d)
+        body = _grid_body(art)
+        assert body.count("x") + body.count("X") == 2
+        assert body.count("o") + body.count("O") == 2
+        assert "label 0/1" in art
+
+    def test_misclassified_uppercased(self, tiny_2d):
+        # All-0 misclassifies the two label-1 points.
+        art = render_points(tiny_2d, classifier=ConstantClassifier(0))
+        body = _grid_body(art)
+        assert body.count("X") == 2
+        assert body.count("O") == 0
+
+    def test_hidden_labels(self, tiny_2d):
+        body = _grid_body(render_points(tiny_2d.with_hidden_labels()))
+        assert body.count("?") == 4
+
+    def test_requires_2d(self):
+        ps = PointSet([(0.0,)], [0])
+        with pytest.raises(ValueError):
+            render_points(ps)
+
+    def test_empty(self):
+        ps = PointSet.from_points([])
+        with pytest.raises(ValueError):
+            render_points(ps)  # empty set is 1-D by construction
+
+    def test_dimensions_of_output(self, tiny_2d):
+        art = render_points(tiny_2d, width=30, height=10)
+        lines = art.splitlines()
+        assert len(lines) == 10 + 3  # grid + two borders + legend
+        assert all(len(line) == 32 for line in lines[:-1])
+
+    def test_identical_points_share_cell(self):
+        ps = PointSet([(0.5, 0.5), (0.5, 0.5)], [1, 1])
+        body = _grid_body(render_points(ps))
+        assert body.count("x") == 1  # overplotted
+
+
+class TestRenderDecisionRegion:
+    def test_monotone_staircase_shape(self):
+        h = UpsetClassifier([(0.3, 0.7), (0.7, 0.3)])
+        art = render_decision_region(h, width=20, height=10)
+        lines = [line[1:-1] for line in art.splitlines()[1:-2]]
+        # Monotonicity in the rendering: within a row, once shaded, always
+        # shaded to the right; between rows, the shaded prefix grows upward.
+        for line in lines:
+            first_hash = line.find("#")
+            if first_hash != -1:
+                assert "." not in line[first_hash:]
+        widths = [len(line) - line.find("#") if "#" in line else 0 for line in lines]
+        assert widths == sorted(widths, reverse=True)
+
+    def test_threshold_region(self):
+        h = ThresholdClassifier(0.5)
+        art = render_decision_region(h, width=20, height=5)
+        assert "#" in art and "." in art
+
+    def test_overlay_points(self, tiny_2d):
+        h = ConstantClassifier(1)
+        art = render_decision_region(h, points=tiny_2d, width=20, height=10)
+        assert "x" in art and "o" in art
+
+    def test_overlay_requires_2d(self):
+        ps = PointSet([(0.0,)], [0])
+        with pytest.raises(ValueError):
+            render_decision_region(ConstantClassifier(0), points=ps)

@@ -1,0 +1,118 @@
+"""Focused semantics of the *weighted* problem (Problem 2).
+
+Invariance and sensitivity properties a correct weighted solver must
+satisfy, beyond matching brute force on random instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PointSet, solve_passive, solve_passive_1d
+from repro.datasets.synthetic import planted_monotone
+
+
+def _random_weighted(seed: int, n: int, dim: int = 2) -> PointSet:
+    gen = np.random.default_rng(seed)
+    return PointSet(
+        gen.integers(0, 4, size=(n, dim)).astype(float),
+        gen.integers(0, 2, size=n),
+        gen.random(n) + 0.1,
+    )
+
+
+class TestWeightScaling:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 15), st.floats(0.5, 20.0), st.integers(0, 10_000))
+    def test_scaling_all_weights_scales_the_optimum(self, n, factor, seed):
+        ps = _random_weighted(seed, n)
+        scaled = ps.replace(weights=ps.weights * factor)
+        assert solve_passive(scaled).optimal_error == \
+            pytest.approx(factor * solve_passive(ps).optimal_error)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 15), st.integers(0, 10_000))
+    def test_unit_weights_match_counting(self, n, seed):
+        gen = np.random.default_rng(seed)
+        coords = gen.integers(0, 4, size=(n, 2)).astype(float)
+        labels = gen.integers(0, 2, size=n)
+        unweighted = PointSet(coords, labels)
+        explicit = PointSet(coords, labels, np.ones(n))
+        assert solve_passive(unweighted).optimal_error == \
+            solve_passive(explicit).optimal_error
+
+
+class TestWeightSensitivity:
+    def test_heavy_point_pins_its_label(self):
+        """A sufficiently heavy point is never flipped."""
+        gen = np.random.default_rng(3)
+        ps = planted_monotone(60, 2, noise=0.3, rng=3, weights="random")
+        heavy = ps.weights.copy()
+        index = int(gen.integers(0, 60))
+        heavy[index] = ps.weights.sum() + 1.0
+        pinned = ps.replace(weights=heavy)
+        result = solve_passive(pinned)
+        assert result.assignment[index] == pinned.labels[index]
+
+    def test_duplicating_a_point_equals_doubling_its_weight(self):
+        base = _random_weighted(5, 12)
+        doubled = base.replace(weights=np.concatenate(
+            ([2 * base.weights[0]], base.weights[1:])))
+        duplicated = PointSet(
+            np.vstack([base.coords, base.coords[0:1]]),
+            np.concatenate([base.labels, base.labels[0:1]]),
+            np.concatenate([base.weights, [base.weights[0]]]),
+        )
+        assert solve_passive(doubled).optimal_error == \
+            pytest.approx(solve_passive(duplicated).optimal_error)
+
+    def test_epsilon_weights_break_ties_toward_light_points(self):
+        # Conflict pair: flipping the lighter one is optimal.
+        ps = PointSet([(0.0, 0.0), (1.0, 1.0)], [1, 0], [1.0, 1.0 + 1e-6])
+        result = solve_passive(ps)
+        assert result.assignment[0] == 0  # lighter label-1 point flipped
+        assert result.optimal_error == pytest.approx(1.0)
+
+
+class TestWeightedVsUnweightedDivergence:
+    def test_weights_can_change_the_argmin(self):
+        """Beyond Figure 1: random instances where the classifiers differ."""
+        found_divergence = False
+        for seed in range(30):
+            gen = np.random.default_rng(seed)
+            n = 14
+            coords = gen.integers(0, 3, size=(n, 2)).astype(float)
+            labels = gen.integers(0, 2, size=n)
+            unit = PointSet(coords, labels)
+            skewed = PointSet(coords, labels, gen.random(n) * 10 + 0.01)
+            a = solve_passive(unit)
+            b = solve_passive(skewed)
+            if (a.assignment != b.assignment).any():
+                found_divergence = True
+                break
+        assert found_divergence
+
+    def test_1d_weighted_agreement_between_solvers(self):
+        for seed in range(10):
+            gen = np.random.default_rng(seed + 100)
+            n = 80
+            ps = PointSet(gen.random((n, 1)), gen.integers(0, 2, size=n),
+                          gen.exponential(2.0, size=n) + 0.01)
+            assert solve_passive(ps).optimal_error == \
+                pytest.approx(solve_passive_1d(ps).optimal_error)
+
+
+class TestRealValuedWeights:
+    def test_irrational_like_weights_exact(self):
+        """Float weights flow through the min-cut without rounding."""
+        ps = PointSet([(0.0,), (1.0,)], [1, 0],
+                      [np.pi / 10, np.e / 10])
+        result = solve_passive(ps)
+        assert result.optimal_error == pytest.approx(min(np.pi, np.e) / 10)
+
+    def test_tiny_weights_do_not_vanish(self):
+        ps = PointSet([(0.0,), (1.0,)], [1, 0], [1e-9, 2e-9])
+        assert solve_passive(ps).optimal_error == pytest.approx(1e-9)

@@ -1,0 +1,96 @@
+"""Tests for dominance width and anti-chain certificates (repro.poset.width)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PointSet, dominance_width, maximum_antichain
+from repro.datasets.synthetic import width_controlled
+from repro.poset.width import brute_force_width, is_antichain
+
+
+class TestDominanceWidth:
+    def test_empty(self):
+        assert dominance_width(PointSet.from_points([])) == 0
+
+    def test_single_point(self):
+        assert dominance_width(PointSet([(0.0,)], [0])) == 1
+
+    def test_chain_has_width_one(self):
+        ps = PointSet([(float(i), float(i)) for i in range(8)], [0] * 8)
+        assert dominance_width(ps) == 1
+
+    def test_antichain_has_width_n(self):
+        ps = PointSet([(float(i), float(-i)) for i in range(8)], [0] * 8)
+        assert dominance_width(ps) == 8
+
+    def test_duplicates_are_comparable(self):
+        ps = PointSet([(1.0, 1.0)] * 5, [0] * 5)
+        assert dominance_width(ps) == 1
+
+    def test_width_controlled_generator(self):
+        for w in (1, 3, 9):
+            ps = width_controlled(90, w, rng=0)
+            assert dominance_width(ps) == w
+
+    def test_figure1_width_is_six(self):
+        from repro.datasets.figures import figure1_point_set
+
+        assert dominance_width(figure1_point_set()) == 6
+
+
+class TestMaximumAntichain:
+    def test_certificate_is_antichain_of_width_size(self):
+        gen = np.random.default_rng(7)
+        for _ in range(10):
+            n = int(gen.integers(2, 30))
+            dim = int(gen.integers(2, 4))
+            ps = PointSet(gen.integers(0, 5, size=(n, dim)).astype(float), [0] * n)
+            antichain = maximum_antichain(ps)
+            assert is_antichain(ps, antichain)
+            assert len(antichain) == dominance_width(ps)
+
+    def test_empty(self):
+        assert maximum_antichain(PointSet.from_points([])) == []
+
+    def test_total_order(self):
+        ps = PointSet([(float(i),) for i in range(5)], [0] * 5)
+        assert len(maximum_antichain(ps)) == 1
+
+
+class TestIsAntichain:
+    def test_rejects_comparable_pair(self, tiny_2d):
+        assert not is_antichain(tiny_2d, [0, 3])
+
+    def test_accepts_incomparable_pair(self, tiny_2d):
+        assert is_antichain(tiny_2d, [1, 2])
+
+    def test_duplicates_rejected(self):
+        ps = PointSet([(1.0, 1.0), (1.0, 1.0)], [0, 0])
+        assert not is_antichain(ps, [0, 1])
+
+    def test_singleton_and_empty(self, tiny_2d):
+        assert is_antichain(tiny_2d, [])
+        assert is_antichain(tiny_2d, [0])
+
+
+class TestBruteForceWidth:
+    def test_guard(self):
+        ps = PointSet(np.zeros((25, 2)), [0] * 25)
+        with pytest.raises(ValueError):
+            brute_force_width(ps)
+
+    def test_small_exact(self, tiny_2d):
+        assert brute_force_width(tiny_2d) == 2  # {(1,1),(2,0)}
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 12), st.integers(1, 3), st.integers(0, 10_000))
+def test_width_matches_brute_force(n, dim, seed):
+    """Property (Dilworth): decomposition width equals exhaustive width."""
+    gen = np.random.default_rng(seed)
+    ps = PointSet(gen.integers(0, 4, size=(n, dim)).astype(float), [0] * n)
+    assert dominance_width(ps) == brute_force_width(ps)
