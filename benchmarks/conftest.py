@@ -5,11 +5,47 @@ Every benchmark corresponds to a row of the experiment index in DESIGN.md
 wall-clock time — probe counts, error ratios, chain counts — are attached
 to each benchmark's ``extra_info`` so they appear in pytest-benchmark's
 output and JSON exports.
+
+Run with ``--obs-metrics`` to additionally wrap every benchmark in a
+:func:`repro.obs.metrics_session`; all counters and gauges the pipeline
+emits (oracle probes, recursion depth, flow pushes, ...) land in
+``extra_info`` under ``obs.*`` keys, so benchmark JSON carries the
+theory-side quantities next to wall-clock.  The flag is off by default:
+timing runs exercise the no-op recorder path, whose overhead the obs test
+suite pins as negligible.
 """
 
 from __future__ import annotations
 
 import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--obs-metrics", action="store_true", default=False,
+        help="collect repro.obs counters per benchmark into extra_info",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _obs_metrics(request):
+    """Opt-in per-benchmark metrics session feeding ``extra_info``."""
+    if (not request.config.getoption("--obs-metrics")
+            or "benchmark" not in request.fixturenames):
+        yield None
+        return
+    from repro import obs
+
+    benchmark = request.getfixturevalue("benchmark")
+    with obs.metrics_session(name=request.node.name) as registry:
+        yield registry
+    snapshot = registry.snapshot()
+    extra = {f"obs.{name}": value
+             for name, value in snapshot["counters"].items()}
+    extra.update({f"obs.{name}": value
+                  for name, value in snapshot["gauges"].items()
+                  if value is not None})
+    benchmark.extra_info.update(extra)
 
 
 def pytest_configure(config):

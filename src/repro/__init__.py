@@ -18,7 +18,9 @@ The package provides:
 * :mod:`repro.datasets` — synthetic workloads, the paper's Figure 1
   example, and an entity-matching simulator;
 * :mod:`repro.experiments` — the per-claim experiment harness backing
-  EXPERIMENTS.md.
+  EXPERIMENTS.md;
+* :mod:`repro.obs` — zero-dependency instrumentation (counters, spans,
+  probe/flow telemetry) threaded through every layer above.
 
 Quickstart::
 
@@ -40,6 +42,7 @@ Quickstart::
     print(active.probing_cost, oracle.cost)
 """
 
+from . import obs
 from .core import (
     HIDDEN,
     ActiveResult,
@@ -114,6 +117,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    "obs",
     "PointSet",
     "LabeledPoint",
     "HIDDEN",

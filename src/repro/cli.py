@@ -13,6 +13,12 @@ Subcommands
     Report the dominance width and chain statistics of a stored point set.
 ``experiment``
     Run one or all registered experiments and print their tables.
+
+Every subcommand accepts ``--metrics`` (print an instrumentation report
+after the run) and ``--metrics-out FILE`` (write the full metrics document
+as JSON, or CSV when the path ends in ``.csv``).  Missing or malformed
+input files exit with code 2 and a one-line message instead of a
+traceback.
 """
 
 from __future__ import annotations
@@ -26,6 +32,16 @@ from ._util import format_table
 from .flow import FLOW_BACKENDS
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_metrics_flags(sub: argparse.ArgumentParser) -> None:
+    """Attach the shared instrumentation flags to a subcommand parser."""
+    group = sub.add_argument_group("instrumentation")
+    group.add_argument("--metrics", action="store_true",
+                       help="print counters/gauges/span timings after the run")
+    group.add_argument("--metrics-out", metavar="FILE", default=None,
+                       help="write the metrics document to FILE "
+                            "(JSON, or CSV if FILE ends in .csv)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -87,6 +103,9 @@ def build_parser() -> argparse.ArgumentParser:
     experiment = sub.add_parser("experiment", help="run registered experiments")
     experiment.add_argument("names", nargs="*", help="experiment names (default: all)")
     experiment.add_argument("--list", action="store_true", help="list experiments")
+
+    for command in (gen, passive, active, width, audit, repair, viz, experiment):
+        _add_metrics_flags(command)
     return parser
 
 
@@ -257,7 +276,14 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Input problems (missing file, malformed CSV/JSON) are reported as a
+    one-line ``error:`` message on stderr with exit code 2 — user mistakes
+    are not tracebacks.  When ``--metrics``/``--metrics-out`` is given the
+    whole command runs inside a metrics session; the report prints after
+    the command's own output so tables stay machine-greppable.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     handlers = {
@@ -270,7 +296,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         "viz": _cmd_viz,
         "experiment": _cmd_experiment,
     }
-    return handlers[args.command](args)
+    handler = handlers[args.command]
+    metrics_out = getattr(args, "metrics_out", None)
+    want_metrics = getattr(args, "metrics", False) or metrics_out is not None
+    try:
+        if not want_metrics:
+            return handler(args)
+        from . import obs
+
+        with obs.metrics_session(name=args.command) as registry:
+            code = handler(args)
+        if args.metrics:
+            print()
+            print(obs.report(registry))
+        if metrics_out is not None:
+            obs.export_file(registry, metrics_out)
+            print(f"wrote metrics to {metrics_out}")
+        return code
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

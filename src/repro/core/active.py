@@ -26,6 +26,7 @@ from typing import List, Optional
 import numpy as np
 
 from .._util import RngLike, as_generator
+from ..obs import recorder
 from ..poset.chains import greedy_chain_decomposition, minimum_chain_decomposition
 from ..stats.estimation import SamplingPlan
 from .active_1d import WeightedSample, build_weighted_sample_1d
@@ -117,38 +118,53 @@ def active_classify(points: PointSet, oracle: LabelOracle, epsilon: float,
         raise ValueError(f"delta must be in (0, 1); got {delta}")
     rng = as_generator(rng)
     plan = plan or SamplingPlan()
+    rec = recorder()
 
-    if decomposition in ("exact", "auto"):
-        decomp = minimum_chain_decomposition(points)
-    elif decomposition in ("matching", "patience"):
-        decomp = minimum_chain_decomposition(points, method=decomposition)
-    elif decomposition == "greedy":
-        decomp = greedy_chain_decomposition(points)
-    else:
-        raise ValueError(
-            "decomposition must be one of 'exact', 'matching', 'patience', "
-            f"'greedy'; got {decomposition!r}"
-        )
+    with rec.span("active"):
+        with rec.span("chain_decompose"):
+            if decomposition in ("exact", "auto"):
+                decomp = minimum_chain_decomposition(points)
+            elif decomposition in ("matching", "patience"):
+                decomp = minimum_chain_decomposition(points, method=decomposition)
+            elif decomposition == "greedy":
+                decomp = greedy_chain_decomposition(points)
+            else:
+                raise ValueError(
+                    "decomposition must be one of 'exact', 'matching', "
+                    f"'patience', 'greedy'; got {decomposition!r}"
+                )
 
-    cost_before = oracle.cost
-    w = decomp.num_chains
-    per_chain_delta = delta / max(1, w)
+        cost_before = oracle.cost
+        w = decomp.num_chains
+        per_chain_delta = delta / max(1, w)
+        if rec.enabled:
+            rec.gauge("active.n", n)
+            rec.gauge("active.epsilon", epsilon)
+            rec.gauge("active.chain_width", w)
+            for size in decomp.sizes():
+                rec.observe("active.chain_size", size)
 
-    sigma = WeightedSample()
-    for chain in decomp.chains:
-        # Positions along the chain act as the 1-D values: index 0 is the
-        # most dominated point, so every monotone classifier is a threshold
-        # on the position.
-        positions = np.arange(len(chain), dtype=float)
-        chain_sigma, _levels, _trace = build_weighted_sample_1d(
-            positions, np.asarray(chain, dtype=int), oracle,
-            epsilon, per_chain_delta, plan, rng,
-        )
-        sigma.merge(chain_sigma)
+        sigma = WeightedSample()
+        with rec.span("sample_chains"):
+            for i, chain in enumerate(decomp.chains):
+                # Positions along the chain act as the 1-D values: index 0
+                # is the most dominated point, so every monotone classifier
+                # is a threshold on the position.
+                positions = np.arange(len(chain), dtype=float)
+                with rec.span(f"chain[{i}]"):
+                    chain_sigma, _levels, _trace = build_weighted_sample_1d(
+                        positions, np.asarray(chain, dtype=int), oracle,
+                        epsilon, per_chain_delta, plan, rng,
+                    )
+                sigma.merge(chain_sigma)
 
-    indices, weights, labels = sigma.arrays()
-    sigma_points = PointSet(points.coords[indices], labels, weights)
-    passive = solve_passive(sigma_points, backend=flow_backend)
+        indices, weights, labels = sigma.arrays()
+        sigma_points = PointSet(points.coords[indices], labels, weights)
+        if rec.enabled:
+            rec.gauge("active.sigma_size", sigma.size)
+            rec.gauge("active.sigma_weight", sigma.total_weight)
+        with rec.span("passive_solve"):
+            passive = solve_passive(sigma_points, backend=flow_backend)
 
     return ActiveResult(
         classifier=passive.classifier,

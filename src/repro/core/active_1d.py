@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .._util import RngLike, as_generator, log_levels
+from ..obs import recorder
 from ..stats.estimation import SamplingPlan, sample_with_replacement
 from .classifier import ThresholdClassifier
 from .oracle import LabelOracle
@@ -223,6 +224,22 @@ class _Recursion1D:
         self.levels_used = 0
         self.sigma = WeightedSample()
         self.trace: List[LevelTrace] = []
+        self.rec = recorder()
+
+    def _record_level(self, level: LevelTrace) -> None:
+        """Append a trace entry and mirror it into the metrics session."""
+        self.trace.append(level)
+        rec = self.rec
+        if not rec.enabled:
+            return
+        rec.incr("active1d.levels")
+        rec.incr(f"active1d.levels.{level.kind.replace('-', '_')}")
+        rec.gauge_max("active.recursion_depth", level.depth + 1)
+        rec.observe("active1d.level_population", level.population)
+        rec.observe("active1d.level_sample_size", level.sample_size)
+        shrink = level.shrink_factor
+        if shrink is not None:
+            rec.observe("active1d.shrink_factor", shrink)
 
     # ------------------------------------------------------------------
 
@@ -261,7 +278,7 @@ class _Recursion1D:
         if m == 0:
             return
         if m <= BASE_CASE_SIZE or depth >= self.levels_bound:
-            self.trace.append(LevelTrace(depth, m, m, "base"))
+            self._record_level(LevelTrace(depth, m, m, "base"))
             self._probe_all(local)
             return
 
@@ -271,7 +288,7 @@ class _Recursion1D:
                  max(1, m))
         if t1 >= m:
             # A sample as large as the population cannot beat probing it.
-            self.trace.append(LevelTrace(depth, m, m, "base"))
+            self._record_level(LevelTrace(depth, m, m, "base"))
             self._probe_all(local)
             return
         draws1, labels1 = self._probe_sample(local, t1)
@@ -283,7 +300,7 @@ class _Recursion1D:
 
         if len(qualifying) == 0:
             # alpha, beta do not exist: f = g1, Σ-level = S1 scaled.
-            self.trace.append(LevelTrace(depth, m, t1, "no-window"))
+            self._record_level(LevelTrace(depth, m, t1, "no-window"))
             self._add_scaled(draws1, labels1, m / t1)
             return
 
@@ -302,7 +319,7 @@ class _Recursion1D:
         if len(p_prime) >= m or len(rest) == 0:
             # Degenerate window covering everything — cannot shrink; the
             # cheapest correct fallback is to probe the level exhaustively.
-            self.trace.append(LevelTrace(depth, m, t1, "degenerate",
+            self._record_level(LevelTrace(depth, m, t1, "degenerate",
                                          alpha=alpha, beta=beta))
             self._probe_all(local)
             return
@@ -314,7 +331,7 @@ class _Recursion1D:
         draws2, labels2 = self._probe_sample(rest, t2)
         self._add_scaled(draws2, labels2, len(rest) / t2)
 
-        self.trace.append(LevelTrace(depth, m, t1 + t2, "shrink",
+        self._record_level(LevelTrace(depth, m, t1 + t2, "shrink",
                                      alpha=alpha, beta=beta,
                                      shrunk_to=len(p_prime)))
         # --- Recurse on the uncertainty window.

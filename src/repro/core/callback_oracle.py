@@ -14,6 +14,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from ..obs import recorder
 from .oracle import ProbeBudgetExceeded
 from .points import HIDDEN, PointSet
 
@@ -50,9 +51,16 @@ class CallbackOracle:
         if not 0 <= index < self._points.n:
             raise IndexError(f"point index {index} out of range")
         self._log.append(index)
+        rec = recorder()
+        if rec.enabled:
+            rec.incr("oracle.requests")
         if index in self._revealed:
+            if rec.enabled:
+                rec.incr("oracle.dedup_hits")
             return self._revealed[index]
         if self.budget is not None and len(self._revealed) >= self.budget:
+            if rec.enabled:
+                rec.incr("oracle.budget_exceeded")
             raise ProbeBudgetExceeded(
                 f"labeling budget of {self.budget} distinct points exhausted")
         label = int(self._labeler(tuple(float(c) for c in self._points.coords[index])))
@@ -60,6 +68,11 @@ class CallbackOracle:
             raise ValueError(
                 f"labeler returned {label!r} for point {index}; expected 0 or 1")
         self._revealed[index] = label
+        if rec.enabled:
+            rec.incr("oracle.probes")
+            if self.budget is not None:
+                rec.gauge("oracle.budget_remaining",
+                          self.budget - len(self._revealed))
         return label
 
     def probe_many(self, indices: Iterable[int]) -> List[int]:
@@ -73,6 +86,11 @@ class CallbackOracle:
     @property
     def cost(self) -> int:
         """Distinct points labeled so far."""
+        return len(self._revealed)
+
+    @property
+    def probes_used(self) -> int:
+        """Alias of :attr:`cost`, mirroring :class:`LabelOracle`."""
         return len(self._revealed)
 
     @property

@@ -19,6 +19,7 @@ from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
+from ..obs import recorder
 from .points import HIDDEN, PointSet
 
 __all__ = ["LabelOracle", "ProbeBudgetExceeded"]
@@ -60,14 +61,26 @@ class LabelOracle:
         if not 0 <= index < len(self._labels):
             raise IndexError(f"point index {index} out of range")
         self._log.append(index)
+        rec = recorder()
+        if rec.enabled:
+            rec.incr("oracle.requests")
         if index in self._revealed:
+            if rec.enabled:
+                rec.incr("oracle.dedup_hits")
             return self._revealed[index]
         if self.budget is not None and len(self._revealed) >= self.budget:
+            if rec.enabled:
+                rec.incr("oracle.budget_exceeded")
             raise ProbeBudgetExceeded(
                 f"probe budget of {self.budget} distinct points exhausted"
             )
         label = int(self._labels[index])
         self._revealed[index] = label
+        if rec.enabled:
+            rec.incr("oracle.probes")
+            if self.budget is not None:
+                rec.gauge("oracle.budget_remaining",
+                          self.budget - len(self._revealed))
         return label
 
     def probe_many(self, indices: Iterable[int]) -> List[int]:
@@ -88,6 +101,15 @@ class LabelOracle:
     @property
     def cost(self) -> int:
         """Probing cost so far: number of distinct points revealed."""
+        return len(self._revealed)
+
+    @property
+    def probes_used(self) -> int:
+        """Alias of :attr:`cost` — distinct points charged so far.
+
+        The ``oracle.probes`` counter in a metrics session equals this
+        exactly; ``tests/test_obs.py`` pins the invariant.
+        """
         return len(self._revealed)
 
     @property

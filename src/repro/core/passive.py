@@ -29,6 +29,7 @@ from typing import Optional
 import numpy as np
 
 from ..flow import FlowNetwork, solve_min_cut
+from ..obs import recorder
 from .classifier import (
     MonotoneClassifier,
     UpsetClassifier,
@@ -145,95 +146,118 @@ def solve_passive(points: PointSet, backend: str = "dinic",
 
     blockwise = block_size is not None or n > LARGE_INPUT_THRESHOLD
     rows_per_block = block_size or DEFAULT_BLOCK_SIZE
+    rec = recorder()
 
-    if use_contending_reduction:
-        if points.dim <= 2:
-            # O(n log n) sweepline fast path (weak dominance preserved).
-            from ..poset.dominance2d import contending_mask_low_dim
+    with rec.span("passive"):
+        with rec.span("contending"):
+            if use_contending_reduction:
+                if points.dim <= 2:
+                    # O(n log n) sweepline fast path (weak dominance
+                    # preserved).
+                    from ..poset.dominance2d import contending_mask_low_dim
 
-            mask = contending_mask_low_dim(points)
-        elif blockwise:
-            mask = blocked_contending_mask(points, rows_per_block)
-        else:
-            mask = contending_mask(points)
-        active = np.flatnonzero(mask)
-    else:
-        active = np.arange(n)
+                    mask = contending_mask_low_dim(points)
+                elif blockwise:
+                    mask = blocked_contending_mask(points, rows_per_block)
+                else:
+                    mask = contending_mask(points)
+                active = np.flatnonzero(mask)
+            else:
+                active = np.arange(n)
+        if rec.enabled:
+            rec.gauge("passive.n", n)
+            rec.gauge("passive.num_contending", len(active))
 
-    if len(active) == 0:
-        # Labeling already monotone: zero error, keep every label.
-        classifier = UpsetClassifier.from_positive_points(points, assignment)
-        return PassiveResult(classifier, assignment, 0.0, 0, 0.0, backend)
+        if len(active) == 0:
+            # Labeling already monotone: zero error, keep every label.
+            classifier = UpsetClassifier.from_positive_points(points, assignment)
+            return PassiveResult(classifier, assignment, 0.0, 0, 0.0, backend)
 
-    active_zeros = [int(i) for i in active if labels[i] == 0]
-    active_ones = [int(i) for i in active if labels[i] == 1]
+        with rec.span("build_network"):
+            active_zeros = [int(i) for i in active if labels[i] == 0]
+            active_ones = [int(i) for i in active if labels[i] == 1]
 
-    # Vertex ids: 0 = source, 1 = sink, then one per active point.
-    network = FlowNetwork(2 + len(active))
-    source, sink = 0, 1
-    vertex_of = {idx: 2 + pos for pos, idx in enumerate(active)}
+            # Vertex ids: 0 = source, 1 = sink, then one per active point.
+            network = FlowNetwork(2 + len(active))
+            source, sink = 0, 1
+            vertex_of = {idx: 2 + pos for pos, idx in enumerate(active)}
 
-    # Effective infinity: strictly larger than any finite cut, numerically safe.
-    infinite_cap = float(weights[active].sum()) + 1.0
+            # Effective infinity: strictly larger than any finite cut,
+            # numerically safe.
+            infinite_cap = float(weights[active].sum()) + 1.0
 
-    for p in active_zeros:
-        network.add_edge(source, vertex_of[p], float(weights[p]))
-    for q in active_ones:
-        network.add_edge(vertex_of[q], sink, float(weights[q]))
-    if blockwise:
-        pair_stream = blocked_dominance_pairs(
-            points, np.asarray(active_zeros), np.asarray(active_ones),
-            rows_per_block)
-        for p, dominated in pair_stream:
-            for q in dominated:
-                network.add_edge(vertex_of[p], vertex_of[q], infinite_cap)
-    else:
-        weak = points.weak_dominance_matrix()
-        for p in active_zeros:
-            row = weak[p]
+            for p in active_zeros:
+                network.add_edge(source, vertex_of[p], float(weights[p]))
             for q in active_ones:
-                if row[q]:
-                    network.add_edge(vertex_of[p], vertex_of[q], infinite_cap)
+                network.add_edge(vertex_of[q], sink, float(weights[q]))
+            if blockwise:
+                pair_stream = blocked_dominance_pairs(
+                    points, np.asarray(active_zeros), np.asarray(active_ones),
+                    rows_per_block)
+                for p, dominated in pair_stream:
+                    for q in dominated:
+                        network.add_edge(vertex_of[p], vertex_of[q],
+                                         infinite_cap)
+            else:
+                weak = points.weak_dominance_matrix()
+                for p in active_zeros:
+                    row = weak[p]
+                    for q in active_ones:
+                        if row[q]:
+                            network.add_edge(vertex_of[p], vertex_of[q],
+                                             infinite_cap)
+        if rec.enabled:
+            rec.incr("passive.dominance_pairs",
+                     network.num_edges - len(active))
 
-    cut = solve_min_cut(network, source, sink, backend=backend)
+        with rec.span("min_cut"):
+            cut = solve_min_cut(network, source, sink, backend=backend)
 
-    # Cut source edges flip label-0 points to 1; a source edge (s, p) is cut
-    # iff p is NOT reachable from the source in the residual graph.
-    for p in active_zeros:
-        if vertex_of[p] not in cut.source_side:
-            assignment[p] = 1
-    # Cut sink edges flip label-1 points to 0; a sink edge (q, t) is cut iff
-    # q IS reachable (t never is).
-    for q in active_ones:
-        if vertex_of[q] in cut.source_side:
-            assignment[q] = 0
+        with rec.span("verify"):
+            # Cut source edges flip label-0 points to 1; a source edge
+            # (s, p) is cut iff p is NOT reachable from the source in the
+            # residual graph.
+            for p in active_zeros:
+                if vertex_of[p] not in cut.source_side:
+                    assignment[p] = 1
+            # Cut sink edges flip label-1 points to 0; a sink edge (q, t)
+            # is cut iff q IS reachable (t never is).
+            for q in active_ones:
+                if vertex_of[q] in cut.source_side:
+                    assignment[q] = 0
 
-    if blockwise:
-        assignment_monotone = blocked_is_monotone_assignment(
-            points, assignment, rows_per_block)
-    else:
-        assignment_monotone = is_monotone_assignment(points, assignment)
-    if not assignment_monotone:
-        raise AssertionError(
-            "min-cut produced a non-monotone assignment (Lemma 16 violated); "
-            "this indicates a solver bug"
+            if blockwise:
+                assignment_monotone = blocked_is_monotone_assignment(
+                    points, assignment, rows_per_block)
+            else:
+                assignment_monotone = is_monotone_assignment(points, assignment)
+            if not assignment_monotone:
+                raise AssertionError(
+                    "min-cut produced a non-monotone assignment (Lemma 16 "
+                    "violated); this indicates a solver bug"
+                )
+            optimal_error = prediction_weighted_error(labels, assignment,
+                                                      weights)
+            if abs(optimal_error - cut.value) > 1e-6 * max(1.0, abs(cut.value)):
+                raise AssertionError(
+                    f"classifier error {optimal_error!r} != min-cut value "
+                    f"{cut.value!r} (Lemma 17 violated); this indicates a "
+                    "solver bug"
+                )
+
+        if rec.enabled:
+            rec.gauge("passive.flow_value", float(cut.value))
+            rec.gauge("passive.optimal_error", float(optimal_error))
+
+        classifier = UpsetClassifier.from_positive_points(points, assignment)
+        return PassiveResult(
+            classifier=classifier,
+            assignment=assignment,
+            optimal_error=float(optimal_error),
+            num_contending=len(active),
+            flow_value=float(cut.value),
+            backend=backend,
         )
-    optimal_error = prediction_weighted_error(labels, assignment, weights)
-    if abs(optimal_error - cut.value) > 1e-6 * max(1.0, abs(cut.value)):
-        raise AssertionError(
-            f"classifier error {optimal_error!r} != min-cut value {cut.value!r} "
-            "(Lemma 17 violated); this indicates a solver bug"
-        )
-
-    classifier = UpsetClassifier.from_positive_points(points, assignment)
-    return PassiveResult(
-        classifier=classifier,
-        assignment=assignment,
-        optimal_error=float(optimal_error),
-        num_contending=len(active),
-        flow_value=float(cut.value),
-        backend=backend,
-    )
 
 
 def brute_force_passive(points: PointSet, max_n: int = 16) -> float:

@@ -11,11 +11,11 @@
 
 from __future__ import annotations
 
-import time
 from typing import List, Sequence
 
 import numpy as np
 
+from ..obs import Timer
 from ..core.active import active_classify
 from ..core.errors import error_count
 from ..core.oracle import LabelOracle
@@ -43,13 +43,12 @@ def run_contending(ns: Sequence[int] = (800, 1_600),
         for n in ns:
             points = planted_monotone(n, dim, noise=noise, rng=seed,
                                       weights="random")
-            start = time.perf_counter()
-            with_reduction = solve_passive(points, use_contending_reduction=True)
-            with_time = time.perf_counter() - start
-            start = time.perf_counter()
-            without_reduction = solve_passive(points,
-                                              use_contending_reduction=False)
-            without_time = time.perf_counter() - start
+            with Timer() as with_timer:
+                with_reduction = solve_passive(points,
+                                               use_contending_reduction=True)
+            with Timer() as without_timer:
+                without_reduction = solve_passive(points,
+                                                  use_contending_reduction=False)
             rows.append({
                 "ablation": "A1:contending",
                 "n": n,
@@ -59,8 +58,8 @@ def run_contending(ns: Sequence[int] = (800, 1_600),
                 "opt_without": without_reduction.optimal_error,
                 "same_optimum": bool(np.isclose(with_reduction.optimal_error,
                                                 without_reduction.optimal_error)),
-                "time_with_s": with_time,
-                "time_without_s": without_time,
+                "time_with_s": with_timer.elapsed,
+                "time_without_s": without_timer.elapsed,
             })
     return rows
 

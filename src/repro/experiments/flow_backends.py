@@ -8,12 +8,12 @@ Theorem 4.  Runtime is recorded per backend.
 
 from __future__ import annotations
 
-import time
 from typing import List, Optional, Sequence
 
 import numpy as np
 
 from .._util import as_generator
+from ..obs import Timer
 from ..core.passive import solve_passive
 from ..datasets.synthetic import planted_monotone
 from ..flow import FLOW_BACKENDS, FlowNetwork, solve_max_flow
@@ -65,9 +65,10 @@ def run(sizes: Sequence[int] = (50, 100, 200, 400),
         times = {}
         for backend in FLOW_BACKENDS:
             network = random_flow_network(size, density, seed)
-            start = time.perf_counter()
-            values[backend] = solve_max_flow(network, 0, size - 1, backend=backend)
-            times[backend] = time.perf_counter() - start
+            with Timer() as timer:
+                values[backend] = solve_max_flow(network, 0, size - 1,
+                                                 backend=backend)
+            times[backend] = timer.elapsed
         nx_value = _networkx_value(reference, 0, size - 1)
         agree = np.allclose(list(values.values()), values["dinic"], rtol=1e-9)
         if nx_value is not None:
@@ -86,9 +87,10 @@ def run(sizes: Sequence[int] = (50, 100, 200, 400),
         per_backend = {}
         times = {}
         for backend in FLOW_BACKENDS:
-            start = time.perf_counter()
-            per_backend[backend] = solve_passive(points, backend=backend).optimal_error
-            times[backend] = time.perf_counter() - start
+            with Timer() as timer:
+                per_backend[backend] = solve_passive(
+                    points, backend=backend).optimal_error
+            times[backend] = timer.elapsed
         rows.append({
             "network": f"passive-reduction(n={n}, d=3)",
             "dinic_value": per_backend["dinic"],

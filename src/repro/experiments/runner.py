@@ -3,13 +3,19 @@
 ``python -m repro.experiments.runner [name ...]`` prints the table of every
 requested experiment (all of them by default).  The same registry backs the
 ``repro-monotone experiment`` CLI subcommand and the benchmark suite.
+
+Pass ``--metrics`` to wrap each experiment in its own
+:func:`repro.obs.metrics_session` and print the instrumentation report
+(probe counters, span timings, flow telemetry) after its table — the cost
+side of every claim next to the claim itself.
 """
 
 from __future__ import annotations
 
 import sys
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
+from .. import obs
 from .._util import format_table
 
 __all__ = ["EXPERIMENTS", "run_experiment", "main"]
@@ -52,20 +58,33 @@ def _registry() -> Dict[str, Callable[..., List[dict]]]:
 EXPERIMENTS: Dict[str, Callable[..., List[dict]]] = _registry()
 
 
-def run_experiment(name: str, **params) -> List[dict]:
-    """Run a registered experiment by name, returning its table rows."""
+def run_experiment(name: str, *,
+                   registry: Optional["obs.MetricsRegistry"] = None,
+                   **params) -> List[dict]:
+    """Run a registered experiment by name, returning its table rows.
+
+    When ``registry`` is given, the experiment runs inside a metrics
+    session targeting it, so callers can inspect counters/spans alongside
+    the returned rows.
+    """
     try:
         runner = EXPERIMENTS[name]
     except KeyError:
         raise ValueError(
             f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
         ) from None
-    return runner(**params)
+    if registry is None:
+        return runner(**params)
+    with obs.metrics_session(registry):
+        return runner(**params)
 
 
 def main(argv: Sequence[str] = None) -> int:
     """Print the tables of the requested experiments (default: all)."""
     argv = list(sys.argv[1:] if argv is None else argv)
+    with_metrics = "--metrics" in argv
+    if with_metrics:
+        argv = [a for a in argv if a != "--metrics"]
     names = argv or list(EXPERIMENTS)
     for name in names:
         if name not in EXPERIMENTS:
@@ -75,9 +94,14 @@ def main(argv: Sequence[str] = None) -> int:
         module = sys.modules[EXPERIMENTS[name].__module__]
         title = getattr(module, "TITLE", name)
         print(f"\n=== {title} ===")
-        rows = EXPERIMENTS[name]()
+        registry = obs.MetricsRegistry(name) if with_metrics else None
+        rows = run_experiment(name, registry=registry)
         for group in group_rows_by_schema(rows):
             print(format_table(group))
+            print()
+        if registry is not None:
+            print(f"--- instrumentation: {name} ---")
+            print(obs.report(registry))
             print()
     return 0
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections import deque
 from typing import List
 
+from ..obs import recorder
 from .graph import FlowNetwork
 
 __all__ = ["dinic_max_flow"]
@@ -33,6 +34,9 @@ def dinic_max_flow(network: FlowNetwork, source: int, sink: int) -> float:
 
     total = 0.0
     level: List[int] = [-1] * n
+    phases = 0
+    paths = 0
+    pushes = 0
 
     while True:
         # --- BFS: build the level graph over residual arcs.
@@ -49,6 +53,7 @@ def dinic_max_flow(network: FlowNetwork, source: int, sink: int) -> float:
                     queue.append(v)
         if level[sink] == -1:
             break
+        phases += 1
 
         # --- Blocking flow: iterative DFS with per-node arc pointers.
         pointer = [0] * n
@@ -82,4 +87,13 @@ def dinic_max_flow(network: FlowNetwork, source: int, sink: int) -> float:
             for arc in path:
                 network.push(arc, bottleneck)
             total += bottleneck
+            paths += 1
+            pushes += len(path)
+
+    rec = recorder()
+    if rec.enabled:
+        rec.incr("flow.dinic.calls")
+        rec.incr("flow.dinic.phases", phases)
+        rec.incr("flow.dinic.augmenting_paths", paths)
+        rec.incr("flow.dinic.pushes", pushes)
     return total

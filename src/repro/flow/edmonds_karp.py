@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections import deque
 from typing import List
 
+from ..obs import recorder
 from .graph import FlowNetwork
 
 __all__ = ["edmonds_karp_max_flow"]
@@ -34,6 +35,8 @@ def edmonds_karp_max_flow(network: FlowNetwork, source: int, sink: int) -> float
 
     total = 0.0
     parent_arc: List[int] = [-1] * n
+    paths = 0
+    pushes = 0
 
     while True:
         # BFS for the shortest augmenting path.
@@ -66,6 +69,14 @@ def edmonds_karp_max_flow(network: FlowNetwork, source: int, sink: int) -> float
         while v != source:
             arc = parent_arc[v]
             network.push(arc, bottleneck)
+            pushes += 1
             v = heads[arc ^ 1]
         total += bottleneck
+        paths += 1
+
+    rec = recorder()
+    if rec.enabled:
+        rec.incr("flow.edmonds_karp.calls")
+        rec.incr("flow.edmonds_karp.augmenting_paths", paths)
+        rec.incr("flow.edmonds_karp.pushes", pushes)
     return total

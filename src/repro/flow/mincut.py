@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections import deque
 from typing import List, Set, Tuple
 
+from ..obs import recorder
 from .graph import FlowNetwork
 
 __all__ = ["MinCut", "min_cut_from_residual", "solve_min_cut"]
@@ -87,8 +88,17 @@ def solve_min_cut(network: FlowNetwork, source: int, sink: int,
     """
     from . import solve_max_flow  # local import to avoid a cycle
 
-    value = solve_max_flow(network, source, sink, backend=backend)
-    cut = min_cut_from_residual(network, source, sink, value)
+    rec = recorder()
+    if rec.enabled:
+        rec.gauge("flow.network.nodes", network.num_nodes)
+        rec.gauge("flow.network.edges", network.num_edges)
+    with rec.span("max_flow"):
+        value = solve_max_flow(network, source, sink, backend=backend)
+    with rec.span("extract_cut"):
+        cut = min_cut_from_residual(network, source, sink, value)
+    if rec.enabled:
+        rec.gauge("flow.cut_edges", len(cut.cut_arcs))
+        rec.gauge("flow.value", value)
     if check:
         weight = cut.weight(network)
         scale = max(1.0, abs(value))

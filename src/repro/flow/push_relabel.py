@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from collections import deque
 
+from ..obs import recorder
 from .graph import FlowNetwork
 
 __all__ = ["push_relabel_max_flow"]
@@ -45,10 +46,16 @@ def push_relabel_max_flow(network: FlowNetwork, source: int, sink: int) -> float
     count_at_height[0] = n - 1
     count_at_height[n] += 1
 
+    num_pushes = 0
+    num_relabels = 0
+    num_gap_lifts = 0
+
     def push(arc: int) -> None:
+        nonlocal num_pushes
         u, v = heads[arc ^ 1], heads[arc]
         amount = min(excess[u], caps[arc] - flows[arc])
         network.push(arc, amount)
+        num_pushes += 1
         excess[u] -= amount
         excess[v] += amount
         if amount > _EPS and v not in (source, sink) and not in_queue[v]:
@@ -62,6 +69,7 @@ def push_relabel_max_flow(network: FlowNetwork, source: int, sink: int) -> float
             push(arc)
 
     def relabel(u: int) -> None:
+        nonlocal num_relabels, num_gap_lifts
         old = height[u]
         best = 2 * n
         for arc in adjacency[u]:
@@ -71,6 +79,7 @@ def push_relabel_max_flow(network: FlowNetwork, source: int, sink: int) -> float
         height[u] = best
         count_at_height[best] += 1
         pointer[u] = 0
+        num_relabels += 1
         # Gap heuristic: height `old` emptied below n => everything strictly
         # between old and n is disconnected from the sink; lift it to n + 1.
         if count_at_height[old] == 0 and old < n:
@@ -79,6 +88,7 @@ def push_relabel_max_flow(network: FlowNetwork, source: int, sink: int) -> float
                     count_at_height[height[v]] -= 1
                     height[v] = n + 1
                     count_at_height[n + 1] += 1
+                    num_gap_lifts += 1
 
     while active:
         u = active.popleft()
@@ -97,4 +107,10 @@ def push_relabel_max_flow(network: FlowNetwork, source: int, sink: int) -> float
             else:
                 pointer[u] += 1
 
+    rec = recorder()
+    if rec.enabled:
+        rec.incr("flow.push_relabel.calls")
+        rec.incr("flow.push_relabel.pushes", num_pushes)
+        rec.incr("flow.push_relabel.relabels", num_relabels)
+        rec.incr("flow.push_relabel.gap_lifts", num_gap_lifts)
     return network.flow_value(source)

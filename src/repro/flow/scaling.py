@@ -14,6 +14,7 @@ from __future__ import annotations
 from collections import deque
 from typing import List
 
+from ..obs import recorder
 from .graph import FlowNetwork
 
 __all__ = ["capacity_scaling_max_flow"]
@@ -74,12 +75,16 @@ def capacity_scaling_max_flow(network: FlowNetwork, source: int,
     total = 0.0
     delta = max_capacity
     floor = max(max_capacity * 1e-12, _EPS)
+    phases = 0
+    paths = 0
     while delta >= floor:
+        phases += 1
         while True:
             pushed = _augment_once(network, source, sink, delta)
             if pushed <= 0:
                 break
             total += pushed
+            paths += 1
         delta /= 2.0
     # Exactness pass: plain augmentation over any positive residual.
     while True:
@@ -87,4 +92,11 @@ def capacity_scaling_max_flow(network: FlowNetwork, source: int,
         if pushed <= 0:
             break
         total += pushed
+        paths += 1
+
+    rec = recorder()
+    if rec.enabled:
+        rec.incr("flow.capacity_scaling.calls")
+        rec.incr("flow.capacity_scaling.phases", phases)
+        rec.incr("flow.capacity_scaling.augmenting_paths", paths)
     return total

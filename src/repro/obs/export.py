@@ -1,0 +1,103 @@
+"""Exporters: JSON / CSV documents and the plain-text report table.
+
+JSON mirrors :meth:`MetricsRegistry.snapshot` verbatim; CSV flattens every
+metric into ``kind,name,field,value`` rows so spreadsheets can pivot on
+them; :func:`report` renders the aligned tables the experiment harness
+already uses (``format_table``).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import List, Optional, Union
+
+from .._util import format_table
+from .registry import MetricsRegistry
+
+__all__ = ["to_json", "to_csv", "export_file", "report"]
+
+PathLike = Union[str, Path]
+
+
+def to_json(registry: MetricsRegistry, path: Optional[PathLike] = None,
+            indent: int = 1) -> str:
+    """Serialize a registry snapshot to JSON (optionally writing ``path``)."""
+    text = json.dumps(registry.snapshot(), indent=indent)
+    if path is not None:
+        Path(path).write_text(text + "\n")
+    return text
+
+
+def to_csv(registry: MetricsRegistry, path: Optional[PathLike] = None) -> str:
+    """Serialize a registry snapshot to flat CSV rows.
+
+    Columns are ``kind,name,field,value``: counters and gauges emit one
+    ``value`` row each; histograms, timers, and spans emit one row per
+    summary field (count/total/mean/min/max/last).
+    """
+    snap = registry.snapshot()
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["kind", "name", "field", "value"])
+    for name, value in snap["counters"].items():
+        writer.writerow(["counter", name, "value", value])
+    for name, value in snap["gauges"].items():
+        writer.writerow(["gauge", name, "value", value])
+    for kind in ("histograms", "timers", "spans"):
+        singular = kind[:-1]
+        for name, fields in snap[kind].items():
+            for field, value in fields.items():
+                writer.writerow([singular, name, field, value])
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def export_file(registry: MetricsRegistry, path: PathLike) -> None:
+    """Write the registry to ``path``; ``.csv`` selects CSV, else JSON."""
+    if str(path).endswith(".csv"):
+        to_csv(registry, path)
+    else:
+        to_json(registry, path)
+
+
+def report(registry: MetricsRegistry) -> str:
+    """Human-readable summary: one aligned table per metric family."""
+    snap = registry.snapshot()
+    sections: List[str] = []
+
+    scalar_rows = (
+        [{"kind": "counter", "name": k, "value": v}
+         for k, v in snap["counters"].items()]
+        + [{"kind": "gauge", "name": k, "value": v}
+           for k, v in snap["gauges"].items()]
+    )
+    if scalar_rows:
+        sections.append(format_table(scalar_rows))
+
+    hist_rows = [
+        {"histogram": k, "count": v["count"], "mean": v["mean"],
+         "min": v["min"], "max": v["max"], "total": v["total"]}
+        for k, v in snap["histograms"].items()
+    ]
+    if hist_rows:
+        sections.append(format_table(hist_rows))
+
+    time_rows = (
+        [{"phase": k, "calls": v["count"], "total_s": v["total"],
+          "mean_s": v["mean"], "max_s": v["max"]}
+         for k, v in snap["spans"].items()]
+        + [{"phase": f"timer:{k}", "calls": v["count"], "total_s": v["total"],
+            "mean_s": v["mean"], "max_s": v["max"]}
+           for k, v in snap["timers"].items()]
+    )
+    if time_rows:
+        sections.append(format_table(time_rows))
+
+    if not sections:
+        return "(no metrics recorded)"
+    return "\n\n".join(sections)

@@ -1,0 +1,152 @@
+"""Metric primitives: counters, gauges, histograms, and timers.
+
+These are deliberately tiny, zero-dependency value objects.  They carry no
+locking and no global state — a :class:`~repro.obs.registry.MetricsRegistry`
+owns one instance per metric name within a session, and sessions are
+contextvar-scoped so nested or parallel runs never share instances.
+
+Determinism note: everything except wall-clock durations is a pure function
+of the algorithm's execution, so counter/gauge/histogram values from a
+seeded run are reproducible bit-for-bit and usable as regression fixtures
+(``tests/test_obs.py`` pins this).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Callable, Dict, Optional, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "Timer"]
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing count (probes, pushes, phases, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def incr(self, amount: Number = 1) -> None:
+        """Add ``amount`` (default 1) to the count."""
+        self.value += amount
+
+    def snapshot(self) -> Number:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value!r})"
+
+
+class Gauge:
+    """A point-in-time value (budget headroom, width, network size, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Optional[Number] = None
+
+    def set(self, value: Number) -> None:
+        """Record the latest value."""
+        self.value = value
+
+    def set_max(self, value: Number) -> None:
+        """Keep the maximum of all recorded values (e.g. recursion depth)."""
+        if self.value is None or value > self.value:
+            self.value = value
+
+    def snapshot(self) -> Optional[Number]:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self.value!r})"
+
+
+class Histogram:
+    """Running summary of a stream of observations.
+
+    Keeps count / sum / min / max / last in O(1) memory, which is enough
+    for the per-level and per-chain quantities the pipeline emits (sample
+    sizes, shrink factors, chain sizes, span durations).
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "last")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count: int = 0
+        self.total: float = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.last: Optional[float] = None
+
+    def observe(self, value: Number) -> None:
+        """Fold one observation into the summary."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        self.last = value
+
+    @property
+    def mean(self) -> Optional[float]:
+        """Arithmetic mean of all observations, or ``None`` when empty."""
+        return self.total / self.count if self.count else None
+
+    def snapshot(self) -> Dict[str, Optional[float]]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "last": self.last,
+        }
+
+    def __repr__(self) -> str:
+        return (f"Histogram({self.name!r}, count={self.count}, "
+                f"mean={self.mean!r})")
+
+
+class Timer:
+    """A ``perf_counter`` stopwatch usable standalone or bound to a sink.
+
+    Standalone (replaces ad-hoc start/stop pairs)::
+
+        with Timer() as t:
+            work()
+        print(t.elapsed)           # seconds
+
+    Bound (obtained from a registry via ``registry.timer(name)``), the
+    duration is additionally reported to the registry on exit.  ``elapsed``
+    is ``None`` until the ``with`` block finishes; a Timer may be reused,
+    each use reporting once.
+    """
+
+    __slots__ = ("name", "elapsed", "_sink", "_start")
+
+    def __init__(self, name: Optional[str] = None,
+                 sink: Optional[Callable[[str, float], None]] = None) -> None:
+        self.name = name
+        self.elapsed: Optional[float] = None
+        self._sink = sink
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.elapsed = perf_counter() - self._start
+        if self._sink is not None and self.name is not None:
+            self._sink(self.name, self.elapsed)
+
+    def __repr__(self) -> str:
+        return f"Timer({self.name!r}, elapsed={self.elapsed!r})"

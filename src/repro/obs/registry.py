@@ -1,0 +1,293 @@
+"""Session-scoped metrics registry and the no-op disabled path.
+
+Two recorders implement the same five-method protocol:
+
+* :class:`MetricsRegistry` — collects counters, gauges, histograms, timers,
+  and hierarchical spans for one run;
+* :class:`NullRecorder` — every method is a no-op and ``enabled`` is
+  ``False``, so instrumented hot loops can guard a whole block behind a
+  single attribute check (``if rec.enabled: ...``) and pay nothing when
+  metrics are off.
+
+The active recorder lives in a :mod:`contextvars` variable.  Code that
+wants telemetry opens a session::
+
+    from repro import obs
+
+    with obs.metrics_session() as registry:
+        run_pipeline()
+    print(obs.report(registry))
+
+Everything instrumented below the ``with`` — oracle probes, recursion
+levels, matching rounds, flow pushes — lands in ``registry``.  Because the
+scope is a contextvar, nested sessions shadow outer ones and concurrent
+tasks (threads with distinct contexts, asyncio tasks) each see their own
+registry rather than colliding in a process-global singleton.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Dict, Iterator, List, Optional, Union
+
+from .metrics import Counter, Gauge, Histogram, Timer
+
+__all__ = [
+    "MetricsRegistry",
+    "NullRecorder",
+    "Span",
+    "NULL_RECORDER",
+    "recorder",
+    "enabled",
+    "metrics_session",
+]
+
+Number = Union[int, float]
+
+#: Separator between nested span names in a span path.
+SPAN_SEP = "/"
+
+
+class _NullContext:
+    """Reusable no-op context manager returned by the disabled recorder."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullContext":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class NullRecorder:
+    """The disabled path: every operation is a no-op.
+
+    A single module-level instance (:data:`NULL_RECORDER`) is the contextvar
+    default, so ``recorder()`` never returns ``None`` and call sites never
+    branch on existence — only on the ``enabled`` attribute when they want
+    to skip preparatory work.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def incr(self, name: str, amount: Number = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: Number) -> None:
+        pass
+
+    def gauge_max(self, name: str, value: Number) -> None:
+        pass
+
+    def observe(self, name: str, value: Number) -> None:
+        pass
+
+    def record_time(self, name: str, seconds: float) -> None:
+        pass
+
+    def timer(self, name: str) -> _NullContext:
+        return _NULL_CONTEXT
+
+    def span(self, name: str) -> _NullContext:
+        return _NULL_CONTEXT
+
+    def __repr__(self) -> str:
+        return "NullRecorder()"
+
+
+NULL_RECORDER = NullRecorder()
+
+
+class Span:
+    """One hierarchical phase of a run (``active/chain[3]/recurse`` ...).
+
+    Entering pushes the span's name onto the owning registry's span stack;
+    the full path (stack joined with ``/``) keys a duration histogram, so
+    re-entering the same phase accumulates count and total wall-clock.
+    """
+
+    __slots__ = ("_registry", "name", "path", "elapsed", "_timer")
+
+    def __init__(self, registry: "MetricsRegistry", name: str) -> None:
+        self._registry = registry
+        self.name = name
+        self.path: Optional[str] = None
+        self.elapsed: Optional[float] = None
+        self._timer = Timer()
+
+    def __enter__(self) -> "Span":
+        stack = self._registry._span_stack
+        stack.append(self.name)
+        self.path = SPAN_SEP.join(stack)
+        self._timer.__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._timer.__exit__(exc_type, exc, tb)
+        self.elapsed = self._timer.elapsed
+        self._registry._record_span(self.path, self.elapsed)
+        self._registry._span_stack.pop()
+
+    def __repr__(self) -> str:
+        return f"Span({self.path or self.name!r}, elapsed={self.elapsed!r})"
+
+
+class MetricsRegistry:
+    """Collects every metric emitted during one session.
+
+    Metric names are free-form dotted strings (``oracle.probes``,
+    ``flow.dinic.phases``); span paths are slash-joined (``active/solve``).
+    The registry is not thread-safe by design — one registry per context,
+    scoping handled by :func:`metrics_session`.
+    """
+
+    enabled = True
+
+    __slots__ = ("name", "counters", "gauges", "histograms", "timers",
+                 "spans", "_span_stack")
+
+    def __init__(self, name: str = "session") -> None:
+        self.name = name
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self.timers: Dict[str, Histogram] = {}
+        self.spans: Dict[str, Histogram] = {}
+        self._span_stack: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Recording protocol (shared with NullRecorder)
+    # ------------------------------------------------------------------
+
+    def incr(self, name: str, amount: Number = 1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter(name)
+        counter.incr(amount)
+
+    def gauge(self, name: str, value: Number) -> None:
+        """Set gauge ``name`` to ``value``."""
+        gauge = self.gauges.get(name)
+        if gauge is None:
+            gauge = self.gauges[name] = Gauge(name)
+        gauge.set(value)
+
+    def gauge_max(self, name: str, value: Number) -> None:
+        """Raise gauge ``name`` to ``value`` if larger (running maximum)."""
+        gauge = self.gauges.get(name)
+        if gauge is None:
+            gauge = self.gauges[name] = Gauge(name)
+        gauge.set_max(value)
+
+    def observe(self, name: str, value: Number) -> None:
+        """Fold ``value`` into histogram ``name``."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram(name)
+        hist.observe(value)
+
+    def record_time(self, name: str, seconds: float) -> None:
+        """Fold a duration into timer ``name``."""
+        hist = self.timers.get(name)
+        if hist is None:
+            hist = self.timers[name] = Histogram(name)
+        hist.observe(seconds)
+
+    def timer(self, name: str) -> Timer:
+        """A context-manager stopwatch reporting into timer ``name``."""
+        return Timer(name, sink=self.record_time)
+
+    def span(self, name: str) -> Span:
+        """A context manager tracing one hierarchical phase ``name``."""
+        return Span(self, name)
+
+    # ------------------------------------------------------------------
+    # Internals and inspection
+    # ------------------------------------------------------------------
+
+    def _record_span(self, path: str, seconds: float) -> None:
+        hist = self.spans.get(path)
+        if hist is None:
+            hist = self.spans[path] = Histogram(path)
+        hist.observe(seconds)
+
+    def counter_value(self, name: str, default: Number = 0) -> Number:
+        """Current value of counter ``name`` (``default`` if never hit)."""
+        counter = self.counters.get(name)
+        return counter.value if counter is not None else default
+
+    def gauge_value(self, name: str) -> Optional[Number]:
+        """Current value of gauge ``name``, or ``None`` if never set."""
+        gauge = self.gauges.get(name)
+        return gauge.value if gauge is not None else None
+
+    def snapshot(self) -> dict:
+        """A plain-dict, JSON-serializable view of everything recorded."""
+        return {
+            "session": self.name,
+            "counters": {k: c.value for k, c in sorted(self.counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self.gauges.items())},
+            "histograms": {k: h.snapshot()
+                           for k, h in sorted(self.histograms.items())},
+            "timers": {k: h.snapshot() for k, h in sorted(self.timers.items())},
+            "spans": {k: h.snapshot() for k, h in sorted(self.spans.items())},
+        }
+
+    def reset(self) -> None:
+        """Drop everything recorded so far (keeps the session name)."""
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+        self.timers.clear()
+        self.spans.clear()
+        self._span_stack.clear()
+
+    def __repr__(self) -> str:
+        return (f"MetricsRegistry(name={self.name!r}, "
+                f"counters={len(self.counters)}, gauges={len(self.gauges)}, "
+                f"spans={len(self.spans)})")
+
+
+_ACTIVE: ContextVar[Union[MetricsRegistry, NullRecorder]] = ContextVar(
+    "repro_obs_recorder", default=NULL_RECORDER)
+
+
+def recorder() -> Union[MetricsRegistry, NullRecorder]:
+    """The recorder for the current context (never ``None``).
+
+    Instrumented code calls this once per operation (or once per solve for
+    tight loops), then either records unconditionally or guards a block
+    with ``if rec.enabled:``.
+    """
+    return _ACTIVE.get()
+
+
+def enabled() -> bool:
+    """Whether a metrics session is active in the current context."""
+    return _ACTIVE.get().enabled
+
+
+@contextmanager
+def metrics_session(registry: Optional[MetricsRegistry] = None,
+                    name: str = "session") -> Iterator[MetricsRegistry]:
+    """Activate a registry for the dynamic extent of the ``with`` block.
+
+    A fresh :class:`MetricsRegistry` is created unless one is passed in
+    (pass your own to accumulate several runs into one registry).  On exit
+    the previous recorder — possibly an outer session's registry — is
+    restored, so sessions nest without interference.
+    """
+    registry = registry if registry is not None else MetricsRegistry(name)
+    token = _ACTIVE.set(registry)
+    try:
+        yield registry
+    finally:
+        _ACTIVE.reset(token)

@@ -23,6 +23,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..core.points import PointSet
+from ..obs import recorder
 from .dominance import _order_matrix, topological_order
 from .matching import hopcroft_karp
 
@@ -80,6 +81,18 @@ class ChainDecomposition:
                 f"method={self.method!r})")
 
 
+def _record_decomposition(decomp: ChainDecomposition) -> ChainDecomposition:
+    """Report a finished decomposition to the active metrics session."""
+    rec = recorder()
+    if rec.enabled:
+        rec.incr("poset.decompositions")
+        rec.gauge("poset.num_chains", decomp.num_chains)
+        if decomp.method in ("matching", "patience"):
+            # Exact methods: the chain count IS the dominance width w.
+            rec.gauge("poset.width", decomp.num_chains)
+    return decomp
+
+
 def minimum_chain_decomposition(points: PointSet,
                                 method: str = "auto") -> ChainDecomposition:
     """Decompose ``P`` into exactly ``w`` chains (Lemma 6).
@@ -99,9 +112,12 @@ def minimum_chain_decomposition(points: PointSet,
     """
     if method not in ("auto", "matching", "patience"):
         raise ValueError(f"unknown method {method!r}")
+    rec = recorder()
     if method == "patience" or (method == "auto" and points.dim <= 2):
-        return patience_chain_decomposition(points)
-    return matching_chain_decomposition(points)
+        with rec.span("patience"):
+            return patience_chain_decomposition(points)
+    with rec.span("matching"):
+        return matching_chain_decomposition(points)
 
 
 def patience_chain_decomposition(points: PointSet) -> ChainDecomposition:
@@ -147,7 +163,8 @@ def patience_chain_decomposition(points: PointSet) -> ChainDecomposition:
             insert_at = bisect_right(top_ys, y)
             top_ys.insert(insert_at, y)
             chain_at.insert(insert_at, chain)
-    return ChainDecomposition(chain_at, n, method="patience")
+    return _record_decomposition(
+        ChainDecomposition(chain_at, n, method="patience"))
 
 
 def matching_chain_decomposition(points: PointSet) -> ChainDecomposition:
@@ -163,6 +180,9 @@ def matching_chain_decomposition(points: PointSet) -> ChainDecomposition:
     if n == 0:
         return ChainDecomposition([], 0, method="matching")
     order = _order_matrix(points)  # order[i, j]: i above j
+    rec = recorder()
+    if rec.enabled:
+        rec.incr("poset.dominance_pairs", int(order.sum()))
     # Left copy of u connects to right copies of every v above u.
     adjacency = [np.flatnonzero(order[:, u]).tolist() for u in range(n)]
     matching = hopcroft_karp(adjacency, n)
@@ -183,7 +203,8 @@ def matching_chain_decomposition(points: PointSet) -> ChainDecomposition:
             chain.append(cur)
             cur = successor[cur]
         chains.append(chain)
-    return ChainDecomposition(chains, n, method="matching")
+    return _record_decomposition(
+        ChainDecomposition(chains, n, method="matching"))
 
 
 def greedy_chain_decomposition(points: PointSet,
@@ -213,7 +234,7 @@ def greedy_chain_decomposition(points: PointSet,
         if not placed:
             chains.append([idx])
             tops.append(coords[idx])
-    return ChainDecomposition(chains, n, method="greedy")
+    return _record_decomposition(ChainDecomposition(chains, n, method="greedy"))
 
 
 def is_valid_chain_decomposition(points: PointSet,

@@ -14,6 +14,8 @@ from __future__ import annotations
 from collections import deque
 from typing import List, Sequence, Tuple
 
+from ..obs import recorder
+
 __all__ = ["hopcroft_karp", "maximum_bipartite_matching", "MatchingResult"]
 
 _INF = float("inf")
@@ -137,10 +139,18 @@ def hopcroft_karp(adjacency: Sequence[Sequence[int]], n_right: int) -> MatchingR
         return False
 
     size = 0
+    phases = 0
     while bfs():
+        phases += 1
         for u in range(n_left):
             if left_match[u] == -1 and augment_from(u):
                 size += 1
+    rec = recorder()
+    if rec.enabled:
+        rec.incr("poset.matching.phases", phases)
+        rec.incr("poset.matching.augmentations", size)
+        rec.incr("poset.matching.edges",
+                 sum(len(neighbors) for neighbors in adjacency))
     return MatchingResult(size, left_match, right_match)
 
 

@@ -115,6 +115,74 @@ class TestVizCommand:
         assert "#" in output and "optimal weighted error" in output
 
 
+class TestErrorHandling:
+    def test_missing_input_exits_cleanly(self, tmp_path, capsys):
+        code = main(["passive", str(tmp_path / "nope.csv")])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "Traceback" not in captured.err
+
+    def test_missing_input_every_reading_command(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.csv")
+        for argv in (["passive", missing], ["active", missing],
+                     ["width", missing], ["audit", missing],
+                     ["repair", missing], ["viz", missing]):
+            assert main(argv) == 2, argv
+            assert capsys.readouterr().err.startswith("error:")
+
+    def test_malformed_input_exits_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("x,y,label\n1,2\n")
+        assert main(["passive", str(bad)]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "expected columns" in captured.err
+
+
+class TestMetricsFlags:
+    @pytest.fixture
+    def data_file(self, tmp_path):
+        out = tmp_path / "d.csv"
+        main(["generate", str(out), "--kind", "width", "--n", "120",
+              "--width", "3", "--seed", "2"])
+        return out
+
+    def test_metrics_prints_report(self, data_file, capsys):
+        assert main(["passive", str(data_file), "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "passive/min_cut" in out
+        assert "flow.dinic.calls" in out
+
+    def test_metrics_out_writes_json(self, data_file, tmp_path, capsys):
+        import json
+
+        metrics_file = tmp_path / "m.json"
+        assert main(["active", str(data_file), "--epsilon", "0.8",
+                     "--seed", "4", "--metrics-out", str(metrics_file)]) == 0
+        doc = json.loads(metrics_file.read_text())
+        assert doc["counters"]["oracle.probes"] > 0
+        assert doc["gauges"]["active.chain_width"] == 3
+        assert doc["gauges"]["active.recursion_depth"] >= 1
+        assert "active/chain_decompose" in doc["spans"]
+        # Probe count in the document equals the table's probe column.
+        table = capsys.readouterr().out
+        assert str(doc["counters"]["oracle.probes"]) in table
+
+    def test_metrics_out_writes_csv(self, data_file, tmp_path):
+        metrics_file = tmp_path / "m.csv"
+        assert main(["width", str(data_file),
+                     "--metrics-out", str(metrics_file)]) == 0
+        text = metrics_file.read_text()
+        assert text.startswith("kind,name,field,value")
+        assert "gauge,poset.num_chains,value,3" in text
+
+    def test_no_flags_no_metrics_output(self, data_file, capsys):
+        assert main(["passive", str(data_file)]) == 0
+        out = capsys.readouterr().out
+        assert "flow.dinic" not in out
+
+
 class TestExperimentCommand:
     def test_list(self, capsys):
         assert main(["experiment", "--list"]) == 0

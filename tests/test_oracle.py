@@ -67,6 +67,51 @@ class TestBudget:
         assert oracle.remaining_budget() == 2
         assert LabelOracle(truth).remaining_budget() is None
 
+    def test_exhaustion_raises_exactly_at_boundary(self, truth):
+        """Probe #budget succeeds; probe #budget+1 of a NEW point raises."""
+        oracle = LabelOracle(truth, budget=3)
+        oracle.probe(0)
+        oracle.probe(1)
+        oracle.probe(2)  # exactly at the budget: still allowed
+        assert oracle.cost == 3
+        assert oracle.remaining_budget() == 0
+        with pytest.raises(ProbeBudgetExceeded):
+            oracle.probe(3)
+        # The failed attempt charged nothing and revealed nothing.
+        assert oracle.cost == 3
+        assert oracle.peek(3) is None
+
+    def test_repeats_free_even_at_zero_remaining(self, truth):
+        oracle = LabelOracle(truth, budget=1)
+        first = oracle.probe(4)
+        assert oracle.remaining_budget() == 0
+        assert oracle.probe(4) == first  # repeat never raises
+        assert oracle.cost == 1
+        assert oracle.total_requests == 2
+
+    def test_probe_many_respects_budget_mid_iteration(self, truth):
+        """probe_many stops at the offending probe; earlier charges stand."""
+        oracle = LabelOracle(truth, budget=2)
+        with pytest.raises(ProbeBudgetExceeded):
+            oracle.probe_many([0, 1, 2, 3])
+        assert oracle.cost == 2
+        assert oracle.revealed_indices == [0, 1]
+        # Repeats of already-revealed points still succeed afterwards.
+        assert oracle.probe_many([0, 1]) == [0, 0]
+        assert oracle.cost == 2
+
+    def test_zero_budget_rejects_first_probe(self, truth):
+        oracle = LabelOracle(truth, budget=0)
+        with pytest.raises(ProbeBudgetExceeded):
+            oracle.probe(0)
+        assert oracle.cost == 0
+
+    def test_probes_used_aliases_cost(self, truth):
+        oracle = LabelOracle(truth)
+        assert oracle.probes_used == 0
+        oracle.probe_many([0, 1, 1, 2])
+        assert oracle.probes_used == oracle.cost == 3
+
 
 class TestAccounting:
     def test_revealed_labels_vector(self, truth):
