@@ -1,0 +1,102 @@
+"""Benchmark-regression gate: compare a pytest-benchmark JSON to a baseline.
+
+Usage::
+
+    python benchmarks/compare.py baseline.json current.json [--threshold 0.30]
+
+Both files are ``--benchmark-json`` exports.  Benchmarks are matched by
+``fullname``; for each match the mean runtime is compared, and the gate
+fails (exit 1) if any benchmark is more than ``threshold`` slower than its
+baseline mean.  Benchmarks present in only one file are reported but never
+fail the gate (new benchmarks must be allowed to land before a baseline
+refresh; retired ones must not haunt it).
+
+Stdlib only, on purpose: CI runs this before any project dependency is
+importable-by-accident, and local runs should not need the bench venv.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List
+
+
+def load_means(path: str) -> Dict[str, float]:
+    """Map benchmark ``fullname`` -> mean seconds from a benchmark JSON."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    means: Dict[str, float] = {}
+    for bench in payload.get("benchmarks", []):
+        name = bench.get("fullname") or bench.get("name")
+        stats = bench.get("stats") or {}
+        mean = stats.get("mean")
+        if name and isinstance(mean, (int, float)) and mean > 0:
+            means[name] = float(mean)
+    return means
+
+
+def compare(
+    baseline: Dict[str, float],
+    current: Dict[str, float],
+    threshold: float,
+) -> List[str]:
+    """Return one failure line per benchmark regressing beyond ``threshold``."""
+    failures: List[str] = []
+    for name in sorted(baseline):
+        if name not in current:
+            print(f"  [gone]  {name} (in baseline only; not gating)")
+            continue
+        base, cur = baseline[name], current[name]
+        ratio = cur / base
+        marker = "FAIL" if ratio > 1.0 + threshold else "ok"
+        print(f"  [{marker:>4}] {name}: {base * 1e3:.2f}ms -> {cur * 1e3:.2f}ms "
+              f"({ratio:.2f}x baseline)")
+        if ratio > 1.0 + threshold:
+            failures.append(
+                f"{name}: mean {cur * 1e3:.2f}ms vs baseline {base * 1e3:.2f}ms "
+                f"({ratio:.2f}x, threshold {1.0 + threshold:.2f}x)"
+            )
+    for name in sorted(set(current) - set(baseline)):
+        print(f"  [new ]  {name} (no baseline; not gating)")
+    return failures
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline --benchmark-json file")
+    parser.add_argument("current", help="freshly produced --benchmark-json file")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="allowed slowdown fraction over baseline mean (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_means(args.baseline)
+    current = load_means(args.current)
+    if not baseline:
+        print(f"error: no benchmarks found in baseline {args.baseline}",
+              file=sys.stderr)
+        return 2
+    if not current:
+        print(f"error: no benchmarks found in {args.current}", file=sys.stderr)
+        return 2
+
+    print(f"comparing {len(current)} benchmark(s) against "
+          f"{len(baseline)} baseline entr(y/ies), threshold "
+          f"+{args.threshold:.0%}:")
+    failures = compare(baseline, current, args.threshold)
+    if failures:
+        print(f"\n{len(failures)} benchmark regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nno regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

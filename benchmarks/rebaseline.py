@@ -1,0 +1,56 @@
+"""Refresh ``benchmarks/baseline.json`` from a ``--benchmark-json`` export.
+
+Usage::
+
+    PYTHONPATH=src pytest benchmarks/test_bench_smoke.py \
+        --benchmark-json=/tmp/smoke.json
+    python benchmarks/rebaseline.py /tmp/smoke.json
+
+Keeps only the fields ``compare.py`` gates on (plus a little provenance),
+so the committed baseline stays a small, reviewable diff.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+BASELINE = Path(__file__).parent / "baseline.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    payload = json.loads(Path(argv[0]).read_text())
+    trimmed = {
+        "comment": "Smoke-benchmark baseline for benchmarks/compare.py. "
+                   "Refresh with benchmarks/rebaseline.py (see its docstring).",
+        "machine_info": {
+            key: payload.get("machine_info", {}).get(key)
+            for key in ("python_version", "cpu")
+        },
+        "benchmarks": [
+            {
+                "fullname": bench["fullname"],
+                "name": bench["name"],
+                "stats": {
+                    "mean": bench["stats"]["mean"],
+                    "min": bench["stats"]["min"],
+                    "stddev": bench["stats"]["stddev"],
+                    "rounds": bench["stats"]["rounds"],
+                },
+                "extra_info": bench.get("extra_info", {}),
+            }
+            for bench in payload["benchmarks"]
+        ],
+    }
+    BASELINE.write_text(json.dumps(trimmed, indent=1) + "\n")
+    print(f"wrote {BASELINE} ({len(trimmed['benchmarks'])} benchmarks)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

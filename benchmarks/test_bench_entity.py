@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import LabelOracle, active_classify, error_count, solve_passive
+from repro import active_classify, error_count, solve_passive
 from repro.baselines import tao2018_classify
 from repro.datasets.entity_matching import generate_entity_matching
 from repro.experiments.entity_matching_exp import match_f1

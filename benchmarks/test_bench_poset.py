@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro import PointSet
 from repro.datasets.synthetic import planted_monotone, width_controlled
 from repro.poset.chains import (
     greedy_chain_decomposition,

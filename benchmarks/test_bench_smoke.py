@@ -1,0 +1,77 @@
+"""CI smoke benchmarks: tiny inputs, every pipeline layer, fast enough to gate.
+
+This file is what the ``bench-smoke`` CI job runs (with ``--benchmark-json``)
+and compares against ``benchmarks/baseline.json`` via ``compare.py``.  The
+sizes are deliberately small — the job exists to catch order-of-magnitude
+performance regressions (an accidental O(n^2) loop, a lost cache), not to
+measure scaling; the full-size suite in the sibling files does that.
+
+Keep the set small and stable: every benchmark here must have a matching
+entry in ``baseline.json``, and the baseline must be refreshed (locally,
+``pytest benchmarks/test_bench_smoke.py --benchmark-json=benchmarks/baseline.json``)
+whenever a benchmark is added or its workload changes.
+"""
+
+from __future__ import annotations
+
+from repro import LabelOracle, active_classify, solve_passive
+from repro.datasets.synthetic import planted_monotone, width_controlled
+from repro.parallel import GridConfig, run_grid
+
+
+def test_smoke_passive_flow(benchmark):
+    """Passive optimum via min-cut on a small planted instance."""
+    points = planted_monotone(400, 2, noise=0.1, rng=0)
+    result = benchmark(lambda: solve_passive(points))
+    benchmark.extra_info["optimal_error"] = result.optimal_error
+
+
+def test_smoke_active_serial(benchmark):
+    """Full active pipeline, serial path (workers=1)."""
+    points = width_controlled(800, 4, noise=0.05, rng=0)
+    hidden = points.with_hidden_labels()
+
+    def job():
+        return active_classify(hidden, LabelOracle(points), epsilon=1.0, rng=1)
+
+    result = benchmark(job)
+    benchmark.extra_info["probes"] = result.probing_cost
+
+
+def test_smoke_active_parallel_path(benchmark):
+    """Active pipeline through the chain-dispatch path (workers=2).
+
+    Times the sharding/absorb/merge machinery itself on a small input; the
+    point is catching overhead regressions in the parallel layer, not
+    demonstrating speedup (see BENCH_parallel.json for that).
+    """
+    points = width_controlled(800, 4, noise=0.05, rng=0)
+    hidden = points.with_hidden_labels()
+
+    def job():
+        return active_classify(hidden, LabelOracle(points), epsilon=1.0,
+                               rng=1, workers=2)
+
+    result = benchmark(job)
+    benchmark.extra_info["probes"] = result.probing_cost
+
+
+def _smoke_rows(n=200, seed=0):
+    points = planted_monotone(n, 2, noise=0.1, rng=seed)
+    result = active_classify(points.with_hidden_labels(), LabelOracle(points),
+                             epsilon=1.0, rng=seed)
+    return [{"n": n, "probes": result.probing_cost}]
+
+
+def test_smoke_grid_fanout(benchmark):
+    """Config-grid fan-out machinery (2 configs, 2 workers)."""
+    configs = [
+        GridConfig(name=f"smoke{i}", func=_smoke_rows, params={"seed": i})
+        for i in range(2)
+    ]
+
+    def job():
+        return run_grid(configs, workers=2)
+
+    results = benchmark(job)
+    assert all(r.ok for r in results)

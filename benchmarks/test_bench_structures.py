@@ -14,7 +14,7 @@ from repro import PointSet
 from repro.core.errindex import ThresholdErrorIndex
 from repro.core.passive import contending_mask
 from repro.core.passive_1d import best_threshold
-from repro.datasets.synthetic import planted_monotone, width_controlled
+from repro.datasets.synthetic import width_controlled
 from repro.poset.chains import matching_chain_decomposition, patience_chain_decomposition
 from repro.poset.dominance2d import contending_mask_low_dim
 

@@ -6,12 +6,54 @@ keep the algorithmic modules focused on the paper's logic.
 
 from __future__ import annotations
 
+import json
 import math
+import os
+import tempfile
+from pathlib import Path
 from typing import Iterable, Optional, Sequence, Union
 
 import numpy as np
 
 RngLike = Union[None, int, np.random.Generator]
+
+PathLike = Union[str, Path]
+
+
+def atomic_write_text(path: PathLike, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The temporary file lives in the destination directory so the final
+    rename never crosses filesystems; an interrupted writer leaves the old
+    contents (or no file) behind, never a truncated one.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent) or ".", prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        # mkstemp creates 0600 files; match what a plain open() would do.
+        umask = os.umask(0)
+        os.umask(umask)
+        os.chmod(tmp_name, 0o666 & ~umask)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path: PathLike, payload: object, indent: int = 1) -> None:
+    """Serialize ``payload`` to JSON and write it atomically to ``path``.
+
+    Serialization happens fully in memory before any byte touches disk, so
+    a payload that fails to serialize cannot clobber an existing file.
+    """
+    atomic_write_text(path, json.dumps(payload, indent=indent) + "\n")
 
 
 def as_generator(rng: RngLike) -> np.random.Generator:

@@ -77,6 +77,9 @@ def build_parser() -> argparse.ArgumentParser:
     active.add_argument("--decomposition",
                         choices=["exact", "matching", "patience", "greedy"],
                         default="exact")
+    active.add_argument("--workers", type=int, default=1,
+                        help="processes for chain-level parallel sampling "
+                             "(default 1; output is identical for any value)")
 
     width = sub.add_parser("width", help="dominance width and chain stats")
     width.add_argument("input", help="point-set file (.csv or .json)")
@@ -103,6 +106,11 @@ def build_parser() -> argparse.ArgumentParser:
     experiment = sub.add_parser("experiment", help="run registered experiments")
     experiment.add_argument("names", nargs="*", help="experiment names (default: all)")
     experiment.add_argument("--list", action="store_true", help="list experiments")
+    experiment.add_argument("--workers", type=int, default=1,
+                            help="processes for experiment fan-out (default 1)")
+    experiment.add_argument("--out-dir", default=None, metavar="DIR",
+                            help="write per-experiment rows to DIR/<name>.json "
+                                 "(atomic writes, crash-safe)")
 
     for command in (gen, passive, active, width, audit, repair, viz, experiment):
         _add_metrics_flags(command)
@@ -182,7 +190,8 @@ def _cmd_active(args: argparse.Namespace) -> int:
     oracle = LabelOracle(points)
     result = active_classify(points.with_hidden_labels(), oracle,
                              epsilon=args.epsilon, rng=args.seed,
-                             decomposition=args.decomposition)
+                             decomposition=args.decomposition,
+                             workers=args.workers)
     optimum = solve_passive(points).optimal_error
     err = error_count(points, result.classifier)
     print(format_table([{
@@ -272,7 +281,12 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         for name in sorted(EXPERIMENTS):
             print(name)
         return 0
-    return run_main(args.names)
+    runner_argv = list(args.names)
+    if args.workers != 1:
+        runner_argv += ["--workers", str(args.workers)]
+    if args.out_dir is not None:
+        runner_argv += ["--out-dir", args.out_dir]
+    return run_main(runner_argv)
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -27,6 +27,9 @@ import numpy as np
 
 from .._util import RngLike, as_generator
 from ..obs import recorder
+from ..parallel.chains import ChainTask, run_chain_task
+from ..parallel.pool import pool_map
+from ..parallel.seeds import spawn_seed_sequences
 from ..poset.chains import greedy_chain_decomposition, minimum_chain_decomposition
 from ..stats.estimation import SamplingPlan
 from .active_1d import WeightedSample, build_weighted_sample_1d
@@ -82,7 +85,8 @@ def active_classify(points: PointSet, oracle: LabelOracle, epsilon: float,
                     decomposition: str = "exact",
                     plan: Optional[SamplingPlan] = None,
                     rng: RngLike = None,
-                    flow_backend: str = "dinic") -> ActiveResult:
+                    flow_backend: str = "dinic",
+                    workers: int = 1) -> ActiveResult:
     """Solve Problem 1: probe few labels, return a ``(1+eps)``-approximation.
 
     Parameters
@@ -106,6 +110,15 @@ def active_classify(points: PointSet, oracle: LabelOracle, epsilon: float,
         Sampling plan controlling per-level sample sizes.
     flow_backend:
         Max-flow backend used for the final passive solve on ``Σ``.
+    workers:
+        Number of processes for the chain-sampling phase.  Each chain's
+        1-D recursion is independent (disjoint probes, its own spawned
+        seed), so any value produces bit-for-bit identical output —
+        ``workers=1`` (default) runs inline, larger values dispatch chains
+        to a process pool.  Requires an oracle that supports sharding
+        (:class:`LabelOracle` or
+        :class:`~repro.core.callback_oracle.CallbackOracle` with a
+        picklable labeler) when greater than 1.
     """
     if not 0 < epsilon <= 1:
         raise ValueError(f"epsilon must be in (0, 1]; got {epsilon}")
@@ -144,19 +157,53 @@ def active_classify(points: PointSet, oracle: LabelOracle, epsilon: float,
             for size in decomp.sizes():
                 rec.observe("active.chain_size", size)
 
+        # Every chain draws from its own spawned seed, so the sampling is a
+        # pure function of (rng, chain index) — the same randomness flows
+        # whether chains run inline or on a process pool, which is what
+        # makes `workers` invisible in the output.
+        chain_seeds = spawn_seed_sequences(rng, w)
         sigma = WeightedSample()
         with rec.span("sample_chains"):
-            for i, chain in enumerate(decomp.chains):
-                # Positions along the chain act as the 1-D values: index 0
-                # is the most dominated point, so every monotone classifier
-                # is a threshold on the position.
-                positions = np.arange(len(chain), dtype=float)
-                with rec.span(f"chain[{i}]"):
-                    chain_sigma, _levels, _trace = build_weighted_sample_1d(
-                        positions, np.asarray(chain, dtype=int), oracle,
-                        epsilon, per_chain_delta, plan, rng,
+            if workers <= 1 or w <= 1:
+                for i, chain in enumerate(decomp.chains):
+                    # Positions along the chain act as the 1-D values:
+                    # index 0 is the most dominated point, so every
+                    # monotone classifier is a threshold on the position.
+                    positions = np.arange(len(chain), dtype=float)
+                    with rec.span(f"chain[{i}]"):
+                        chain_sigma, _levels, _trace = build_weighted_sample_1d(
+                            positions, np.asarray(chain, dtype=int), oracle,
+                            epsilon, per_chain_delta, plan,
+                            np.random.default_rng(chain_seeds[i]),
+                        )
+                    sigma.merge(chain_sigma)
+            else:
+                if not hasattr(oracle, "shard") or not hasattr(oracle, "absorb"):
+                    raise ValueError(
+                        f"workers={workers} requires an oracle supporting "
+                        "shard()/absorb() (LabelOracle or CallbackOracle); "
+                        f"got {type(oracle).__name__} — use workers=1"
                     )
-                sigma.merge(chain_sigma)
+                tasks = [
+                    ChainTask(
+                        chain_id=i,
+                        global_indices=tuple(int(p) for p in chain),
+                        shard=oracle.shard(chain),
+                        epsilon=epsilon,
+                        delta=per_chain_delta,
+                        plan=plan,
+                        seed=chain_seeds[i],
+                    )
+                    for i, chain in enumerate(decomp.chains)
+                ]
+                results = pool_map(run_chain_task, tasks, workers=workers,
+                                   gauge_merge="max")
+                # Chains partition P, so their probe sets are disjoint:
+                # absorbing in chain order reproduces the serial probe log
+                # and cost exactly.
+                for result in results:
+                    sigma.merge(result.sigma)
+                    oracle.absorb(result.probe_log, result.revealed)
 
         indices, weights, labels = sigma.arrays()
         sigma_points = PointSet(points.coords[indices], labels, weights)

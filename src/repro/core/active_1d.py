@@ -33,7 +33,7 @@ from .._util import RngLike, as_generator, log_levels
 from ..obs import recorder
 from ..stats.estimation import SamplingPlan, sample_with_replacement
 from .classifier import ThresholdClassifier
-from .oracle import LabelOracle
+from .oracle import ProbeOracle
 from .passive_1d import best_threshold
 from .points import PointSet
 
@@ -211,7 +211,7 @@ class _Recursion1D:
     """Stateful driver for the Section 3 recursion over one value array."""
 
     def __init__(self, values: np.ndarray, global_indices: np.ndarray,
-                 oracle: LabelOracle, epsilon: float, delta: float,
+                 oracle: ProbeOracle, epsilon: float, delta: float,
                  plan: SamplingPlan, rng: np.random.Generator) -> None:
         self.values = values
         self.global_indices = global_indices
@@ -339,7 +339,7 @@ class _Recursion1D:
 
 
 def build_weighted_sample_1d(values: Sequence[float], global_indices: Sequence[int],
-                             oracle: LabelOracle, epsilon: float, delta: float,
+                             oracle: ProbeOracle, epsilon: float, delta: float,
                              plan: Optional[SamplingPlan] = None,
                              rng: RngLike = None
                              ) -> Tuple[WeightedSample, int, Tuple[LevelTrace, ...]]:
@@ -364,7 +364,7 @@ def build_weighted_sample_1d(values: Sequence[float], global_indices: Sequence[i
     return sigma, driver.levels_used, tuple(driver.trace)
 
 
-def active_classify_1d(points: PointSet, oracle: LabelOracle, epsilon: float,
+def active_classify_1d(points: PointSet, oracle: ProbeOracle, epsilon: float,
                        delta: Optional[float] = None,
                        plan: Optional[SamplingPlan] = None,
                        rng: RngLike = None) -> Active1DResult:

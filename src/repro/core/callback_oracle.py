@@ -15,7 +15,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence
 import numpy as np
 
 from ..obs import recorder
-from .oracle import ProbeBudgetExceeded
+from .oracle import OracleShard, ProbeBudgetExceeded, _absorb_probes
 from .points import HIDDEN, PointSet
 
 __all__ = ["CallbackOracle"]
@@ -109,6 +109,46 @@ class CallbackOracle:
         for idx, label in self._revealed.items():
             out[idx] = label
         return out
+
+    # ------------------------------------------------------------------
+    # Parallel sharding
+    # ------------------------------------------------------------------
+
+    def shard(self, indices: Sequence[int]) -> OracleShard:
+        """A picklable shard serving only ``indices`` (for worker processes).
+
+        The shard ships the labeling callable together with the coordinates
+        of its indices, so the callable itself must be picklable (a
+        module-level function or a picklable callable object; lambdas and
+        closures are not).  Labels the parent already cached travel along
+        and stay free shard-side.  Budgets are enforced by the parent at
+        :meth:`absorb` time, not in the worker.
+        """
+        coords: Dict[int, tuple] = {}
+        preknown: Dict[int, int] = {}
+        for index in indices:
+            index = int(index)
+            if not 0 <= index < self._points.n:
+                raise IndexError(f"point index {index} out of range")
+            coords[index] = tuple(float(c) for c in self._points.coords[index])
+            if index in self._revealed:
+                preknown[index] = self._revealed[index]
+        return OracleShard(labeler=self._labeler, coords=coords, preknown=preknown)
+
+    def absorb(self, shard_log: Sequence[int], shard_revealed: Dict[int, int]) -> None:
+        """Merge a shard's probes back without re-invoking the labeler.
+
+        The shard already paid the labeling calls; absorbing only records
+        the results, extends the log, and charges the budget (raising
+        :class:`~repro.core.oracle.ProbeBudgetExceeded` on overflow with
+        the budget exactly exhausted).
+        """
+        _absorb_probes(self._revealed, self._log, self.budget,
+                       shard_log, shard_revealed)
+        rec = recorder()
+        if rec.enabled and self.budget is not None:
+            rec.gauge("oracle.budget_remaining",
+                      self.budget - len(self._revealed))
 
     def __repr__(self) -> str:
         return (f"CallbackOracle(n={self._points.n}, cost={self.cost}, "

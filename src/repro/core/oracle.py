@@ -15,18 +15,172 @@ unit of *probing cost* per point whose label it asks the oracle to reveal.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
 from ..obs import recorder
 from .points import HIDDEN, PointSet
 
-__all__ = ["LabelOracle", "ProbeBudgetExceeded"]
+__all__ = ["LabelOracle", "OracleShard", "ProbeOracle", "ProbeBudgetExceeded"]
+
+
+class ProbeOracle(Protocol):
+    """Structural type of everything the active algorithms probe against.
+
+    Satisfied by :class:`LabelOracle`,
+    :class:`~repro.core.callback_oracle.CallbackOracle`, and
+    :class:`OracleShard` — the 1-D recursion only ever calls :meth:`probe`.
+    """
+
+    def probe(self, index: int) -> int:
+        """Reveal and return the label of point ``index``."""
+        ...
+
+    @property
+    def cost(self) -> int:
+        """Distinct points charged so far."""
+        ...
 
 
 class ProbeBudgetExceeded(RuntimeError):
     """Raised when an algorithm attempts to exceed its probe budget."""
+
+
+class OracleShard:
+    """Picklable worker-side oracle restricted to a subset of point indices.
+
+    A shard is what a parallel worker probes against: it carries either the
+    ground-truth labels of its indices (sharded from a
+    :class:`LabelOracle`) or a labeling callable plus the relevant
+    coordinates (sharded from a
+    :class:`~repro.core.callback_oracle.CallbackOracle`).  It mirrors the
+    parent oracle's accounting exactly — one charge per distinct probe,
+    repeats free, the same ``oracle.*`` instrumentation counters — except
+    that budgets are *not* enforced shard-side: the parent enforces its
+    budget when the shard's probes are absorbed back
+    (:meth:`LabelOracle.absorb`), keeping the global distinct-probe count
+    exact even when chains run in separate processes.
+
+    Labels already revealed by the parent before sharding are pre-seeded,
+    so re-probing them is free shard-side just as it would have been in the
+    parent (they count as dedup hits, not charges).
+    """
+
+    __slots__ = ("_labels", "_labeler", "_coords", "_preknown", "_revealed", "_log")
+
+    def __init__(
+        self,
+        labels: Optional[Dict[int, int]] = None,
+        labeler: Optional[Callable[[Sequence[float]], int]] = None,
+        coords: Optional[Dict[int, Tuple[float, ...]]] = None,
+        preknown: Optional[Dict[int, int]] = None,
+    ) -> None:
+        if (labels is None) == (labeler is None):
+            raise ValueError("provide exactly one of labels= or labeler=")
+        if labeler is not None and coords is None:
+            raise ValueError("labeler= requires coords=")
+        self._labels = labels
+        self._labeler = labeler
+        self._coords = coords
+        self._preknown = dict(preknown or {})
+        self._revealed: Dict[int, int] = dict(self._preknown)
+        self._log: List[int] = []
+
+    def probe(self, index: int) -> int:
+        """Reveal the label of ``index``; first reveal charges one unit."""
+        index = int(index)
+        self._log.append(index)
+        rec = recorder()
+        if rec.enabled:
+            rec.incr("oracle.requests")
+        if index in self._revealed:
+            if rec.enabled:
+                rec.incr("oracle.dedup_hits")
+            return self._revealed[index]
+        if self._labels is not None:
+            if index not in self._labels:
+                raise IndexError(f"point index {index} is not in this shard")
+            label = int(self._labels[index])
+        else:
+            assert self._labeler is not None and self._coords is not None
+            if index not in self._coords:
+                raise IndexError(f"point index {index} is not in this shard")
+            label = int(self._labeler(self._coords[index]))
+            if label not in (0, 1):
+                raise ValueError(
+                    f"labeler returned {label!r} for point {index}; expected 0 or 1"
+                )
+        self._revealed[index] = label
+        if rec.enabled:
+            rec.incr("oracle.probes")
+        return label
+
+    def probe_many(self, indices: Iterable[int]) -> List[int]:
+        """Probe a sequence of points, returning their labels in order."""
+        return [self.probe(i) for i in indices]
+
+    def peek(self, index: int) -> Optional[int]:
+        """Return the label of ``index`` if already revealed, else ``None``."""
+        return self._revealed.get(int(index))
+
+    @property
+    def cost(self) -> int:
+        """Distinct points newly charged by this shard."""
+        return len(self._revealed) - len(self._preknown)
+
+    @property
+    def log(self) -> List[int]:
+        """Every probe call issued against this shard, in order."""
+        return list(self._log)
+
+    @property
+    def new_revealed(self) -> Dict[int, int]:
+        """Labels first revealed by this shard (insertion order), for absorb."""
+        return {
+            index: label
+            for index, label in self._revealed.items()
+            if index not in self._preknown
+        }
+
+    def __repr__(self) -> str:
+        universe = self._labels if self._labels is not None else self._coords
+        size = len(universe) if universe is not None else 0
+        return f"OracleShard(size={size}, cost={self.cost})"
+
+
+def _absorb_probes(
+    revealed: Dict[int, int],
+    log: List[int],
+    budget: Optional[int],
+    shard_log: Sequence[int],
+    shard_revealed: Dict[int, int],
+    verify: Optional[Callable[[int, int], None]] = None,
+) -> None:
+    """Fold a shard's probe log and reveals into a parent oracle's state.
+
+    Deliberately does *not* touch the metrics recorder: the worker already
+    recorded ``oracle.requests`` / ``oracle.probes`` / ``oracle.dedup_hits``
+    into its own registry, which the pool merges back separately —
+    incrementing here would double-count.  Budget is enforced entry by
+    entry so an overflow raises with the budget exactly exhausted, the same
+    terminal state a serial run reaches.
+    """
+    log.extend(int(i) for i in shard_log)
+    for index, label in shard_revealed.items():
+        index = int(index)
+        if index in revealed:
+            continue
+        if budget is not None and len(revealed) >= budget:
+            rec = recorder()
+            if rec.enabled:
+                rec.incr("oracle.budget_exceeded")
+            raise ProbeBudgetExceeded(
+                f"probe budget of {budget} distinct points exhausted"
+            )
+        if verify is not None:
+            verify(index, int(label))
+        revealed[index] = int(label)
 
 
 class LabelOracle:
@@ -144,6 +298,54 @@ class LabelOracle:
         """Forget all revealed labels and reset the cost to zero."""
         self._revealed.clear()
         self._log.clear()
+
+    # ------------------------------------------------------------------
+    # Parallel sharding
+    # ------------------------------------------------------------------
+
+    def shard(self, indices: Sequence[int]) -> OracleShard:
+        """A picklable shard serving only ``indices`` (for worker processes).
+
+        The shard carries the ground-truth labels of its indices plus any
+        already-revealed labels among them (re-probing those stays free in
+        the worker).  No budget travels with the shard; the parent enforces
+        its budget when the shard's probes come back via :meth:`absorb`.
+        """
+        labels: Dict[int, int] = {}
+        preknown: Dict[int, int] = {}
+        for index in indices:
+            index = int(index)
+            if not 0 <= index < len(self._labels):
+                raise IndexError(f"point index {index} out of range")
+            labels[index] = int(self._labels[index])
+            if index in self._revealed:
+                preknown[index] = self._revealed[index]
+        return OracleShard(labels=labels, preknown=preknown)
+
+    def absorb(self, shard_log: Sequence[int], shard_revealed: Dict[int, int]) -> None:
+        """Merge a shard's probes back, keeping accounting exact.
+
+        Extends the probe log, charges each newly revealed point against
+        the budget (raising :class:`ProbeBudgetExceeded` with the budget
+        exactly exhausted on overflow), and validates every label against
+        the ground truth.  Metrics counters are *not* incremented here —
+        the worker's registry already holds them.
+        """
+
+        def verify(index: int, label: int) -> None:
+            truth = int(self._labels[index])
+            if label != truth:
+                raise ValueError(
+                    f"shard label {label} for point {index} contradicts "
+                    f"ground truth {truth}"
+                )
+
+        _absorb_probes(self._revealed, self._log, self.budget,
+                       shard_log, shard_revealed, verify)
+        rec = recorder()
+        if rec.enabled and self.budget is not None:
+            rec.gauge("oracle.budget_remaining",
+                      self.budget - len(self._revealed))
 
     def __repr__(self) -> str:
         return (f"LabelOracle(n={len(self._labels)}, cost={self.cost}, "

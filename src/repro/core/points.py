@@ -14,7 +14,7 @@ dominance (the paper's ``p ≻ q`` for distinct points) is available separately.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional, Sequence, Tuple
 
 import numpy as np

@@ -2,13 +2,30 @@
 
 from __future__ import annotations
 
+from typing import Any, Callable, Dict, List, Sequence
+
 import numpy as np
 
 from ..core.passive_1d import best_threshold
 from ..core.points import PointSet
+from ..parallel.pool import pool_map
 from ..poset.chains import minimum_chain_decomposition
 
-__all__ = ["chainwise_optimum"]
+__all__ = ["chainwise_optimum", "map_configs"]
+
+
+def map_configs(fn: Callable[[Dict[str, Any]], dict],
+                configs: Sequence[Dict[str, Any]],
+                workers: int = 1) -> List[dict]:
+    """Run ``fn`` over a sweep's config dicts, optionally across processes.
+
+    Experiment sweeps are grids of independent, fully-seeded configs, so
+    fanning them out never changes the rows — ``workers=1`` (the default)
+    is the plain serial loop, larger values dispatch configs to a process
+    pool (``fn`` must be a module-level function so it pickles).  Rows
+    come back in config order either way.
+    """
+    return pool_map(fn, list(configs), workers=workers)
 
 
 def chainwise_optimum(points: PointSet) -> float:

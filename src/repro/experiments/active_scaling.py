@@ -26,11 +26,16 @@ from ..core.bounds import theorem2_probing_shape
 from ..core.errors import error_count
 from ..core.oracle import LabelOracle
 from ..datasets.synthetic import width_controlled
-from ._common import chainwise_optimum
+from ._common import chainwise_optimum, map_configs
 
 TITLE = "E4/E5/E6 — active probing cost vs n, w, eps (Theorem 2)"
 
 __all__ = ["run", "run_n_sweep", "run_w_sweep", "run_eps_sweep", "TITLE"]
+
+
+def _one_run_config(config: dict) -> dict:
+    """Picklable adapter so sweeps can fan ``_one_run`` out across workers."""
+    return _one_run(**config)
 
 
 def _one_run(n: int, width: int, epsilon: float, noise: float, seed: int,
@@ -70,32 +75,43 @@ def _one_run(n: int, width: int, epsilon: float, noise: float, seed: int,
 
 def run_n_sweep(ns: Sequence[int] = (2_000, 4_000, 8_000, 16_000, 32_000),
                 width: int = 8, epsilon: float = 1.0, noise: float = 0.05,
-                seed: int = 0, trials: int = 3) -> List[dict]:
+                seed: int = 0, trials: int = 3, workers: int = 1) -> List[dict]:
     """E4: probing cost as ``n`` grows (fixed ``w``, ``eps``)."""
-    return [_one_run(n, width, epsilon, noise, seed, trials) for n in ns]
+    configs = [dict(n=n, width=width, epsilon=epsilon, noise=noise,
+                    seed=seed, trials=trials) for n in ns]
+    return map_configs(_one_run_config, configs, workers=workers)
 
 
 def run_w_sweep(widths: Sequence[int] = (2, 4, 8, 16, 32),
                 n: int = 16_000, epsilon: float = 1.0, noise: float = 0.05,
-                seed: int = 0, trials: int = 3) -> List[dict]:
+                seed: int = 0, trials: int = 3, workers: int = 1) -> List[dict]:
     """E5: probing cost as ``w`` grows (fixed ``n``, ``eps``)."""
-    return [_one_run(n, w, epsilon, noise, seed, trials) for w in widths]
+    configs = [dict(n=n, width=w, epsilon=epsilon, noise=noise,
+                    seed=seed, trials=trials) for w in widths]
+    return map_configs(_one_run_config, configs, workers=workers)
 
 
 def run_eps_sweep(epsilons: Sequence[float] = (1.0, 0.7, 0.5, 0.35, 0.25),
                   n: int = 16_000, width: int = 8, noise: float = 0.05,
-                  seed: int = 0, trials: int = 3) -> List[dict]:
+                  seed: int = 0, trials: int = 3, workers: int = 1) -> List[dict]:
     """E6: probing cost as ``eps`` shrinks (fixed ``n``, ``w``)."""
-    return [_one_run(n, width, eps, noise, seed, trials) for eps in epsilons]
+    configs = [dict(n=n, width=width, epsilon=eps, noise=noise,
+                    seed=seed, trials=trials) for eps in epsilons]
+    return map_configs(_one_run_config, configs, workers=workers)
 
 
-def run(seed: int = 0, trials: int = 3) -> List[dict]:
-    """All three sweeps, tagged by sweep name."""
+def run(seed: int = 0, trials: int = 3, workers: int = 1) -> List[dict]:
+    """All three sweeps, tagged by sweep name.
+
+    ``workers`` fans each sweep's configs out across processes; every
+    config is independently seeded, so the rows are identical to a serial
+    run for any worker count.
+    """
     rows: List[dict] = []
-    for row in run_n_sweep(seed=seed, trials=trials):
+    for row in run_n_sweep(seed=seed, trials=trials, workers=workers):
         rows.append({"sweep": "E4:n", **row})
-    for row in run_w_sweep(seed=seed, trials=trials):
+    for row in run_w_sweep(seed=seed, trials=trials, workers=workers):
         rows.append({"sweep": "E5:w", **row})
-    for row in run_eps_sweep(seed=seed, trials=trials):
+    for row in run_eps_sweep(seed=seed, trials=trials, workers=workers):
         rows.append({"sweep": "E6:eps", **row})
     return rows

@@ -19,7 +19,6 @@ from ..baselines.tao2018 import tao2018_classify
 from ..core.active import active_classify
 from ..core.classifier import MonotoneClassifier
 from ..core.errors import error_count
-from ..core.oracle import LabelOracle
 from ..core.passive import solve_passive
 from ..core.points import PointSet
 from ..datasets.entity_matching import generate_entity_matching

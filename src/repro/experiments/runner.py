@@ -4,19 +4,30 @@
 requested experiment (all of them by default).  The same registry backs the
 ``repro-monotone experiment`` CLI subcommand and the benchmark suite.
 
-Pass ``--metrics`` to wrap each experiment in its own
-:func:`repro.obs.metrics_session` and print the instrumentation report
-(probe counters, span timings, flow telemetry) after its table — the cost
-side of every claim next to the claim itself.
+Flags:
+
+* ``--metrics`` wraps each experiment in its own
+  :func:`repro.obs.metrics_session` and prints the instrumentation report
+  (probe counters, span timings, flow telemetry) after its table — the
+  cost side of every claim next to the claim itself;
+* ``--workers N`` fans the requested experiments out across ``N`` worker
+  processes (they are independent, seeded configs, so the tables are
+  identical to a serial run);
+* ``--out-dir DIR`` additionally writes each experiment's rows to
+  ``DIR/<name>.json``, atomically and from inside the worker that
+  produced them — a crashed or failing experiment can neither corrupt
+  its own file nor take down results that already landed.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
 from .. import obs
 from .._util import format_table
+from ..parallel.grid import GridConfig, run_grid
 
 __all__ = ["EXPERIMENTS", "run_experiment", "main"]
 
@@ -79,31 +90,58 @@ def run_experiment(name: str, *,
         return runner(**params)
 
 
-def main(argv: Sequence[str] = None) -> int:
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.runner",
+        description="Run registered experiments and print their tables.",
+    )
+    parser.add_argument("names", nargs="*",
+                        help="experiment names (default: all)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print an instrumentation report per experiment")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for experiment fan-out "
+                             "(default 1 = serial; results are identical)")
+    parser.add_argument("--out-dir", default=None, metavar="DIR",
+                        help="write each experiment's rows to DIR/<name>.json "
+                             "(atomic, crash-safe, per-experiment files)")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
     """Print the tables of the requested experiments (default: all)."""
     argv = list(sys.argv[1:] if argv is None else argv)
-    with_metrics = "--metrics" in argv
-    if with_metrics:
-        argv = [a for a in argv if a != "--metrics"]
-    names = argv or list(EXPERIMENTS)
+    args = build_parser().parse_args(argv)
+    names = args.names or list(EXPERIMENTS)
     for name in names:
         if name not in EXPERIMENTS:
             print(f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}")
             return 2
-    for name in names:
-        module = sys.modules[EXPERIMENTS[name].__module__]
-        title = getattr(module, "TITLE", name)
+
+    configs = [GridConfig(name=name) for name in names]
+    results = run_grid(configs, workers=args.workers, out_dir=args.out_dir,
+                       capture_metrics=args.metrics)
+    failed = False
+    for result in results:
+        module = sys.modules[EXPERIMENTS[result.name].__module__]
+        title = getattr(module, "TITLE", result.name)
         print(f"\n=== {title} ===")
-        registry = obs.MetricsRegistry(name) if with_metrics else None
-        rows = run_experiment(name, registry=registry)
-        for group in group_rows_by_schema(rows):
+        if not result.ok:
+            print(f"FAILED: {result.error}")
+            failed = True
+            continue
+        for group in group_rows_by_schema(result.rows or []):
             print(format_table(group))
             print()
-        if registry is not None:
-            print(f"--- instrumentation: {name} ---")
+        if result.out_path is not None:
+            print(f"wrote rows to {result.out_path}")
+        if args.metrics and result.metrics is not None:
+            registry = obs.MetricsRegistry(result.name)
+            registry.merge_snapshot(result.metrics)
+            print(f"--- instrumentation: {result.name} ---")
             print(obs.report(registry))
             print()
-    return 0
+    return 1 if failed else 0
 
 
 def group_rows_by_schema(rows: List[dict]) -> List[List[dict]]:

@@ -4,36 +4,51 @@ CSV layout: one point per row with columns ``x0 .. x{d-1}, label, weight``
 (label ``-1`` = hidden).  JSON layout mirrors the columnar structure of
 :class:`~repro.core.points.PointSet`.  Both formats preserve labels,
 weights, and (JSON only) point names exactly.
+
+All writers are atomic (temp file + ``os.replace``): an interrupted run —
+a killed worker, a crash mid-serialization, a full disk — leaves either
+the previous file or no file, never a truncated one.  The primitives
+:func:`atomic_write_text` / :func:`atomic_write_json` are re-exported for
+any code that writes results.
 """
 
 from __future__ import annotations
 
 import csv
+import io
 import json
 from pathlib import Path
 from typing import Union
 
 import numpy as np
 
+from ._util import atomic_write_json, atomic_write_text
 from .core.points import PointSet
 
-__all__ = ["save_csv", "load_csv", "save_json", "load_json"]
+__all__ = [
+    "save_csv",
+    "load_csv",
+    "save_json",
+    "load_json",
+    "atomic_write_text",
+    "atomic_write_json",
+]
 
 PathLike = Union[str, Path]
 
 
 def save_csv(points: PointSet, path: PathLike) -> None:
-    """Write a point set to CSV with a header row."""
-    path = Path(path)
-    with path.open("w", newline="") as handle:
-        writer = csv.writer(handle)
-        header = [f"x{i}" for i in range(points.dim)] + ["label", "weight"]
-        writer.writerow(header)
-        for i in range(points.n):
-            row = [repr(float(c)) for c in points.coords[i]]
-            row.append(int(points.labels[i]))
-            row.append(repr(float(points.weights[i])))
-            writer.writerow(row)
+    """Write a point set to CSV with a header row (atomically)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    header = [f"x{i}" for i in range(points.dim)] + ["label", "weight"]
+    writer.writerow(header)
+    for i in range(points.n):
+        row = [repr(float(c)) for c in points.coords[i]]
+        row.append(int(points.labels[i]))
+        row.append(repr(float(points.weights[i])))
+        writer.writerow(row)
+    atomic_write_text(path, buffer.getvalue())
 
 
 def load_csv(path: PathLike) -> PointSet:
@@ -62,8 +77,7 @@ def load_csv(path: PathLike) -> PointSet:
 
 
 def save_json(points: PointSet, path: PathLike) -> None:
-    """Write a point set to JSON (coords/labels/weights/names)."""
-    path = Path(path)
+    """Write a point set to JSON (coords/labels/weights/names, atomically)."""
     payload = {
         "dim": points.dim,
         "coords": points.coords.tolist(),
@@ -71,7 +85,7 @@ def save_json(points: PointSet, path: PathLike) -> None:
         "weights": points.weights.tolist(),
         "names": list(points.names) if points.names is not None else None,
     }
-    path.write_text(json.dumps(payload, indent=1))
+    atomic_write_text(path, json.dumps(payload, indent=1))
 
 
 def load_json(path: PathLike) -> PointSet:

@@ -14,7 +14,7 @@ import json
 from pathlib import Path
 from typing import List, Optional, Union
 
-from .._util import format_table
+from .._util import atomic_write_text, format_table
 from .registry import MetricsRegistry
 
 __all__ = ["to_json", "to_csv", "export_file", "report"]
@@ -22,12 +22,13 @@ __all__ = ["to_json", "to_csv", "export_file", "report"]
 PathLike = Union[str, Path]
 
 
-def to_json(registry: MetricsRegistry, path: Optional[PathLike] = None,
-            indent: int = 1) -> str:
+def to_json(
+    registry: MetricsRegistry, path: Optional[PathLike] = None, indent: int = 1
+) -> str:
     """Serialize a registry snapshot to JSON (optionally writing ``path``)."""
     text = json.dumps(registry.snapshot(), indent=indent)
     if path is not None:
-        Path(path).write_text(text + "\n")
+        atomic_write_text(path, text + "\n")
     return text
 
 
@@ -53,7 +54,7 @@ def to_csv(registry: MetricsRegistry, path: Optional[PathLike] = None) -> str:
                 writer.writerow([singular, name, field, value])
     text = buffer.getvalue()
     if path is not None:
-        Path(path).write_text(text)
+        atomic_write_text(path, text)
     return text
 
 
@@ -70,31 +71,49 @@ def report(registry: MetricsRegistry) -> str:
     snap = registry.snapshot()
     sections: List[str] = []
 
-    scalar_rows = (
-        [{"kind": "counter", "name": k, "value": v}
-         for k, v in snap["counters"].items()]
-        + [{"kind": "gauge", "name": k, "value": v}
-           for k, v in snap["gauges"].items()]
-    )
+    scalar_rows = [
+        {"kind": "counter", "name": k, "value": v} for k, v in snap["counters"].items()
+    ]
+    scalar_rows += [
+        {"kind": "gauge", "name": k, "value": v} for k, v in snap["gauges"].items()
+    ]
     if scalar_rows:
         sections.append(format_table(scalar_rows))
 
     hist_rows = [
-        {"histogram": k, "count": v["count"], "mean": v["mean"],
-         "min": v["min"], "max": v["max"], "total": v["total"]}
+        {
+            "histogram": k,
+            "count": v["count"],
+            "mean": v["mean"],
+            "min": v["min"],
+            "max": v["max"],
+            "total": v["total"],
+        }
         for k, v in snap["histograms"].items()
     ]
     if hist_rows:
         sections.append(format_table(hist_rows))
 
-    time_rows = (
-        [{"phase": k, "calls": v["count"], "total_s": v["total"],
-          "mean_s": v["mean"], "max_s": v["max"]}
-         for k, v in snap["spans"].items()]
-        + [{"phase": f"timer:{k}", "calls": v["count"], "total_s": v["total"],
-            "mean_s": v["mean"], "max_s": v["max"]}
-           for k, v in snap["timers"].items()]
-    )
+    time_rows = [
+        {
+            "phase": k,
+            "calls": v["count"],
+            "total_s": v["total"],
+            "mean_s": v["mean"],
+            "max_s": v["max"],
+        }
+        for k, v in snap["spans"].items()
+    ]
+    time_rows += [
+        {
+            "phase": f"timer:{k}",
+            "calls": v["count"],
+            "total_s": v["total"],
+            "mean_s": v["mean"],
+            "max_s": v["max"],
+        }
+        for k, v in snap["timers"].items()
+    ]
     if time_rows:
         sections.append(format_table(time_rows))
 

@@ -100,6 +100,31 @@ class Histogram:
         """Arithmetic mean of all observations, or ``None`` when empty."""
         return self.total / self.count if self.count else None
 
+    def merge_summary(self, summary: Dict[str, Optional[float]]) -> None:
+        """Fold another histogram's :meth:`snapshot` into this one.
+
+        Used when worker-process registries are merged back into a parent:
+        counts and totals add, min/max combine, and ``last`` takes the
+        merged summary's last (merge order is the deterministic task
+        order, so the result matches a serial run for order-insensitive
+        fields).
+        """
+        count = int(summary.get("count") or 0)
+        if count == 0:
+            return
+        self.count += count
+        self.total += float(summary.get("total") or 0.0)
+        for bound, better in (("min", min), ("max", max)):
+            value = summary.get(bound)
+            if value is None:
+                continue
+            current = getattr(self, bound)
+            merged = float(value) if current is None else better(current, float(value))
+            setattr(self, bound, merged)
+        last = summary.get("last")
+        if last is not None:
+            self.last = float(last)
+
     def snapshot(self) -> Dict[str, Optional[float]]:
         return {
             "count": self.count,
@@ -111,8 +136,7 @@ class Histogram:
         }
 
     def __repr__(self) -> str:
-        return (f"Histogram({self.name!r}, count={self.count}, "
-                f"mean={self.mean!r})")
+        return f"Histogram({self.name!r}, count={self.count}, mean={self.mean!r})"
 
 
 class Timer:
@@ -132,8 +156,11 @@ class Timer:
 
     __slots__ = ("name", "elapsed", "_sink", "_start")
 
-    def __init__(self, name: Optional[str] = None,
-                 sink: Optional[Callable[[str, float], None]] = None) -> None:
+    def __init__(
+        self,
+        name: Optional[str] = None,
+        sink: Optional[Callable[[str, float], None]] = None,
+    ) -> None:
         self.name = name
         self.elapsed: Optional[float] = None
         self._sink = sink
@@ -144,6 +171,8 @@ class Timer:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
+        if self._start is None:
+            raise RuntimeError("Timer exited without __enter__")
         self.elapsed = perf_counter() - self._start
         if self._sink is not None and self.name is not None:
             self._sink(self.name, self.elapsed)

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from contextvars import ContextVar
-from typing import Dict, Iterator, List, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Union
 
 from .metrics import Counter, Gauge, Histogram, Timer
 
@@ -98,6 +98,15 @@ class NullRecorder:
     def span(self, name: str) -> _NullContext:
         return _NULL_CONTEXT
 
+    def merge_snapshot(
+        self,
+        snapshot: Dict[str, Any],
+        *,
+        span_prefix: str = "",
+        gauge_merge: str = "last",
+    ) -> None:
+        pass
+
     def __repr__(self) -> str:
         return "NullRecorder()"
 
@@ -132,7 +141,8 @@ class Span:
     def __exit__(self, exc_type, exc, tb) -> None:
         self._timer.__exit__(exc_type, exc, tb)
         self.elapsed = self._timer.elapsed
-        self._registry._record_span(self.path, self.elapsed)
+        if self.path is not None and self.elapsed is not None:
+            self._registry._record_span(self.path, self.elapsed)
         self._registry._span_stack.pop()
 
     def __repr__(self) -> str:
@@ -150,8 +160,15 @@ class MetricsRegistry:
 
     enabled = True
 
-    __slots__ = ("name", "counters", "gauges", "histograms", "timers",
-                 "spans", "_span_stack")
+    __slots__ = (
+        "name",
+        "counters",
+        "gauges",
+        "histograms",
+        "timers",
+        "spans",
+        "_span_stack",
+    )
 
     def __init__(self, name: str = "session") -> None:
         self.name = name
@@ -210,6 +227,81 @@ class MetricsRegistry:
         return Span(self, name)
 
     # ------------------------------------------------------------------
+    # Cross-process merging
+    # ------------------------------------------------------------------
+
+    @property
+    def span_path(self) -> str:
+        """The currently open span path (empty string outside any span)."""
+        return SPAN_SEP.join(self._span_stack)
+
+    def merge_snapshot(
+        self,
+        snapshot: Dict[str, Any],
+        *,
+        span_prefix: str = "",
+        gauge_merge: str = "last",
+    ) -> None:
+        """Fold a :meth:`snapshot` document into this registry.
+
+        This is how per-worker registries come home: a worker process runs
+        inside its own :func:`metrics_session`, ships ``snapshot()`` back
+        (plain picklable dicts), and the parent merges the documents in
+        deterministic task order.  Counters and histogram/timer/span
+        summaries are additive; gauges follow ``gauge_merge``:
+
+        * ``"last"`` — the later merge wins (matches serial last-write
+          semantics when merges happen in task order);
+        * ``"max"`` — keep the maximum (for high-water gauges such as
+          ``active.recursion_depth`` that workers each report locally).
+
+        ``span_prefix`` re-roots the worker's span paths under the parent's
+        current phase (pass :attr:`span_path`), so a worker's ``chain[3]``
+        lands at ``active/sample_chains/chain[3]`` exactly as it would have
+        in a serial run.
+        """
+        if gauge_merge not in ("last", "max"):
+            raise ValueError(
+                f"gauge_merge must be 'last' or 'max'; got {gauge_merge!r}"
+            )
+        counters: Dict[str, Number] = snapshot.get("counters", {})
+        for name, value in counters.items():
+            self.incr(name, value)
+        gauges: Dict[str, Optional[Number]] = snapshot.get("gauges", {})
+        for name, gauge_value in gauges.items():
+            if gauge_value is None:
+                continue
+            if gauge_merge == "max":
+                self.gauge_max(name, gauge_value)
+            else:
+                self.gauge(name, gauge_value)
+        for family, store in (
+            ("histograms", self.histograms),
+            ("timers", self.timers),
+            ("spans", self.spans),
+        ):
+            summaries: Dict[str, Dict[str, Optional[float]]] = snapshot.get(family, {})
+            for name, summary in summaries.items():
+                if family == "spans" and span_prefix:
+                    name = f"{span_prefix}{SPAN_SEP}{name}"
+                hist = store.get(name)
+                if hist is None:
+                    hist = store[name] = Histogram(name)
+                hist.merge_summary(summary)
+
+    def merge(
+        self,
+        other: "MetricsRegistry",
+        *,
+        span_prefix: str = "",
+        gauge_merge: str = "last",
+    ) -> None:
+        """Fold another registry into this one (via its snapshot)."""
+        self.merge_snapshot(
+            other.snapshot(), span_prefix=span_prefix, gauge_merge=gauge_merge
+        )
+
+    # ------------------------------------------------------------------
     # Internals and inspection
     # ------------------------------------------------------------------
 
@@ -235,8 +327,7 @@ class MetricsRegistry:
             "session": self.name,
             "counters": {k: c.value for k, c in sorted(self.counters.items())},
             "gauges": {k: g.value for k, g in sorted(self.gauges.items())},
-            "histograms": {k: h.snapshot()
-                           for k, h in sorted(self.histograms.items())},
+            "histograms": {k: h.snapshot() for k, h in sorted(self.histograms.items())},
             "timers": {k: h.snapshot() for k, h in sorted(self.timers.items())},
             "spans": {k: h.snapshot() for k, h in sorted(self.spans.items())},
         }
@@ -251,13 +342,16 @@ class MetricsRegistry:
         self._span_stack.clear()
 
     def __repr__(self) -> str:
-        return (f"MetricsRegistry(name={self.name!r}, "
-                f"counters={len(self.counters)}, gauges={len(self.gauges)}, "
-                f"spans={len(self.spans)})")
+        return (
+            f"MetricsRegistry(name={self.name!r}, "
+            f"counters={len(self.counters)}, gauges={len(self.gauges)}, "
+            f"spans={len(self.spans)})"
+        )
 
 
 _ACTIVE: ContextVar[Union[MetricsRegistry, NullRecorder]] = ContextVar(
-    "repro_obs_recorder", default=NULL_RECORDER)
+    "repro_obs_recorder", default=NULL_RECORDER
+)
 
 
 def recorder() -> Union[MetricsRegistry, NullRecorder]:
@@ -276,8 +370,9 @@ def enabled() -> bool:
 
 
 @contextmanager
-def metrics_session(registry: Optional[MetricsRegistry] = None,
-                    name: str = "session") -> Iterator[MetricsRegistry]:
+def metrics_session(
+    registry: Optional[MetricsRegistry] = None, name: str = "session"
+) -> Iterator[MetricsRegistry]:
     """Activate a registry for the dynamic extent of the ``with`` block.
 
     A fresh :class:`MetricsRegistry` is created unless one is passed in

@@ -1,0 +1,38 @@
+"""repro.parallel — process-pool execution with deterministic fan-out.
+
+The paper's active algorithm decomposes ``P`` into ``w`` independent
+chains (Theorems 2-3) and the experiment harness sweeps config grids —
+both embarrassingly parallel.  This package is the scale-out layer the
+ROADMAP asks for, built on three invariants:
+
+* **Determinism** — every task draws randomness from its own spawned
+  ``np.random.SeedSequence`` child (:mod:`.seeds`), so outputs are
+  bit-for-bit identical for any worker count, including ``workers=1``;
+* **Exact accounting** — workers probe picklable
+  :class:`~repro.core.oracle.OracleShard` objects; the parent ``absorb``\\ s
+  the probe logs back in task order, so probing cost, probe logs, and
+  budgets match a serial run exactly (:mod:`.chains`);
+* **Observable merge** — each worker runs under its own
+  :class:`~repro.obs.MetricsRegistry`; snapshots merge back into the
+  parent registry in task order (:mod:`.pool`), so counters, histograms,
+  and high-water gauges of a parallel run equal the serial run's.
+
+See docs/parallelism.md for the worker model and merge semantics.
+"""
+
+from .chains import ChainResult, ChainTask, run_chain_task
+from .grid import GridConfig, GridResult, run_grid
+from .pool import pool_map
+from .seeds import spawn_generators, spawn_seed_sequences
+
+__all__ = [
+    "ChainResult",
+    "ChainTask",
+    "run_chain_task",
+    "GridConfig",
+    "GridResult",
+    "run_grid",
+    "pool_map",
+    "spawn_generators",
+    "spawn_seed_sequences",
+]

@@ -1,0 +1,96 @@
+"""Chain-level parallel tasks for the active algorithm (Theorems 2-3).
+
+The Section 4 algorithm decomposes ``P`` into ``w`` chains whose 1-D
+recursive sampling runs are independent: chains partition the point set,
+so their probe sets are disjoint and their randomness comes from spawned
+per-chain seeds.  That makes each chain a self-contained, picklable task:
+
+* :class:`ChainTask` bundles a chain's indices, an
+  :class:`~repro.core.oracle.OracleShard` restricted to them, the
+  ``(epsilon, delta)`` budget, the sampling plan, and the chain's spawned
+  :class:`~numpy.random.SeedSequence`;
+* :func:`run_chain_task` executes the Section 3 recursion on one task and
+  returns the chain's weighted sample ``Σ_i`` together with the shard's
+  probe log, ready for the parent to merge (in chain order) and
+  ``absorb`` into the real oracle.
+
+The serial path (``workers=1``) runs the same recursion inline against
+the live oracle with the same spawned per-chain seed, which is what makes
+worker count invisible in the output: same chain order, same randomness,
+same probes — only the executing process differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..core.active_1d import LevelTrace, WeightedSample, build_weighted_sample_1d
+from ..core.oracle import OracleShard
+from ..obs import recorder
+from ..stats.estimation import SamplingPlan
+
+__all__ = ["ChainTask", "ChainResult", "run_chain_task"]
+
+
+@dataclass(frozen=True)
+class ChainTask:
+    """One chain's worth of 1-D recursive sampling, fully self-contained."""
+
+    chain_id: int
+    global_indices: Tuple[int, ...]
+    shard: OracleShard
+    epsilon: float
+    delta: float
+    plan: SamplingPlan
+    seed: np.random.SeedSequence
+
+
+@dataclass(frozen=True)
+class ChainResult:
+    """What comes back from a chain task (all picklable).
+
+    ``probe_log`` and ``revealed`` feed the parent oracle's ``absorb`` so
+    budget/cost accounting stays exact; ``sigma`` is the chain's ``Σ_i``
+    contribution (eq. (29)); ``trace`` carries the per-level telemetry.
+    """
+
+    chain_id: int
+    sigma: WeightedSample
+    probe_log: List[int]
+    revealed: Dict[int, int]
+    levels: int
+    trace: Tuple[LevelTrace, ...]
+
+
+def run_chain_task(task: ChainTask) -> ChainResult:
+    """Run the Section 3 recursion for one chain against its shard.
+
+    Positions along the chain act as the 1-D values: index 0 is the most
+    dominated point, so every monotone classifier is a threshold on the
+    position.  The chain's generator is rebuilt from its spawned seed, so
+    the draws are identical no matter which process (or order) runs it.
+    """
+    rec = recorder()
+    positions = np.arange(len(task.global_indices), dtype=float)
+    rng = np.random.default_rng(task.seed)
+    with rec.span(f"chain[{task.chain_id}]"):
+        sigma, levels, trace = build_weighted_sample_1d(
+            positions,
+            np.asarray(task.global_indices, dtype=int),
+            task.shard,
+            task.epsilon,
+            task.delta,
+            task.plan,
+            rng,
+        )
+    return ChainResult(
+        chain_id=task.chain_id,
+        sigma=sigma,
+        probe_log=task.shard.log,
+        revealed=task.shard.new_revealed,
+        levels=levels,
+        trace=trace,
+    )

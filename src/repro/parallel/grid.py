@@ -1,0 +1,149 @@
+"""Experiment config-grid fan-out with crash-safe per-config results.
+
+The experiment runner sweeps a grid of configurations (by default one per
+registered experiment).  Each configuration is independent and seeded, so
+the grid is embarrassingly parallel — and each config's result is written
+to its *own* file, atomically, from inside the worker that produced it.
+Two failure properties follow:
+
+* a worker that crashes mid-write can never corrupt its output file (the
+  write is temp-file + ``os.replace``);
+* a config that raises loses only itself — results of configs that
+  already completed are on disk and intact, and the parent still receives
+  every other config's rows.
+
+When the parent has metrics enabled, every config runs inside its own
+:func:`repro.obs.metrics_session`; the snapshot rides home in the
+:class:`GridResult` so the runner can print per-experiment
+instrumentation no matter which process did the work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .._util import atomic_write_json
+from ..obs import metrics_session
+from .pool import pool_map
+
+__all__ = ["GridConfig", "GridResult", "run_grid"]
+
+
+@dataclass(frozen=True)
+class GridConfig:
+    """One cell of an experiment grid.
+
+    ``name`` is looked up in the experiment registry
+    (:data:`repro.experiments.runner.EXPERIMENTS`) unless ``func`` supplies
+    an explicit callable (must be picklable for multi-process runs).
+    ``label`` names the output file and defaults to ``name``.
+    """
+
+    name: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    func: Optional[Callable[..., List[dict]]] = None
+    label: Optional[str] = None
+
+    @property
+    def out_name(self) -> str:
+        return self.label or self.name
+
+
+@dataclass(frozen=True)
+class GridResult:
+    """Outcome of one grid cell: rows on success, an error string on failure."""
+
+    name: str
+    label: str
+    params: Dict[str, Any]
+    rows: Optional[List[dict]] = None
+    error: Optional[str] = None
+    out_path: Optional[str] = None
+    metrics: Optional[Dict[str, Any]] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _resolve(config: GridConfig) -> Callable[..., List[dict]]:
+    if config.func is not None:
+        return config.func
+    from ..experiments.runner import EXPERIMENTS
+
+    try:
+        return EXPERIMENTS[config.name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {config.name!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None
+
+
+def _run_config(task: Tuple[GridConfig, Optional[str], bool]) -> GridResult:
+    """Worker-side: run one config, write its result file, return the rows."""
+    config, out_dir, capture = task
+    runner = _resolve(config)
+    if capture:
+        with metrics_session(name=config.out_name) as registry:
+            rows = runner(**config.params)
+        metrics: Optional[Dict[str, Any]] = registry.snapshot()
+    else:
+        rows = runner(**config.params)
+        metrics = None
+    out_path: Optional[str] = None
+    if out_dir is not None:
+        path = Path(out_dir) / f"{config.out_name}.json"
+        payload = {
+            "experiment": config.name,
+            "params": config.params,
+            "rows": rows,
+        }
+        if metrics is not None:
+            payload["metrics"] = metrics
+        atomic_write_json(path, payload)
+        out_path = str(path)
+    return GridResult(
+        name=config.name,
+        label=config.out_name,
+        params=dict(config.params),
+        rows=rows,
+        out_path=out_path,
+        metrics=metrics,
+    )
+
+
+def run_grid(
+    configs: Sequence[GridConfig],
+    *,
+    workers: int = 1,
+    out_dir: Optional[str] = None,
+    capture_metrics: bool = False,
+) -> List[GridResult]:
+    """Run every config, fanning out across ``workers`` processes.
+
+    Results come back in config order.  A config that raises is reported
+    as a failed :class:`GridResult` (``ok`` false, ``error`` set) rather
+    than aborting the grid; configs that finished earlier keep their rows
+    and their already-written result files.
+    """
+    configs = list(configs)
+    if out_dir is not None:
+        Path(out_dir).mkdir(parents=True, exist_ok=True)
+    tasks = [(config, out_dir, capture_metrics) for config in configs]
+    outcomes = pool_map(_run_config, tasks, workers=workers, return_exceptions=True)
+    results: List[GridResult] = []
+    for config, outcome in zip(configs, outcomes):
+        if isinstance(outcome, Exception):
+            results.append(
+                GridResult(
+                    name=config.name,
+                    label=config.out_name,
+                    params=dict(config.params),
+                    error=f"{type(outcome).__name__}: {outcome}",
+                )
+            )
+        else:
+            results.append(outcome)
+    return results

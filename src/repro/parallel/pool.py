@@ -1,0 +1,146 @@
+"""Process-pool ``map`` with per-worker metrics capture.
+
+``pool_map(fn, tasks, workers=N)`` is the package's one fan-out primitive:
+
+* ``workers <= 1`` runs every task inline, in submission order, in the
+  caller's process — the exact serial code path, with instrumentation
+  flowing straight into the ambient metrics registry;
+* ``workers > 1`` dispatches tasks to a ``ProcessPoolExecutor``.  When the
+  caller has an active metrics session, each worker task runs inside its
+  own :func:`repro.obs.metrics_session`; the resulting snapshots travel
+  back with the results and are merged into the caller's registry *in
+  task-submission order*, so counter totals, histogram summaries, and
+  high-water gauges match the serial run exactly (wall-clock timers and
+  span durations are, of course, machine-dependent either way).
+
+Results always come back in submission order, never completion order —
+callers rely on that for deterministic downstream merging.
+
+``fn`` and every task must be picklable (module-level functions and plain
+dataclasses).  The ``fork`` start method is preferred when the platform
+offers it (cheap, inherits ``sys.path``); otherwise ``spawn`` is used and
+tasks must be importable from the child.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+
+from ..obs import MetricsRegistry, metrics_session, recorder
+
+__all__ = ["pool_map"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Snapshot documents are plain dicts so they cross process boundaries.
+Snapshot = Dict[str, Any]
+
+
+def _preferred_context() -> multiprocessing.context.BaseContext:
+    """The cheapest safe start method available (fork on POSIX)."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _run_captured(
+    fn: Callable[[T], R], task: T, capture: bool
+) -> Tuple[R, Optional[Snapshot]]:
+    """Worker-side shim: run one task, optionally under a metrics session."""
+    if not capture:
+        return fn(task), None
+    with metrics_session(name="worker") as registry:
+        result = fn(task)
+    return result, registry.snapshot()
+
+
+def pool_map(
+    fn: Callable[[T], R],
+    tasks: Sequence[T],
+    *,
+    workers: int = 1,
+    gauge_merge: str = "last",
+    return_exceptions: bool = False,
+) -> List[Any]:
+    """Apply ``fn`` to every task, fanning out across ``workers`` processes.
+
+    Parameters
+    ----------
+    fn:
+        Module-level callable applied to each task.  Must be picklable for
+        ``workers > 1``.
+    tasks:
+        The work items, all submitted up front.
+    workers:
+        ``<= 1`` runs inline (the bit-for-bit serial path); larger values
+        dispatch to that many processes (capped at ``len(tasks)``).
+    gauge_merge:
+        Gauge policy when merging worker metric snapshots back into the
+        caller's registry — see
+        :meth:`repro.obs.MetricsRegistry.merge_snapshot`.
+    return_exceptions:
+        When true, a task that raises contributes its exception object to
+        the result list instead of aborting the whole map (mirroring
+        ``asyncio.gather``); metrics of failed tasks are lost.  When false
+        (default), the first failure — in submission order — re-raises
+        after all submitted work has settled.
+
+    Returns results in submission order.
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    if workers <= 1:
+        return _serial_map(fn, tasks, return_exceptions)
+
+    parent = recorder()
+    capture = bool(parent.enabled)
+    span_prefix = parent.span_path if isinstance(parent, MetricsRegistry) else ""
+    outcomes: List[Any] = []
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(tasks)), mp_context=_preferred_context()
+    ) as executor:
+        futures: List[Future] = [
+            executor.submit(_run_captured, fn, task, capture) for task in tasks
+        ]
+        for future in futures:  # submission order, not completion order
+            try:
+                outcomes.append(future.result())
+            except Exception as exc:  # noqa: BLE001 - surfaced to caller
+                outcomes.append(exc)
+
+    results: List[Any] = []
+    first_error: Optional[Exception] = None
+    for outcome in outcomes:
+        if isinstance(outcome, Exception):
+            if first_error is None:
+                first_error = outcome
+            results.append(outcome)
+            continue
+        result, snapshot = outcome
+        if snapshot is not None and parent.enabled:
+            parent.merge_snapshot(
+                snapshot, span_prefix=span_prefix, gauge_merge=gauge_merge
+            )
+        results.append(result)
+    if first_error is not None and not return_exceptions:
+        raise first_error
+    return results
+
+
+def _serial_map(
+    fn: Callable[[T], R], tasks: Sequence[T], return_exceptions: bool
+) -> List[Any]:
+    """The inline path: identical semantics, no processes, no snapshots."""
+    results: List[Any] = []
+    for task in tasks:
+        if not return_exceptions:
+            results.append(fn(task))
+            continue
+        try:
+            results.append(fn(task))
+        except Exception as exc:  # noqa: BLE001 - surfaced to caller
+            results.append(exc)
+    return results

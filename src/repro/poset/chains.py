@@ -145,7 +145,7 @@ def patience_chain_decomposition(points: PointSet) -> ChainDecomposition:
     ys = points.coords[:, 1]
     order = np.lexsort((ys, xs))  # ascending x, ties by ascending y
 
-    from bisect import bisect_right, insort
+    from bisect import bisect_right
 
     top_ys: List[float] = []          # sorted multiset of current chain-top y's
     chain_at: List[List[int]] = []    # chain_at[k] = chain whose top has top_ys[k]

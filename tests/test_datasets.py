@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import PointSet, dominance_width, solve_passive
+from repro import dominance_width, solve_passive
 from repro.datasets import (
     EntityMatchingWorkload,
     generate_entity_matching,

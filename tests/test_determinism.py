@@ -7,7 +7,6 @@ seed.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro import LabelOracle, active_classify, active_classify_1d

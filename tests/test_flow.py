@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -13,7 +12,6 @@ from repro.flow import (
     FlowNetwork,
     dinic_max_flow,
     min_cut_from_residual,
-    push_relabel_max_flow,
     solve_max_flow,
     solve_min_cut,
 )

@@ -7,12 +7,10 @@ production user hits (budget exhaustion, hidden labels, corrupt files).
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro import (
     LabelOracle,
-    PointSet,
     ProbeBudgetExceeded,
     active_classify,
     audit_active_result,

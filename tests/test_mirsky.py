@@ -5,7 +5,6 @@ from __future__ import annotations
 from itertools import combinations
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

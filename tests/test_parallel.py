@@ -1,0 +1,333 @@
+"""The parallel execution layer: determinism, exact accounting, crash safety.
+
+The contract under test is the ISSUE 2 acceptance bar: ``workers=4`` and
+``workers=1`` produce bit-for-bit identical classifiers, probe logs, and
+merged metrics on seeded inputs; a config that dies mid-grid loses only
+itself; interrupted writes never leave truncated files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro import LabelOracle, active_classify
+from repro.core.callback_oracle import CallbackOracle
+from repro.core.errors import error_count
+from repro.core.oracle import OracleShard, ProbeBudgetExceeded
+from repro.datasets.synthetic import planted_monotone, width_controlled
+from repro.io import atomic_write_json, atomic_write_text
+from repro.obs import MetricsRegistry, metrics_session
+from repro.parallel import (
+    GridConfig,
+    pool_map,
+    run_grid,
+    spawn_generators,
+    spawn_seed_sequences,
+)
+
+
+# ----------------------------------------------------------------------
+# Module-level task functions (picklable for process pools).
+# ----------------------------------------------------------------------
+
+def _square(x):
+    return x * x
+
+
+def _raise_on_two(x):
+    if x == 2:
+        raise RuntimeError("boom on two")
+    return x
+
+
+def _rows_ok(n=4, tag="ok"):
+    return [{"tag": tag, "i": i} for i in range(n)]
+
+
+def _rows_boom(**_params):
+    raise RuntimeError("config exploded")
+
+
+class TestSeedSpawning:
+    def test_same_seed_same_children(self):
+        a = spawn_seed_sequences(123, 5)
+        b = spawn_seed_sequences(123, 5)
+        for sa, sb in zip(a, b):
+            assert np.random.default_rng(sa).integers(0, 1 << 30, 8).tolist() == \
+                np.random.default_rng(sb).integers(0, 1 << 30, 8).tolist()
+
+    def test_children_are_independent(self):
+        gens = spawn_generators(7, 3)
+        draws = [g.integers(0, 1 << 30, 8).tolist() for g in gens]
+        assert draws[0] != draws[1] != draws[2]
+
+    def test_generator_spawns_advance(self):
+        gen = np.random.default_rng(9)
+        first = spawn_seed_sequences(gen, 2)
+        second = spawn_seed_sequences(gen, 2)
+
+        def draw(seq):
+            return np.random.default_rng(seq).integers(0, 1 << 30, 4).tolist()
+
+        assert draw(first[0]) != draw(second[0])
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seed_sequences(0, -1)
+
+
+class TestPoolMap:
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_results_in_submission_order(self, workers):
+        assert pool_map(_square, list(range(10)), workers=workers) == \
+            [x * x for x in range(10)]
+
+    def test_empty_tasks(self):
+        assert pool_map(_square, [], workers=4) == []
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_return_exceptions(self, workers):
+        results = pool_map(_raise_on_two, [1, 2, 3], workers=workers,
+                           return_exceptions=True)
+        assert results[0] == 1 and results[2] == 3
+        assert isinstance(results[1], RuntimeError)
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_fail_fast_raises_first_error(self, workers):
+        with pytest.raises(RuntimeError, match="boom on two"):
+            pool_map(_raise_on_two, [2, 3], workers=workers)
+
+
+class TestOracleShard:
+    def test_shard_probe_and_absorb_roundtrip(self):
+        points = planted_monotone(50, 2, noise=0.2, rng=0)
+        parent = LabelOracle(points)
+        parent.probe(3)  # pre-revealed before sharding
+        shard = parent.shard([3, 4, 5])
+        assert shard.probe(3) == parent.peek(3)
+        assert shard.cost == 0  # pre-known: free shard-side
+        shard.probe(4)
+        shard.probe(4)
+        shard.probe(5)
+        assert shard.cost == 2
+        parent.absorb(shard.log, shard.new_revealed)
+        assert parent.cost == 3  # 3, 4, 5 distinct
+        assert parent.log == [3, 3, 4, 4, 5]
+        assert parent.peek(4) == int(points.labels[4])
+
+    def test_shard_out_of_range_index(self):
+        points = planted_monotone(10, 2, noise=0.0, rng=0)
+        shard = LabelOracle(points).shard([1, 2])
+        with pytest.raises(IndexError):
+            shard.probe(7)
+
+    def test_absorb_enforces_budget_exactly(self):
+        points = planted_monotone(20, 2, noise=0.0, rng=0)
+        parent = LabelOracle(points, budget=2)
+        shard = parent.shard([0, 1, 2, 3])
+        shard.probe_many([0, 1, 2, 3])  # shards are unbudgeted
+        with pytest.raises(ProbeBudgetExceeded):
+            parent.absorb(shard.log, shard.new_revealed)
+        assert parent.cost == 2  # budget exactly exhausted, not overshot
+
+    def test_absorb_rejects_contradicting_labels(self):
+        points = planted_monotone(10, 2, noise=0.0, rng=0)
+        parent = LabelOracle(points)
+        wrong = 1 - int(points.labels[0])
+        with pytest.raises(ValueError, match="contradicts"):
+            parent.absorb([0], {0: wrong})
+
+    def test_shard_requires_exactly_one_source(self):
+        with pytest.raises(ValueError):
+            OracleShard()
+        with pytest.raises(ValueError):
+            OracleShard(labels={0: 1}, labeler=lambda c: 1, coords={0: (0.0,)})
+
+    def test_callback_oracle_shard(self):
+        points = planted_monotone(30, 2, noise=0.0, rng=1)
+        oracle = CallbackOracle(points.with_hidden_labels(), _threshold_labeler)
+        shard = oracle.shard([2, 3])
+        a, b = shard.probe(2), shard.probe(3)
+        oracle.absorb(shard.log, shard.new_revealed)
+        assert oracle.cost == 2
+        assert oracle.peek(2) == a and oracle.peek(3) == b
+        assert oracle.total_requests == 2
+
+
+def _threshold_labeler(coords):
+    return int(sum(coords) > 1.0)
+
+
+class TestActiveWorkersDeterminism:
+    """ISSUE 2 acceptance: workers=1 vs workers=4 bit-for-bit identical."""
+
+    def _run(self, points, workers, epsilon=0.5, seed=11):
+        oracle = LabelOracle(points)
+        with metrics_session(name="determinism") as registry:
+            result = active_classify(points.with_hidden_labels(), oracle,
+                                     epsilon=epsilon, rng=seed,
+                                     workers=workers)
+        return oracle, result, registry.snapshot()
+
+    @pytest.mark.parametrize("make_points", [
+        lambda: width_controlled(900, 6, noise=0.08, rng=3),
+        lambda: planted_monotone(400, 2, noise=0.1, rng=5),
+    ])
+    def test_identical_output_and_metrics(self, make_points):
+        points = make_points()
+        oracle1, result1, snap1 = self._run(points, workers=1)
+        oracle4, result4, snap4 = self._run(points, workers=4)
+
+        # Identical classifiers (same predictions everywhere)...
+        pred1 = result1.classifier.classify_matrix(points.coords)
+        pred4 = result4.classifier.classify_matrix(points.coords)
+        assert (np.asarray(pred1) == np.asarray(pred4)).all()
+        # ... identical probe accounting, down to the full probe log ...
+        assert result1.probing_cost == result4.probing_cost
+        assert oracle1.log == oracle4.log
+        assert oracle1.revealed_indices == oracle4.revealed_indices
+        # ... identical weighted sample Σ and surrogate objective ...
+        for a, b in zip(result1.sigma.arrays(), result4.sigma.arrays()):
+            assert (a == b).all()
+        assert result1.sigma_error == result4.sigma_error
+        # ... and identical merged metrics (everything deterministic:
+        # counters, gauges, histograms; spans/timers are wall-clock).
+        assert snap1["counters"] == snap4["counters"]
+        assert snap1["gauges"] == snap4["gauges"]
+        assert snap1["histograms"] == snap4["histograms"]
+        assert set(snap1["spans"]) == set(snap4["spans"])
+
+    def test_error_guarantee_survives_parallelism(self):
+        points = width_controlled(900, 6, noise=0.08, rng=3)
+        _, result, _ = self._run(points, workers=3, epsilon=1.0)
+        from repro.core.passive import solve_passive
+
+        optimum = solve_passive(points).optimal_error
+        achieved = error_count(points, result.classifier)
+        assert achieved <= (1.0 + 1.0) * optimum + 1e-9 or optimum == 0
+
+    def test_workers_rejects_unshardable_oracle(self):
+        points = planted_monotone(40, 2, noise=0.1, rng=0)
+
+        class Bare:
+            def __init__(self, labels):
+                self._labels = labels
+                self.cost = 0
+
+            def probe(self, index):
+                return int(self._labels[index])
+
+        with pytest.raises(ValueError, match="workers"):
+            active_classify(points.with_hidden_labels(), Bare(points.labels),
+                            epsilon=0.5, rng=0, workers=2)
+
+
+class TestGridFanOut:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_rows_identical_any_worker_count(self, workers):
+        configs = [GridConfig(name=f"cfg{i}", func=_rows_ok,
+                              params={"n": 3, "tag": f"t{i}"})
+                   for i in range(4)]
+        results = run_grid(configs, workers=workers)
+        assert [r.rows for r in results] == \
+            [[{"tag": f"t{i}", "i": j} for j in range(3)] for i in range(4)]
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_crash_mid_grid_keeps_prior_results(self, tmp_path, workers):
+        """A config that raises loses only itself; files on disk survive."""
+        configs = [
+            GridConfig(name="first", func=_rows_ok, params={"tag": "a"}),
+            GridConfig(name="boom", func=_rows_boom),
+            GridConfig(name="last", func=_rows_ok, params={"tag": "b"}),
+        ]
+        results = run_grid(configs, workers=workers, out_dir=str(tmp_path))
+        assert [r.ok for r in results] == [True, False, True]
+        assert "config exploded" in results[1].error
+        # Completed configs' files are intact and parseable...
+        first = json.loads((tmp_path / "first.json").read_text())
+        assert first["rows"][0]["tag"] == "a"
+        last = json.loads((tmp_path / "last.json").read_text())
+        assert last["rows"][0]["tag"] == "b"
+        # ... and the failed config left no file at all (atomicity).
+        assert not (tmp_path / "boom.json").exists()
+
+    def test_unknown_registry_name_fails_config(self):
+        results = run_grid([GridConfig(name="nope")], workers=1)
+        assert not results[0].ok
+        assert "unknown experiment" in results[0].error
+
+    def test_metrics_ride_home(self):
+        configs = [GridConfig(name="probe", func=_probe_rows)]
+        results = run_grid(configs, workers=1, capture_metrics=True)
+        assert results[0].metrics is not None
+        registry = MetricsRegistry("check")
+        registry.merge_snapshot(results[0].metrics)
+        assert registry.counter_value("oracle.probes") == 5
+
+
+def _probe_rows():
+    points = planted_monotone(10, 2, noise=0.0, rng=0)
+    oracle = LabelOracle(points)
+    oracle.probe_many(range(5))
+    return [{"probes": oracle.cost}]
+
+
+class TestRegistryMerge:
+    def test_counters_and_histograms_add(self):
+        a, b = MetricsRegistry("a"), MetricsRegistry("b")
+        for registry, bump in ((a, 2), (b, 5)):
+            registry.incr("x", bump)
+            registry.observe("h", bump)
+        a.merge(b)
+        assert a.counter_value("x") == 7
+        snap = a.snapshot()["histograms"]["h"]
+        assert snap["count"] == 2 and snap["total"] == 7.0
+        assert snap["min"] == 2.0 and snap["max"] == 5.0
+
+    def test_gauge_merge_policies(self):
+        a, b = MetricsRegistry("a"), MetricsRegistry("b")
+        a.gauge("g", 10)
+        b.gauge("g", 3)
+        a.merge(b, gauge_merge="max")
+        assert a.gauge_value("g") == 10
+        a.merge(b, gauge_merge="last")
+        assert a.gauge_value("g") == 3
+        with pytest.raises(ValueError):
+            a.merge(b, gauge_merge="median")
+
+    def test_span_prefix_reroots_worker_spans(self):
+        worker = MetricsRegistry("worker")
+        with worker.span("chain[2]"):
+            pass
+        parent = MetricsRegistry("parent")
+        parent.merge_snapshot(worker.snapshot(),
+                              span_prefix="active/sample_chains")
+        assert "active/sample_chains/chain[2]" in parent.snapshot()["spans"]
+
+
+class TestAtomicWrites:
+    def test_failed_serialization_preserves_existing_file(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_json(target, {"ok": 1})
+        with pytest.raises(TypeError):
+            atomic_write_json(target, {"bad": object()})
+        assert json.loads(target.read_text()) == {"ok": 1}
+        # No temp litter left behind either.
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_atomic_text_replaces_contents(self, tmp_path):
+        target = tmp_path / "t.txt"
+        atomic_write_text(target, "one")
+        atomic_write_text(target, "two")
+        assert target.read_text() == "two"
+
+    def test_mode_honors_umask(self, tmp_path):
+        target = tmp_path / "m.txt"
+        atomic_write_text(target, "x")
+        umask = os.umask(0)
+        os.umask(umask)
+        assert (target.stat().st_mode & 0o777) == (0o666 & ~umask)

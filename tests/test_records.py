@@ -2,12 +2,10 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro import solve_passive
 from repro.datasets.records import (
-    Record,
     generate_record_linkage,
     normalized_levenshtein,
     numeric_proximity,

@@ -7,7 +7,6 @@ import pytest
 
 from repro import (
     ConstantClassifier,
-    PointSet,
     ThresholdClassifier,
     UpsetClassifier,
 )
