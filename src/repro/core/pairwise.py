@@ -23,6 +23,7 @@ from .points import PointSet
 
 __all__ = [
     "DEFAULT_BLOCK_SIZE",
+    "pairwise_weak_dominance",
     "blocked_contending_mask",
     "blocked_dominance_pairs",
     "blocked_is_monotone_assignment",
@@ -36,6 +37,23 @@ DEFAULT_BLOCK_SIZE = 2048
 def _blocks(n: int, block_size: int) -> Iterator[Tuple[int, int]]:
     for start in range(0, n, block_size):
         yield start, min(n, start + block_size)
+
+
+def pairwise_weak_dominance(rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """Boolean ``(len(rows), len(cols))`` matrix of weak dominance.
+
+    ``out[i, j]`` is true iff ``rows[i]`` weakly dominates ``cols[j]``.
+    Accumulates one dimension at a time, so peak scratch memory is one
+    ``rows x cols`` boolean matrix — never the ``(rows, cols, d)``
+    broadcast intermediate that a single ``np.all(..., axis=2)`` call
+    would materialize.
+    """
+    r = rows.shape[0]
+    c = cols.shape[0]
+    out = np.ones((r, c), dtype=bool)
+    for k in range(rows.shape[1]):
+        np.logical_and(out, rows[:, k, None] >= cols[None, :, k], out=out)
+    return out
 
 
 def blocked_contending_mask(points: PointSet,
@@ -60,7 +78,7 @@ def blocked_contending_mask(points: PointSet,
     for start, stop in _blocks(len(zero_idx), block_size):
         rows = points.coords[zero_idx[start:stop]]
         # dom[i, j]: zero-row i weakly dominates one-col j.
-        dom = np.all(rows[:, None, :] >= one_coords[None, :, :], axis=2)
+        dom = pairwise_weak_dominance(rows, one_coords)
         mask[zero_idx[start:stop]] = dom.any(axis=1)
         one_hit |= dom.any(axis=0)
     mask[one_idx] = one_hit
@@ -85,7 +103,7 @@ def blocked_dominance_pairs(points: PointSet, sources: np.ndarray,
     target_coords = points.coords[targets]
     for start, stop in _blocks(len(sources), block_size):
         rows = points.coords[sources[start:stop]]
-        dom = np.all(rows[:, None, :] >= target_coords[None, :, :], axis=2)
+        dom = pairwise_weak_dominance(rows, target_coords)
         for local, src in enumerate(sources[start:stop]):
             hits = np.flatnonzero(dom[local])
             if len(hits):
@@ -108,6 +126,6 @@ def blocked_is_monotone_assignment(points: PointSet, predictions: np.ndarray,
     one_coords = points.coords[one_idx]
     for start, stop in _blocks(len(zero_idx), block_size):
         rows = points.coords[zero_idx[start:stop]]
-        if np.any(np.all(rows[:, None, :] >= one_coords[None, :, :], axis=2)):
+        if np.any(pairwise_weak_dominance(rows, one_coords)):
             return False
     return True

@@ -16,6 +16,11 @@ classifier of minimum weighted error.  Section 5 solves it exactly:
 
 Total cost ``O(d n^2) + T_maxflow(n)``.
 
+``solve_passive(use_hasse_reduction=True)`` swaps step 2's closure edges
+for the covering pairs of the dominance order (transitive reduction), with
+every point as a pass-through vertex — same optimum, far fewer infinite
+edges for the max-flow backend to chew through (see ``docs/poset.md``).
+
 This module also carries :func:`brute_force_passive`, the exponential test
 oracle the paper sketches in Section 1.2.
 """
@@ -114,9 +119,32 @@ def contending_mask(points: PointSet) -> np.ndarray:
     return mask
 
 
+def _hasse_reduced_order(points: PointSet) -> np.ndarray:
+    """Label-aware tie-broken order for the Hasse-reduced cut network.
+
+    Strict dominance plus a tie-break on identical coordinate vectors that
+    ranks every label-0 point *above* every label-1 point (index order
+    within a label).  The label-aware direction matters: the reduced
+    network encodes only one direction of a symmetric weak-dominance pair,
+    and the direction that forbids the zero-flip assignment of an
+    oppositely-labeled duplicate pair is 0-above-1.  (Between same-label
+    duplicates either direction is harmless: any constraint between points
+    with identical coordinates only removes assignments no coordinate
+    classifier could realize.)
+    """
+    weak = points.weak_dominance_matrix()
+    equal = weak & weak.T
+    n = points.n
+    rank = np.where(points.labels == 0, np.arange(n) + n, np.arange(n))
+    order = weak & ~equal
+    order |= equal & (rank[:, None] > rank[None, :])
+    return order
+
+
 def solve_passive(points: PointSet, backend: str = "dinic",
                   use_contending_reduction: bool = True,
-                  block_size: Optional[int] = None) -> PassiveResult:
+                  block_size: Optional[int] = None,
+                  use_hasse_reduction: bool = False) -> PassiveResult:
     """Solve Problem 2 exactly (Theorem 4).
 
     Parameters
@@ -133,6 +161,17 @@ def solve_passive(points: PointSet, backend: str = "dinic",
         Force blockwise pairwise computation with this row-block size.
         Defaults to the cached dominance matrix for small inputs and to
         blockwise mode above :data:`LARGE_INPUT_THRESHOLD` points.
+    use_hasse_reduction:
+        Build the network's infinite edges from the *transitive reduction*
+        (Hasse covering pairs) of the dominance order over all points,
+        with every point as a pass-through vertex, instead of one edge per
+        dominating ``(label-0, label-1)`` pair of the full closure.
+        Reachability along covering edges reproduces the order exactly, so
+        a finite-capacity cut is still exactly a monotone assignment and
+        the optimum is unchanged — but the max-flow backend processes
+        ``|Hasse|`` infinite edges instead of up to ``O(n^2)``.  Requires
+        the dense ``O(n^2)``-bit order matrix (the blockwise pair stream
+        is bypassed); see ``docs/poset.md`` for the correctness argument.
     """
     points.require_full_labels()
     n = points.n
@@ -177,10 +216,17 @@ def solve_passive(points: PointSet, backend: str = "dinic",
             active_zeros = [int(i) for i in active if labels[i] == 0]
             active_ones = [int(i) for i in active if labels[i] == 1]
 
-            # Vertex ids: 0 = source, 1 = sink, then one per active point.
-            network = FlowNetwork(2 + len(active))
+            if use_hasse_reduction:
+                # Vertex ids: 0 = source, 1 = sink, then one per *point* —
+                # non-terminal points serve as pass-through intermediates
+                # of covering paths.
+                network = FlowNetwork(2 + n)
+                vertex_of = {int(idx): 2 + int(idx) for idx in active}
+            else:
+                # Vertex ids: 0 = source, 1 = sink, then one per active point.
+                network = FlowNetwork(2 + len(active))
+                vertex_of = {idx: 2 + pos for pos, idx in enumerate(active)}
             source, sink = 0, 1
-            vertex_of = {idx: 2 + pos for pos, idx in enumerate(active)}
 
             # Effective infinity: strictly larger than any finite cut,
             # numerically safe.
@@ -190,7 +236,16 @@ def solve_passive(points: PointSet, backend: str = "dinic",
                 network.add_edge(source, vertex_of[p], float(weights[p]))
             for q in active_ones:
                 network.add_edge(vertex_of[q], sink, float(weights[q]))
-            if blockwise:
+            if use_hasse_reduction:
+                from ..poset.sparse import transitive_reduction
+
+                covering = transitive_reduction(_hasse_reduced_order(points))
+                uppers, lowers = np.nonzero(covering)
+                for up, lo in zip(uppers, lowers):
+                    network.add_edge(2 + int(up), 2 + int(lo), infinite_cap)
+                if rec.enabled:
+                    rec.incr("passive.hasse_edges_kept", len(uppers))
+            elif blockwise:
                 pair_stream = blocked_dominance_pairs(
                     points, np.asarray(active_zeros), np.asarray(active_ones),
                     rows_per_block)

@@ -20,6 +20,7 @@ from typing import Iterable, Iterator, Optional, Sequence, Tuple
 import numpy as np
 
 from .._util import as_float_matrix, validate_labels, validate_weights
+from ..obs import recorder
 
 __all__ = [
     "LabeledPoint",
@@ -96,7 +97,8 @@ class PointSet:
     charges for graph construction (Theorem 4, Lemma 6).
     """
 
-    __slots__ = ("coords", "labels", "weights", "names", "_weak_dom", "_strict_dom")
+    __slots__ = ("coords", "labels", "weights", "names", "_weak_dom",
+                 "_strict_dom", "_order")
 
     def __init__(self, coords: Iterable[Sequence[float]],
                  labels: Optional[Iterable[int]] = None,
@@ -122,6 +124,7 @@ class PointSet:
             raise ValueError(f"expected {n} names, got {len(self.names)}")
         self._weak_dom: Optional[np.ndarray] = None
         self._strict_dom: Optional[np.ndarray] = None
+        self._order: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -239,11 +242,43 @@ class PointSet:
             if self.n == 0:
                 self._weak_dom = np.zeros((0, 0), dtype=bool)
             else:
-                self._weak_dom = np.all(
-                    self.coords[:, None, :] >= self.coords[None, :, :], axis=2
-                )
+                # Accumulate one dimension at a time: peak scratch memory is
+                # one (n, n) boolean matrix, not the (n, n, d) broadcast
+                # intermediate.
+                weak = np.ones((self.n, self.n), dtype=bool)
+                for k in range(self.dim):
+                    col = self.coords[:, k]
+                    np.logical_and(weak, col[:, None] >= col[None, :], out=weak)
+                self._weak_dom = weak
             self._weak_dom.setflags(write=False)
         return self._weak_dom
+
+    def order_matrix(self) -> np.ndarray:
+        """Boolean matrix of the tie-broken strict order shared by the poset code.
+
+        ``M[i, j]`` is true iff point ``i`` is *above* point ``j``: either
+        ``i`` strictly dominates ``j``, or the coordinate vectors are
+        identical and ``i > j`` (index tie-break), making the relation a
+        strict partial order whose digraph is a DAG.  Computed once and
+        cached; every poset helper (adjacency, minimal/maximal points,
+        chains, width, Mirsky heights, Hasse diagrams) reads this shared
+        copy instead of rebuilding it per call.  Cache hits are counted in
+        the ``poset.order_cache_hits`` metric.
+        """
+        if self._order is None:
+            weak = self.weak_dominance_matrix()
+            equal = weak & weak.T
+            order = weak & ~equal
+            if self.n:
+                idx = np.arange(self.n)
+                order |= equal & (idx[:, None] > idx[None, :])
+            order.setflags(write=False)
+            self._order = order
+        else:
+            rec = recorder()
+            if rec.enabled:
+                rec.incr("poset.order_cache_hits")
+        return self._order
 
     def strict_dominance_matrix(self) -> np.ndarray:
         """Boolean matrix of the paper's dominance (distinct vectors only)."""

@@ -111,6 +111,21 @@ class FlowNetwork:
         """Number of original (forward) edges."""
         return len(self.heads) // 2
 
+    def tail(self, arc: int) -> int:
+        """Tail vertex of an arc (forward or reverse).
+
+        Public counterpart of ``heads[arc]`` for the arc's origin, so
+        consumers (e.g. :meth:`repro.flow.mincut.MinCut.cut_edges`) need
+        not reach into the storage layout — alternative network
+        implementations only have to provide this accessor.
+        """
+        return self._tails[arc]
+
+    @property
+    def tails(self) -> Tuple[int, ...]:
+        """Tail vertices of all arcs, indexed like ``heads``."""
+        return tuple(self._tails)
+
     def forward_arcs(self) -> Iterator[Tuple[int, Arc]]:
         """Iterate ``(arc_id, Arc)`` over the original forward edges."""
         for arc_id in range(0, len(self.heads), 2):

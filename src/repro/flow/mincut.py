@@ -44,7 +44,7 @@ class MinCut:
     def cut_edges(self, network: FlowNetwork) -> List[Tuple[int, int, float]]:
         """Materialize the cut-edge set as ``(tail, head, capacity)`` triples."""
         return [
-            (network._tails[arc], network.heads[arc], network.caps[arc])
+            (network.tail(arc), network.heads[arc], network.caps[arc])
             for arc in self.cut_arcs
         ]
 

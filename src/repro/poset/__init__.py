@@ -6,7 +6,11 @@ Implements the combinatorial machinery the paper relies on:
 * Hopcroft–Karp maximum bipartite matching in ``O(E sqrt(V))``
   (:mod:`.matching`), the engine behind Lemma 6;
 * minimum chain decomposition via Dilworth's theorem (:mod:`.chains`);
-* dominance width and maximum-antichain certificates (:mod:`.width`).
+* dominance width and maximum-antichain certificates (:mod:`.width`);
+* the sparse engine (:mod:`.sparse`): block-streamed dominance in
+  ``O(block * n)`` memory and packed-bitset transitive reduction, sharing
+  the order-matrix cache on :class:`~repro.core.points.PointSet`
+  (see ``docs/poset.md``).
 """
 
 from .chains import (
@@ -21,6 +25,14 @@ from .dominance import dominance_digraph, maximal_points, minimal_points, topolo
 from .hasse import covers, hasse_edges
 from .matching import hopcroft_karp, maximum_bipartite_matching
 from .mirsky import heights, longest_chain_length, mirsky_antichain_partition
+from .sparse import (
+    dominance_pair_count,
+    maximal_points_sparse,
+    minimal_points_sparse,
+    order_matrix_blocks,
+    transitive_reduction,
+    weak_dominance_blocks,
+)
 from .width import (
     brute_force_width,
     dominance_width,
@@ -48,4 +60,10 @@ __all__ = [
     "heights",
     "longest_chain_length",
     "mirsky_antichain_partition",
+    "weak_dominance_blocks",
+    "order_matrix_blocks",
+    "minimal_points_sparse",
+    "maximal_points_sparse",
+    "dominance_pair_count",
+    "transitive_reduction",
 ]

@@ -31,15 +31,13 @@ def _order_matrix(points: PointSet) -> np.ndarray:
     strictly dominates ``j``, or the two coordinate vectors are identical and
     ``i > j`` (index tie-break).  The result is a strict partial order, so
     the induced digraph is a DAG.
+
+    Thin shim over the cached :meth:`PointSet.order_matrix` so every poset
+    helper (adjacency, minimal/maximal points, chains, width, Mirsky,
+    Hasse) shares one copy per point set instead of rebuilding it per call;
+    repeat reads show up in the ``poset.order_cache_hits`` counter.
     """
-    weak = points.weak_dominance_matrix()
-    equal = weak & weak.T
-    strict = weak & ~equal
-    n = points.n
-    idx = np.arange(n)
-    tie_break = equal & (idx[:, None] > idx[None, :])
-    order = strict | tie_break
-    return order
+    return points.order_matrix()
 
 
 def dominance_digraph(points: PointSet) -> np.ndarray:

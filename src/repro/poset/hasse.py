@@ -16,6 +16,7 @@ import numpy as np
 
 from ..core.points import PointSet
 from .dominance import _order_matrix
+from .sparse import hasse_edges_sparse
 
 __all__ = ["hasse_edges", "covers", "transitive_closure_from_hasse"]
 
@@ -24,24 +25,26 @@ def hasse_edges(points: PointSet) -> List[Tuple[int, int]]:
     """Covering pairs ``(lower, upper)`` of the (tie-broken) dominance order.
 
     ``upper`` covers ``lower`` iff ``upper`` is above ``lower`` and no
-    third point sits strictly between them.  Computed from the boolean
-    order matrix: the pair is covering iff no ``k`` has
-    ``upper above k above lower``; vectorized as a boolean matrix product.
-    Cost ``O(n^3 / 64)`` in practice via numpy — fine for the inspection
-    sizes this module targets.
+    third point sits strictly between them.  Delegates to the packed-bitset
+    :func:`repro.poset.sparse.transitive_reduction` over the shared cached
+    order matrix.
+
+    The earlier implementation vectorized the "exists k strictly between"
+    test as a ``uint8`` matrix product, whose entries wrap mod 256: a pair
+    with a multiple-of-256 number of intermediates was falsely reported as
+    covering (a 258-point chain emitted a spurious ``(0, 257)`` edge).  The
+    bitset union is pure boolean — no counter to overflow.
     """
-    order = _order_matrix(points)
-    if points.n == 0:
-        return []
-    # two_step[i, j]: exists k with i above k and k above j.
-    two_step = (order.astype(np.uint8) @ order.astype(np.uint8)) > 0
-    covering = order & ~two_step
-    uppers, lowers = np.nonzero(covering)
-    return [(int(lo), int(up)) for up, lo in zip(uppers, lowers)]
+    return hasse_edges_sparse(points)
 
 
 def covers(points: PointSet, upper: int, lower: int) -> bool:
-    """Whether ``upper`` covers ``lower`` in the dominance order."""
+    """Whether ``upper`` covers ``lower`` in the dominance order.
+
+    Pure boolean row/column intersection — agrees with :func:`hasse_edges`
+    for all ``n`` (both are overflow-free, unlike the retired ``uint8``
+    matrix product).
+    """
     order = _order_matrix(points)
     if not order[upper, lower]:
         return False

@@ -70,6 +70,18 @@ class TestFlowNetwork:
         dinic_max_flow(net, 0, 3)
         assert net.check_flow_conservation(0, 3)
 
+    def test_tail_accessor(self):
+        """Public tail()/tails: the arc-origin counterpart of heads."""
+        net = FlowNetwork(3)
+        arc = net.add_edge(0, 1, 2.0)
+        other = net.add_edge(1, 2, 3.0)
+        assert net.tail(arc) == 0 and net.heads[arc] == 1
+        assert net.tail(arc ^ 1) == 1  # reverse arc runs backwards
+        assert net.tail(other) == 1
+        assert net.tails == (0, 1, 1, 2)
+        # Every forward arc's materialized tail agrees with the accessor.
+        assert all(a.tail == net.tail(arc_id) for arc_id, a in net.forward_arcs())
+
 
 @pytest.mark.parametrize("backend", sorted(FLOW_BACKENDS))
 class TestBackends:

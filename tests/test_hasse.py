@@ -36,6 +36,23 @@ class TestHasseEdges:
         edges = set(hasse_edges(ps))
         assert edges == {(0, 1), (1, 2)}
 
+    def test_chain_258_no_uint8_overflow(self):
+        """Regression: the old uint8 matrix product wrapped mod 256.
+
+        On a 258-point chain, pair (0, 257) has exactly 256 intermediates,
+        so its two-step count wrapped to 0 and the pair was falsely
+        reported as covering.  A chain of n points has exactly n - 1
+        covering edges, all consecutive.
+        """
+        ps = PointSet([(float(i),) for i in range(258)], [0] * 258)
+        edges = hasse_edges(ps)
+        assert len(edges) == 257
+        assert (0, 257) not in edges
+        assert set(edges) == {(i, i + 1) for i in range(257)}
+        # covers() must agree with the edge list on the offending pair.
+        assert not covers(ps, upper=257, lower=0)
+        assert covers(ps, upper=257, lower=256)
+
 
 class TestCovers:
     def test_direct_cover(self, tiny_2d):
@@ -50,5 +67,19 @@ def test_closure_of_hasse_recovers_order(n, dim, seed):
     """Property: transitive closure of covering edges == full order."""
     gen = np.random.default_rng(seed)
     ps = PointSet(gen.integers(0, 4, size=(n, dim)).astype(float), [0] * n)
+    closure = transitive_closure_from_hasse(ps)
+    assert (closure == _order_matrix(ps)).all()
+
+
+@settings(max_examples=5, deadline=None)
+@given(st.integers(257, 300), st.integers(1, 3), st.integers(0, 10_000))
+def test_closure_of_hasse_recovers_order_past_uint8(n, dim, seed):
+    """Property at n > 256, where the old uint8 product could wrap mod 256.
+
+    Low-cardinality integer coordinates force long chains through the
+    duplicate tie-break, so two-step counts routinely exceed 255.
+    """
+    gen = np.random.default_rng(seed)
+    ps = PointSet(gen.integers(0, 3, size=(n, dim)).astype(float), [0] * n)
     closure = transitive_closure_from_hasse(ps)
     assert (closure == _order_matrix(ps)).all()

@@ -154,3 +154,90 @@ def test_both_backends_match_brute_force(n, seed):
     expected = brute_force_passive(ps)
     assert solve_passive(ps, backend="push_relabel").optimal_error == \
         pytest.approx(expected)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 10), st.integers(1, 3), st.integers(0, 100_000))
+def test_hasse_reduction_matches_brute_force(n, dim, seed):
+    """Property: the Hasse-reduced network solves Problem 2 exactly.
+
+    Low-cardinality coordinates make duplicate vectors with opposing
+    labels common, exercising the label-aware tie-break of the reduced
+    network's covering DAG.
+    """
+    gen = np.random.default_rng(seed)
+    coords = gen.integers(0, 3, size=(n, dim)).astype(float)
+    labels = gen.integers(0, 2, size=n)
+    weights = gen.random(n) + 0.1
+    ps = PointSet(coords, labels, weights)
+    result = solve_passive(ps, use_hasse_reduction=True)
+    assert result.optimal_error == pytest.approx(brute_force_passive(ps))
+    assert is_monotone_assignment(ps, result.assignment)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 40), st.integers(1, 3), st.integers(0, 100_000))
+def test_hasse_reduction_equals_default_path(n, dim, seed):
+    """Equivalence on random weighted inputs beyond brute-force reach."""
+    gen = np.random.default_rng(seed)
+    coords = gen.integers(0, 5, size=(n, dim)).astype(float)
+    labels = gen.integers(0, 2, size=n)
+    weights = gen.uniform(0.5, 2.0, size=n)
+    ps = PointSet(coords, labels, weights)
+    dense = solve_passive(ps)
+    hasse = solve_passive(ps, use_hasse_reduction=True)
+    assert hasse.optimal_error == pytest.approx(dense.optimal_error)
+    assert is_monotone_assignment(ps, hasse.assignment)
+    assert weighted_error(ps, hasse.assignment) == \
+        pytest.approx(hasse.optimal_error)
+
+
+class TestHasseReduction:
+    def test_opposing_duplicates(self):
+        """Equal coordinate vectors with labels (0, 1) must cost one flip.
+
+        This is the case the label-aware tie-break exists for: with an
+        index tie-break in the wrong direction the reduced network would
+        miss the constraint and report zero error.
+        """
+        ps = PointSet([(1.0, 1.0), (1.0, 1.0)], [0, 1], [3.0, 5.0])
+        result = solve_passive(ps, use_hasse_reduction=True)
+        assert result.optimal_error == pytest.approx(3.0)
+
+    def test_acceptance_4096_chain_structured(self):
+        """Acceptance case: n = 4096, d = 3, same optimum, fewer inf edges.
+
+        Sixteen 3-D chains of 256 points; labels are a per-chain threshold
+        with 5% flips and random weights.  Within a chain the closure holds
+        a quadratic number of cross-label pairs while the Hasse network
+        keeps one covering edge per consecutive pair, so the reduced
+        network must be measurably smaller (counters) at the same optimum.
+        """
+        from repro import obs
+
+        rng = np.random.default_rng(7)
+        num_chains, length = 16, 256
+        spread = 10 * length
+        coords, labels = [], []
+        for j in range(num_chains):
+            for t in range(length):
+                coords.append((t + j * spread, t - j * spread, float(t)))
+                labels.append(int(t >= length // 2))
+        labels = np.array(labels)
+        flip = rng.random(num_chains * length) < 0.05
+        labels[flip] ^= 1
+        weights = rng.uniform(0.5, 2.0, size=num_chains * length)
+        ps = PointSet(np.array(coords, dtype=float), labels, weights)
+        assert ps.n == 4096 and ps.dim == 3
+
+        with obs.metrics_session() as dense_reg:
+            dense = solve_passive(ps)
+        with obs.metrics_session() as hasse_reg:
+            hasse = solve_passive(ps, use_hasse_reduction=True)
+
+        assert hasse.optimal_error == pytest.approx(dense.optimal_error)
+        closure_edges = dense_reg.counter_value("passive.dominance_pairs")
+        kept = hasse_reg.counter_value("passive.hasse_edges_kept")
+        assert kept < closure_edges
+        # The covering DAG of k disjoint chains has exactly n - k edges.
+        assert kept == ps.n - num_chains
