@@ -1,0 +1,53 @@
+"""Chaos smoke benchmarks: the resilience layer's overhead must stay flat.
+
+Part of the CI ``bench-smoke`` gate (with ``test_bench_smoke.py``): each
+benchmark here has a matching entry in ``benchmarks/baseline.json``, and
+the gate fails on a >30% mean regression.  Tiny inputs on purpose — the
+job catches order-of-magnitude slips (a retry loop gone hot, journal
+fsyncs in a tight loop), not scaling behavior.
+"""
+
+from __future__ import annotations
+
+from repro import LabelOracle, active_classify
+from repro.datasets.synthetic import width_controlled
+from repro.resilience import FaultSpec, ResilienceConfig, RetryPolicy
+
+
+def _workload():
+    points = width_controlled(800, 4, noise=0.05, rng=0)
+    return points, points.with_hidden_labels()
+
+
+def test_bench_resilience_chaos(benchmark):
+    """Active pipeline under 10% transient faults with retries."""
+    points, hidden = _workload()
+    config = ResilienceConfig(
+        retry=RetryPolicy(max_attempts=8),
+        faults=FaultSpec(transient_rate=0.1, seed=3),
+    )
+
+    def job():
+        return active_classify(hidden, LabelOracle(points), epsilon=1.0,
+                               rng=1, resilience=config)
+
+    result = benchmark(job)
+    assert result.report is not None and result.report.completed
+    benchmark.extra_info["probes"] = result.probing_cost
+    benchmark.extra_info["faults"] = result.report.faults_injected
+
+
+def test_bench_resilience_checkpoint(benchmark, tmp_path):
+    """Active pipeline with the journal + per-chain checkpoints enabled."""
+    points, hidden = _workload()
+    counter = [0]
+
+    def job():
+        counter[0] += 1
+        ckpt = tmp_path / f"bench-{counter[0]}.ckpt.json"
+        config = ResilienceConfig(checkpoint=str(ckpt))
+        return active_classify(hidden, LabelOracle(points), epsilon=1.0,
+                               rng=1, resilience=config)
+
+    result = benchmark(job)
+    benchmark.extra_info["probes"] = result.probing_cost

@@ -20,7 +20,9 @@ The package provides:
 * :mod:`repro.experiments` — the per-claim experiment harness backing
   EXPERIMENTS.md;
 * :mod:`repro.obs` — zero-dependency instrumentation (counters, spans,
-  probe/flow telemetry) threaded through every layer above.
+  probe/flow telemetry) threaded through every layer above;
+* :mod:`repro.resilience` — fault-injected oracles, retry/backoff
+  policies, and crash-safe checkpoint/resume for the active pipeline.
 
 Quickstart::
 
@@ -110,6 +112,14 @@ from .evaluation import (
     holdout_evaluation,
     train_test_split,
 )
+from .resilience import (
+    FaultSpec,
+    FaultyOracle,
+    ResilienceConfig,
+    ResilientOracle,
+    RetryPolicy,
+    RunReport,
+)
 from .serialization import load_classifier, save_classifier
 from .stats import SamplingPlan
 
@@ -176,4 +186,10 @@ __all__ = [
     "CallbackOracle",
     "RepairReport",
     "repair_labels",
+    "FaultSpec",
+    "FaultyOracle",
+    "ResilienceConfig",
+    "ResilientOracle",
+    "RetryPolicy",
+    "RunReport",
 ]

@@ -80,6 +80,30 @@ def build_parser() -> argparse.ArgumentParser:
     active.add_argument("--workers", type=int, default=1,
                         help="processes for chain-level parallel sampling "
                              "(default 1; output is identical for any value)")
+    resil = active.add_argument_group(
+        "resilience", "fault injection, retries, and checkpoint/resume "
+                      "(see docs/resilience.md)")
+    resil.add_argument("--retry-max", type=int, default=None, metavar="K",
+                       help="retry transient probe failures up to K attempts "
+                            "per probe (enables the retry layer)")
+    resil.add_argument("--probe-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-probe deadline; slow probes fail as "
+                            "retryable timeouts")
+    resil.add_argument("--checkpoint", default=None, metavar="PATH",
+                       help="write a crash-safe probe journal and per-chain "
+                            "checkpoint to PATH (+ PATH.journal)")
+    resil.add_argument("--resume", action="store_true",
+                       help="resume from --checkpoint: replay paid probes, "
+                            "skip completed chains")
+    resil.add_argument("--inject-faults", default=None, metavar="SPEC",
+                       help="deterministic chaos spec, e.g. "
+                            "'transient=0.1,flip=0.02,seed=7' (fields: "
+                            "transient, timeout, flip, dead, dead_indices, "
+                            "latency, seed)")
+    resil.add_argument("--degrade", action="store_true",
+                       help="on halting failures return a best-effort "
+                            "classifier and a run report instead of failing")
 
     width = sub.add_parser("width", help="dominance width and chain stats")
     width.add_argument("input", help="point-set file (.csv or .json)")
@@ -111,6 +135,9 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--out-dir", default=None, metavar="DIR",
                             help="write per-experiment rows to DIR/<name>.json "
                                  "(atomic writes, crash-safe)")
+    experiment.add_argument("--resume", action="store_true",
+                            help="skip experiments already completed in "
+                                 "--out-dir (restart a killed sweep)")
 
     for command in (gen, passive, active, width, audit, repair, viz, experiment):
         _add_metrics_flags(command)
@@ -179,6 +206,29 @@ def _cmd_passive(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resilience_config(args: argparse.Namespace):
+    """Build a ResilienceConfig from the active-subcommand flags, or None."""
+    wanted = (args.retry_max is not None or args.probe_timeout is not None
+              or args.checkpoint is not None or args.inject_faults is not None
+              or args.degrade)
+    if args.resume and args.checkpoint is None:
+        raise ValueError("--resume requires --checkpoint PATH")
+    if not wanted:
+        return None
+    from .resilience import FaultSpec, ResilienceConfig, RetryPolicy
+
+    retry = None
+    if args.retry_max is not None or args.probe_timeout is not None:
+        retry = RetryPolicy(max_attempts=args.retry_max or 3,
+                            timeout=args.probe_timeout)
+    faults = None
+    if args.inject_faults is not None:
+        faults = FaultSpec.parse(args.inject_faults)
+    return ResilienceConfig(retry=retry, faults=faults,
+                            checkpoint=args.checkpoint, resume=args.resume,
+                            degrade=args.degrade)
+
+
 def _cmd_active(args: argparse.Namespace) -> int:
     from .core.active import active_classify
     from .core.errors import error_count
@@ -191,7 +241,8 @@ def _cmd_active(args: argparse.Namespace) -> int:
     result = active_classify(points.with_hidden_labels(), oracle,
                              epsilon=args.epsilon, rng=args.seed,
                              decomposition=args.decomposition,
-                             workers=args.workers)
+                             workers=args.workers,
+                             resilience=_resilience_config(args))
     optimum = solve_passive(points).optimal_error
     err = error_count(points, result.classifier)
     print(format_table([{
@@ -204,6 +255,8 @@ def _cmd_active(args: argparse.Namespace) -> int:
         "optimal_error": optimum,
         "ratio": err / optimum if optimum else float(err == 0) or float("inf"),
     }]))
+    if result.report is not None:
+        print(result.report.summary())
     return 0
 
 
@@ -286,6 +339,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         runner_argv += ["--workers", str(args.workers)]
     if args.out_dir is not None:
         runner_argv += ["--out-dir", args.out_dir]
+    if args.resume:
+        runner_argv += ["--resume"]
     return run_main(runner_argv)
 
 

@@ -99,8 +99,10 @@ class LevelTrace:
     """Telemetry of one recursion level (Section 3.2 instrumentation).
 
     ``kind`` is ``"base"`` (probed exhaustively), ``"no-window"`` (alpha
-    and beta did not exist), ``"shrink"`` (recursed on ``P'``), or
-    ``"degenerate"`` (window covered everything; probed exhaustively).
+    and beta did not exist), ``"shrink"`` (recursed on ``P'``),
+    ``"degenerate"`` (window covered everything; probed exhaustively), or
+    ``"halted"`` (a degraded run stopped here on a halting failure —
+    budget exhausted, retries exhausted, breaker open, dead point).
     """
 
     depth: int
@@ -110,6 +112,7 @@ class LevelTrace:
     alpha: Optional[float] = None
     beta: Optional[float] = None
     shrunk_to: Optional[int] = None
+    note: Optional[str] = None
 
     @property
     def shrink_factor(self) -> Optional[float]:
@@ -212,7 +215,8 @@ class _Recursion1D:
 
     def __init__(self, values: np.ndarray, global_indices: np.ndarray,
                  oracle: ProbeOracle, epsilon: float, delta: float,
-                 plan: SamplingPlan, rng: np.random.Generator) -> None:
+                 plan: SamplingPlan, rng: np.random.Generator,
+                 degrade: bool = False) -> None:
         self.values = values
         self.global_indices = global_indices
         self.oracle = oracle
@@ -220,6 +224,8 @@ class _Recursion1D:
         self.delta = delta
         self.plan = plan
         self.rng = rng
+        self.degrade = degrade
+        self.halted: Optional[str] = None
         self.levels_bound = log_levels(len(values))
         self.levels_used = 0
         self.sigma = WeightedSample()
@@ -244,9 +250,30 @@ class _Recursion1D:
     # ------------------------------------------------------------------
 
     def run(self) -> WeightedSample:
-        """Execute the recursion over all points; returns ``Σ``."""
+        """Execute the recursion over all points; returns ``Σ``.
+
+        With ``degrade`` set, a halting failure (see
+        ``repro.resilience.errors.HALT_ERRORS``) stops the recursion where
+        it stands and returns the partial ``Σ`` accumulated so far, with a
+        ``"halted"`` trace entry marking the cut; anything else — a bug —
+        keeps propagating.
+        """
         initial = np.argsort(self.values, kind="stable")
-        self._recurse(initial, depth=0)
+        if not self.degrade:
+            self._recurse(initial, depth=0)
+            return self.sigma
+        from ..resilience.errors import HALT_ERRORS
+
+        try:
+            self._recurse(initial, depth=0)
+        except HALT_ERRORS as exc:
+            self.halted = f"{type(exc).__name__}: {exc}"
+            self._record_level(LevelTrace(
+                depth=self.levels_used, population=len(self.values),
+                sample_size=0, kind="halted", note=self.halted,
+            ))
+            if self.rec.enabled:
+                self.rec.incr("resilience.degraded_halts")
         return self.sigma
 
     def _probe_all(self, local: np.ndarray) -> None:
@@ -341,7 +368,8 @@ class _Recursion1D:
 def build_weighted_sample_1d(values: Sequence[float], global_indices: Sequence[int],
                              oracle: ProbeOracle, epsilon: float, delta: float,
                              plan: Optional[SamplingPlan] = None,
-                             rng: RngLike = None
+                             rng: RngLike = None,
+                             degrade: bool = False
                              ) -> Tuple[WeightedSample, int, Tuple[LevelTrace, ...]]:
     """Run the Section 3 recursion, returning ``(Σ, levels_used, trace)``.
 
@@ -349,6 +377,11 @@ def build_weighted_sample_1d(values: Sequence[float], global_indices: Sequence[i
     global index is ``global_indices[i]``; probes are issued against global
     indices so a shared oracle can serve many chains.  ``trace`` records
     one :class:`LevelTrace` per recursion level for instrumentation.
+
+    With ``degrade`` set, a halting failure from the oracle (budget or
+    retries exhausted, breaker open, dead point) returns the partial ``Σ``
+    instead of raising; the final trace entry then has ``kind ==
+    "halted"`` with the reason in its ``note``.
     """
     vals = np.asarray(values, dtype=float)
     gidx = np.asarray(global_indices, dtype=int)
@@ -359,7 +392,8 @@ def build_weighted_sample_1d(values: Sequence[float], global_indices: Sequence[i
     if not 0 < delta < 1:
         raise ValueError(f"delta must be in (0, 1); got {delta}")
     driver = _Recursion1D(vals, gidx, oracle, epsilon, delta,
-                          plan or SamplingPlan(), as_generator(rng))
+                          plan or SamplingPlan(), as_generator(rng),
+                          degrade=degrade)
     sigma = driver.run()
     return sigma, driver.levels_used, tuple(driver.trace)
 

@@ -110,11 +110,41 @@ class CallbackOracle:
             out[idx] = label
         return out
 
+    def remaining_budget(self) -> Optional[int]:
+        """Distinct labelings still allowed, or ``None`` if unbudgeted."""
+        if self.budget is None:
+            return None
+        return max(0, self.budget - self.cost)
+
+    def restore(self, revealed: Dict[int, int]) -> int:
+        """Re-seed already-paid labels from a crash-safe probe journal.
+
+        Unlike :meth:`repro.core.oracle.LabelOracle.restore` there is no
+        ground truth to validate against — the journal *is* the record of
+        what the labeler answered, and re-invoking the labeler to check
+        would re-pay the very cost resuming exists to avoid.  Entries
+        already cached are skipped; returns the number newly restored.
+        """
+        restored = 0
+        for index, label in revealed.items():
+            index, label = int(index), int(label)
+            if not 0 <= index < self._points.n:
+                raise IndexError(f"point index {index} out of range")
+            if label not in (0, 1):
+                raise ValueError(
+                    f"journaled label {label!r} for point {index}; expected 0 or 1")
+            if index in self._revealed:
+                continue
+            self._revealed[index] = label
+            restored += 1
+        return restored
+
     # ------------------------------------------------------------------
     # Parallel sharding
     # ------------------------------------------------------------------
 
-    def shard(self, indices: Sequence[int]) -> OracleShard:
+    def shard(self, indices: Sequence[int],
+              budget: Optional[int] = None) -> OracleShard:
         """A picklable shard serving only ``indices`` (for worker processes).
 
         The shard ships the labeling callable together with the coordinates
@@ -122,7 +152,8 @@ class CallbackOracle:
         module-level function or a picklable callable object; lambdas and
         closures are not).  Labels the parent already cached travel along
         and stay free shard-side.  Budgets are enforced by the parent at
-        :meth:`absorb` time, not in the worker.
+        :meth:`absorb` time, not in the worker, unless ``budget=`` adds a
+        shard-local cap on new charges.
         """
         coords: Dict[int, tuple] = {}
         preknown: Dict[int, int] = {}
@@ -133,7 +164,8 @@ class CallbackOracle:
             coords[index] = tuple(float(c) for c in self._points.coords[index])
             if index in self._revealed:
                 preknown[index] = self._revealed[index]
-        return OracleShard(labeler=self._labeler, coords=coords, preknown=preknown)
+        return OracleShard(labeler=self._labeler, coords=coords,
+                           preknown=preknown, budget=budget)
 
     def absorb(self, shard_log: Sequence[int], shard_revealed: Dict[int, int]) -> None:
         """Merge a shard's probes back without re-invoking the labeler.

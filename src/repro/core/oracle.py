@@ -56,18 +56,25 @@ class OracleShard:
     coordinates (sharded from a
     :class:`~repro.core.callback_oracle.CallbackOracle`).  It mirrors the
     parent oracle's accounting exactly — one charge per distinct probe,
-    repeats free, the same ``oracle.*`` instrumentation counters — except
-    that budgets are *not* enforced shard-side: the parent enforces its
-    budget when the shard's probes are absorbed back
+    repeats free, the same ``oracle.*`` instrumentation counters.
+
+    By default budgets are *not* enforced shard-side: the parent enforces
+    its budget when the shard's probes are absorbed back
     (:meth:`LabelOracle.absorb`), keeping the global distinct-probe count
-    exact even when chains run in separate processes.
+    exact even when chains run in separate processes.  Passing ``budget=``
+    adds a shard-local cap on *newly charged* probes on top of that, so a
+    runaway worker fails fast inside its own process (with
+    :class:`ProbeBudgetExceeded`) instead of over-spending and only being
+    caught at absorb time.
 
     Labels already revealed by the parent before sharding are pre-seeded,
     so re-probing them is free shard-side just as it would have been in the
-    parent (they count as dedup hits, not charges).
+    parent (they count as dedup hits, not charges, and never against the
+    shard budget).
     """
 
-    __slots__ = ("_labels", "_labeler", "_coords", "_preknown", "_revealed", "_log")
+    __slots__ = ("_labels", "_labeler", "_coords", "_preknown", "_revealed",
+                 "_log", "budget")
 
     def __init__(
         self,
@@ -75,17 +82,21 @@ class OracleShard:
         labeler: Optional[Callable[[Sequence[float]], int]] = None,
         coords: Optional[Dict[int, Tuple[float, ...]]] = None,
         preknown: Optional[Dict[int, int]] = None,
+        budget: Optional[int] = None,
     ) -> None:
         if (labels is None) == (labeler is None):
             raise ValueError("provide exactly one of labels= or labeler=")
         if labeler is not None and coords is None:
             raise ValueError("labeler= requires coords=")
+        if budget is not None and budget < 0:
+            raise ValueError(f"shard budget must be >= 0; got {budget}")
         self._labels = labels
         self._labeler = labeler
         self._coords = coords
         self._preknown = dict(preknown or {})
         self._revealed: Dict[int, int] = dict(self._preknown)
         self._log: List[int] = []
+        self.budget = budget
 
     def probe(self, index: int) -> int:
         """Reveal the label of ``index``; first reveal charges one unit."""
@@ -98,6 +109,12 @@ class OracleShard:
             if rec.enabled:
                 rec.incr("oracle.dedup_hits")
             return self._revealed[index]
+        if self.budget is not None and self.cost >= self.budget:
+            if rec.enabled:
+                rec.incr("oracle.budget_exceeded")
+            raise ProbeBudgetExceeded(
+                f"shard probe budget of {self.budget} distinct points exhausted"
+            )
         if self._labels is not None:
             if index not in self._labels:
                 raise IndexError(f"point index {index} is not in this shard")
@@ -143,10 +160,16 @@ class OracleShard:
             if index not in self._preknown
         }
 
+    def remaining_budget(self) -> Optional[int]:
+        """Shard-local charges still allowed, or ``None`` if uncapped."""
+        if self.budget is None:
+            return None
+        return max(0, self.budget - self.cost)
+
     def __repr__(self) -> str:
         universe = self._labels if self._labels is not None else self._coords
         size = len(universe) if universe is not None else 0
-        return f"OracleShard(size={size}, cost={self.cost})"
+        return f"OracleShard(size={size}, cost={self.cost}, budget={self.budget})"
 
 
 def _absorb_probes(
@@ -299,17 +322,47 @@ class LabelOracle:
         self._revealed.clear()
         self._log.clear()
 
+    def restore(self, revealed: Dict[int, int]) -> int:
+        """Re-seed already-paid reveals from a crash-safe probe journal.
+
+        Each entry is validated against the ground truth and inserted as a
+        revealed (charged) label *without* appending to the probe log —
+        the probes were issued and logged by the interrupted run; the
+        resumed run merely inherits their labels so re-asking is free.
+        Entries already revealed are skipped.  Returns the number of
+        labels newly restored.
+        """
+        restored = 0
+        for index, label in revealed.items():
+            index, label = int(index), int(label)
+            if not 0 <= index < len(self._labels):
+                raise IndexError(f"point index {index} out of range")
+            truth = int(self._labels[index])
+            if label != truth:
+                raise ValueError(
+                    f"journaled label {label} for point {index} contradicts "
+                    f"ground truth {truth}"
+                )
+            if index in self._revealed:
+                continue
+            self._revealed[index] = label
+            restored += 1
+        return restored
+
     # ------------------------------------------------------------------
     # Parallel sharding
     # ------------------------------------------------------------------
 
-    def shard(self, indices: Sequence[int]) -> OracleShard:
+    def shard(self, indices: Sequence[int],
+              budget: Optional[int] = None) -> OracleShard:
         """A picklable shard serving only ``indices`` (for worker processes).
 
         The shard carries the ground-truth labels of its indices plus any
         already-revealed labels among them (re-probing those stays free in
-        the worker).  No budget travels with the shard; the parent enforces
-        its budget when the shard's probes come back via :meth:`absorb`.
+        the worker).  By default no budget travels with the shard; the
+        parent enforces its budget when the shard's probes come back via
+        :meth:`absorb`.  Pass ``budget=`` (typically the parent's remaining
+        budget) to additionally cap the shard's own new charges in-process.
         """
         labels: Dict[int, int] = {}
         preknown: Dict[int, int] = {}
@@ -320,7 +373,7 @@ class LabelOracle:
             labels[index] = int(self._labels[index])
             if index in self._revealed:
                 preknown[index] = self._revealed[index]
-        return OracleShard(labels=labels, preknown=preknown)
+        return OracleShard(labels=labels, preknown=preknown, budget=budget)
 
     def absorb(self, shard_log: Sequence[int], shard_revealed: Dict[int, int]) -> None:
         """Merge a shard's probes back, keeping accounting exact.

@@ -1,0 +1,90 @@
+"""Experiment E16: chaos — the active pipeline under injected oracle faults.
+
+The resilience layer promises that a flaky oracle costs *wall-clock*, not
+probes or accuracy: transient faults are decided before the inner oracle
+charges, so retried probes reach the exact charge count of a fault-free
+run, and the classifier is bit-identical.  This experiment sweeps the
+transient-fault rate and reports probe counts, retry counts, and error
+ratios at each level — the charge count and error ratio must stay flat
+while retries grow with the fault rate.  A final row exercises graceful
+degradation: with retries capped below what the fault rate needs, the run
+degrades instead of raising, and the best-effort classifier's error ratio
+is reported alongside how many chains completed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core.active import active_classify
+from ..core.errors import error_count
+from ..core.oracle import LabelOracle
+from ..datasets.synthetic import width_controlled
+from ..resilience import FaultSpec, ResilienceConfig, RetryPolicy
+from ._common import chainwise_optimum
+
+TITLE = "E16 — chaos: error ratio and probe overhead vs injected fault rate"
+
+__all__ = ["run", "TITLE"]
+
+
+def run(n: int = 8_000, width: int = 4, epsilon: float = 0.5,
+        noise: float = 0.05,
+        fault_rates: Sequence[float] = (0.0, 0.05, 0.1, 0.2),
+        max_attempts: int = 12, seed: int = 0) -> List[dict]:
+    """Sweep the transient-fault rate; charges and accuracy must not move."""
+    points = width_controlled(n, width, noise=noise, rng=seed)
+    optimum = chainwise_optimum(points)
+    rows: List[dict] = []
+    baseline_probes = None
+    for rate in fault_rates:
+        oracle = LabelOracle(points)
+        config = ResilienceConfig(
+            retry=RetryPolicy(max_attempts=max_attempts),
+            faults=FaultSpec(transient_rate=rate, seed=seed + 1),
+        )
+        result = active_classify(points.with_hidden_labels(), oracle,
+                                 epsilon=epsilon, rng=seed,
+                                 resilience=config)
+        if baseline_probes is None:
+            baseline_probes = result.probing_cost
+        err = error_count(points, result.classifier)
+        report = result.report
+        rows.append({
+            "fault_rate": rate,
+            "n": n,
+            "eps": epsilon,
+            "probes": result.probing_cost,
+            "probe_overhead": result.probing_cost - baseline_probes,
+            "faults": report.faults_injected,
+            "retries": report.retries,
+            "error_ratio": err / optimum if optimum else 1.0,
+            "guarantee": 1 + epsilon,
+            "completed": report.completed,
+        })
+
+    # Degradation row: too few attempts for a heavy fault rate — the run
+    # must come back degraded (partial chains) rather than raise.
+    oracle = LabelOracle(points)
+    config = ResilienceConfig(
+        retry=RetryPolicy(max_attempts=2),
+        faults=FaultSpec(transient_rate=0.5, seed=seed + 1),
+        degrade=True,
+    )
+    result = active_classify(points.with_hidden_labels(), oracle,
+                             epsilon=epsilon, rng=seed, resilience=config)
+    report = result.report
+    err = error_count(points, result.classifier)
+    rows.append({
+        "fault_rate": 0.5,
+        "n": n,
+        "eps": epsilon,
+        "probes": result.probing_cost,
+        "probe_overhead": result.probing_cost - (baseline_probes or 0),
+        "faults": report.faults_injected,
+        "retries": report.retries,
+        "error_ratio": err / optimum if optimum else 1.0,
+        "guarantee": 1 + epsilon,
+        "completed": report.completed,
+    })
+    return rows

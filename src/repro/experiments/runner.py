@@ -37,6 +37,7 @@ def _registry() -> Dict[str, Callable[..., List[dict]]]:
         ablations,
         active_scaling,
         baseline_comparison,
+        chaos,
         confidence,
         entity_matching_exp,
         figure1,
@@ -63,6 +64,7 @@ def _registry() -> Dict[str, Callable[..., List[dict]]]:
         "recursion_geometry": recursion_geometry.run,
         "width_profile": width_profile.run,
         "ablations": ablations.run,
+        "chaos": chaos.run,
     }
 
 
@@ -105,6 +107,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--out-dir", default=None, metavar="DIR",
                         help="write each experiment's rows to DIR/<name>.json "
                              "(atomic, crash-safe, per-experiment files)")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip experiments whose output file in --out-dir "
+                             "already exists from a previous (killed) run")
     return parser
 
 
@@ -118,14 +123,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}")
             return 2
 
+    if args.resume and args.out_dir is None:
+        print("--resume requires --out-dir (prior results live there)")
+        return 2
     configs = [GridConfig(name=name) for name in names]
     results = run_grid(configs, workers=args.workers, out_dir=args.out_dir,
-                       capture_metrics=args.metrics)
+                       capture_metrics=args.metrics, resume=args.resume)
     failed = False
     for result in results:
         module = sys.modules[EXPERIMENTS[result.name].__module__]
         title = getattr(module, "TITLE", result.name)
         print(f"\n=== {title} ===")
+        if result.resumed:
+            print(f"(resumed from {result.out_path})")
         if not result.ok:
             print(f"FAILED: {result.error}")
             failed = True

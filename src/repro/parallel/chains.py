@@ -23,12 +23,11 @@ same probes — only the executing process differs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..core.active_1d import LevelTrace, WeightedSample, build_weighted_sample_1d
-from ..core.oracle import OracleShard
 from ..obs import recorder
 from ..stats.estimation import SamplingPlan
 
@@ -37,15 +36,23 @@ __all__ = ["ChainTask", "ChainResult", "run_chain_task"]
 
 @dataclass(frozen=True)
 class ChainTask:
-    """One chain's worth of 1-D recursive sampling, fully self-contained."""
+    """One chain's worth of 1-D recursive sampling, fully self-contained.
+
+    ``shard`` is an :class:`~repro.core.oracle.OracleShard` — possibly
+    wrapped in resilience decorators (fault injection, retries), which
+    forward the shard surface (``log``, ``new_revealed``) unchanged.
+    ``degrade`` makes a halting oracle failure return the chain's partial
+    ``Σ_i`` (with ``ChainResult.halted`` set) instead of raising.
+    """
 
     chain_id: int
     global_indices: Tuple[int, ...]
-    shard: OracleShard
+    shard: Any
     epsilon: float
     delta: float
     plan: SamplingPlan
     seed: np.random.SeedSequence
+    degrade: bool = False
 
 
 @dataclass(frozen=True)
@@ -54,7 +61,9 @@ class ChainResult:
 
     ``probe_log`` and ``revealed`` feed the parent oracle's ``absorb`` so
     budget/cost accounting stays exact; ``sigma`` is the chain's ``Σ_i``
-    contribution (eq. (29)); ``trace`` carries the per-level telemetry.
+    contribution (eq. (29)); ``trace`` carries the per-level telemetry;
+    ``halted`` is ``None`` for a completed chain, else the halt reason of
+    a degraded partial run.
     """
 
     chain_id: int
@@ -63,6 +72,7 @@ class ChainResult:
     revealed: Dict[int, int]
     levels: int
     trace: Tuple[LevelTrace, ...]
+    halted: Optional[str] = None
 
 
 def run_chain_task(task: ChainTask) -> ChainResult:
@@ -85,7 +95,11 @@ def run_chain_task(task: ChainTask) -> ChainResult:
             task.delta,
             task.plan,
             rng,
+            degrade=task.degrade,
         )
+    halted = None
+    if trace and trace[-1].kind == "halted":
+        halted = trace[-1].note or "halted"
     return ChainResult(
         chain_id=task.chain_id,
         sigma=sigma,
@@ -93,4 +107,5 @@ def run_chain_task(task: ChainTask) -> ChainResult:
         revealed=task.shard.new_revealed,
         levels=levels,
         trace=trace,
+        halted=halted,
     )

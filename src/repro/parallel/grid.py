@@ -20,12 +20,13 @@ instrumentation no matter which process did the work.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .._util import atomic_write_json
-from ..obs import metrics_session
+from ..obs import metrics_session, recorder
 from .pool import pool_map
 
 __all__ = ["GridConfig", "GridResult", "run_grid"]
@@ -62,6 +63,7 @@ class GridResult:
     error: Optional[str] = None
     out_path: Optional[str] = None
     metrics: Optional[Dict[str, Any]] = None
+    resumed: bool = False
 
     @property
     def ok(self) -> bool:
@@ -114,12 +116,44 @@ def _run_config(task: Tuple[GridConfig, Optional[str], bool]) -> GridResult:
     )
 
 
+def _load_completed(config: GridConfig, out_dir: str) -> Optional[GridResult]:
+    """A :class:`GridResult` rebuilt from a prior run's output file, if valid.
+
+    Returns ``None`` when the file is absent, unreadable, or belongs to a
+    different experiment/params — those configs re-run.  Atomic writes
+    guarantee a file that exists is complete, but a changed grid must not
+    silently reuse stale rows.
+    """
+    path = Path(out_dir) / f"{config.out_name}.json"
+    if not path.exists():
+        return None
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    if (payload.get("experiment") != config.name
+            or payload.get("params") != config.params
+            or "rows" not in payload):
+        return None
+    return GridResult(
+        name=config.name,
+        label=config.out_name,
+        params=dict(config.params),
+        rows=payload["rows"],
+        out_path=str(path),
+        metrics=payload.get("metrics"),
+        resumed=True,
+    )
+
+
 def run_grid(
     configs: Sequence[GridConfig],
     *,
     workers: int = 1,
     out_dir: Optional[str] = None,
     capture_metrics: bool = False,
+    resume: bool = False,
+    task_retries: int = 0,
 ) -> List[GridResult]:
     """Run every config, fanning out across ``workers`` processes.
 
@@ -127,14 +161,38 @@ def run_grid(
     as a failed :class:`GridResult` (``ok`` false, ``error`` set) rather
     than aborting the grid; configs that finished earlier keep their rows
     and their already-written result files.
+
+    With ``resume`` (requires ``out_dir``), configs whose output file from
+    a previous run exists and matches (same experiment, same params) are
+    skipped and returned with ``resumed=True`` — restarting a killed grid
+    re-pays only the configs that had not finished.  ``task_retries``
+    re-runs failing configs that many extra times before reporting them.
     """
     configs = list(configs)
     if out_dir is not None:
         Path(out_dir).mkdir(parents=True, exist_ok=True)
-    tasks = [(config, out_dir, capture_metrics) for config in configs]
-    outcomes = pool_map(_run_config, tasks, workers=workers, return_exceptions=True)
+    completed: Dict[int, GridResult] = {}
+    if resume and out_dir is not None:
+        rec = recorder()
+        for i, config in enumerate(configs):
+            prior = _load_completed(config, out_dir)
+            if prior is not None:
+                completed[i] = prior
+                if rec.enabled:
+                    rec.incr("resilience.grid_skips")
+    tasks = [
+        (config, out_dir, capture_metrics)
+        for i, config in enumerate(configs) if i not in completed
+    ]
+    outcomes = pool_map(_run_config, tasks, workers=workers,
+                        return_exceptions=True, task_retries=task_retries)
     results: List[GridResult] = []
-    for config, outcome in zip(configs, outcomes):
+    fresh = iter(outcomes)
+    for i, config in enumerate(configs):
+        if i in completed:
+            results.append(completed[i])
+            continue
+        outcome = next(fresh)
         if isinstance(outcome, Exception):
             results.append(
                 GridResult(

@@ -1,4 +1,4 @@
-"""Process-pool ``map`` with per-worker metrics capture.
+"""Process-pool ``map`` with per-worker metrics capture and crash recovery.
 
 ``pool_map(fn, tasks, workers=N)`` is the package's one fan-out primitive:
 
@@ -16,6 +16,20 @@
 Results always come back in submission order, never completion order —
 callers rely on that for deterministic downstream merging.
 
+Failure handling (the resilience layer, see ``docs/resilience.md``):
+
+* a task that *raises* is captured per ``return_exceptions`` and retried
+  up to ``task_retries`` times;
+* a task that exceeds ``task_timeout`` seconds yields a ``TimeoutError``
+  result (the straggling worker is abandoned, not joined);
+* a *worker that dies* (SIGKILL, OOM, segfault) breaks the whole pool —
+  every unfinished task is resubmitted on a fresh pool, persistent
+  offenders are isolated one-per-pool to pin the culprit, and a task that
+  kills its own private pool is reported as :class:`WorkerCrashError`
+  instead of poisoning its siblings;
+* if no process pool can be created at all (``OSError``), remaining tasks
+  fall back to serial in-process execution.
+
 ``fn`` and every task must be picklable (module-level functions and plain
 dataclasses).  The ``fork`` start method is preferred when the platform
 offers it (cheap, inherits ``sys.path``); otherwise ``spawn`` is used and
@@ -26,17 +40,28 @@ from __future__ import annotations
 
 import multiprocessing
 from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from ..obs import MetricsRegistry, metrics_session, recorder
 
-__all__ = ["pool_map"]
+__all__ = ["pool_map", "WorkerCrashError"]
 
 T = TypeVar("T")
 R = TypeVar("R")
 
 #: Snapshot documents are plain dicts so they cross process boundaries.
 Snapshot = Dict[str, Any]
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died (SIGKILL, OOM, segfault) executing a task.
+
+    Raised — or returned, under ``return_exceptions=True`` — for the task
+    that repeatedly broke its pools, after recovery attempts on fresh
+    pools have been exhausted.
+    """
 
 
 def _preferred_context() -> multiprocessing.context.BaseContext:
@@ -56,6 +81,128 @@ def _run_captured(
     return result, registry.snapshot()
 
 
+def _incr(name: str, amount: int = 1) -> None:
+    rec = recorder()
+    if rec.enabled:
+        rec.incr(name, amount)
+
+
+def _dispatch(
+    fn: Callable[[T], Any],
+    tasks: Sequence[T],
+    indices: Sequence[int],
+    outcomes: Dict[int, Any],
+    workers: int,
+    capture: bool,
+    task_timeout: Optional[float],
+) -> List[int]:
+    """Run ``tasks[i]`` for each index on one fresh pool, filling ``outcomes``.
+
+    Returns the indices whose futures died with the pool (crash suspects).
+    Raises ``OSError`` only if the pool itself could not be created.
+    """
+    executor = ProcessPoolExecutor(
+        max_workers=min(workers, len(indices)), mp_context=_preferred_context()
+    )
+    crashed: List[int] = []
+    timed_out = False
+    try:
+        futures: Dict[int, Future] = {}
+        unsubmitted: List[int] = []
+        for i in indices:
+            try:
+                futures[i] = executor.submit(_run_captured, fn, tasks[i], capture)
+            except BrokenProcessPool:
+                unsubmitted.append(i)
+        for i in indices:
+            if i in futures:
+                try:
+                    outcomes[i] = futures[i].result(timeout=task_timeout)
+                except BrokenProcessPool:
+                    crashed.append(i)
+                # On 3.10 futures.TimeoutError is not the builtin alias yet.
+                except (TimeoutError, _FutureTimeout):
+                    timed_out = True
+                    futures[i].cancel()
+                    outcomes[i] = TimeoutError(
+                        f"task {i} exceeded task_timeout={task_timeout}s"
+                    )
+                except Exception as exc:  # noqa: BLE001 - surfaced to caller
+                    outcomes[i] = exc
+        crashed.extend(unsubmitted)
+    finally:
+        # A timed-out task is still hogging its worker: abandon the pool
+        # instead of joining it, or the timeout would buy nothing.
+        executor.shutdown(wait=not timed_out, cancel_futures=timed_out)
+    return crashed
+
+
+def _run_inline(
+    fn: Callable[[T], Any],
+    tasks: Sequence[T],
+    indices: Sequence[int],
+    outcomes: Dict[int, Any],
+    capture: bool,
+) -> None:
+    """Serial fallback: run the given tasks in the caller's process."""
+    for i in indices:
+        try:
+            outcomes[i] = _run_captured(fn, tasks[i], capture)
+        except Exception as exc:  # noqa: BLE001 - surfaced to caller
+            outcomes[i] = exc
+
+
+def _fanout(
+    fn: Callable[[T], Any],
+    tasks: Sequence[T],
+    indices: List[int],
+    outcomes: Dict[int, Any],
+    workers: int,
+    capture: bool,
+    task_timeout: Optional[float],
+) -> None:
+    """One full dispatch round with broken-pool recovery.
+
+    Pool attempt 1 runs the whole batch; unfinished tasks get a fresh
+    shared pool (attempt 2); tasks that break that one too are isolated
+    one-per-pool (attempt 3) so a single killer task is pinned and
+    reported as :class:`WorkerCrashError` without taking siblings down.
+    """
+    try:
+        crashed = _dispatch(fn, tasks, indices, outcomes, workers, capture,
+                            task_timeout)
+    except OSError:
+        _incr("resilience.pool_serial_fallbacks")
+        _run_inline(fn, tasks, indices, outcomes, capture)
+        return
+    if not crashed:
+        return
+    _incr("resilience.pool_breaks")
+    _incr("resilience.pool_task_resubmits", len(crashed))
+    try:
+        still_crashed = _dispatch(fn, tasks, crashed, outcomes,
+                                  min(workers, len(crashed)), capture,
+                                  task_timeout)
+    except OSError:
+        _incr("resilience.pool_serial_fallbacks")
+        _run_inline(fn, tasks, crashed, outcomes, capture)
+        return
+    for i in still_crashed:
+        try:
+            isolated = _dispatch(fn, tasks, [i], outcomes, 1, capture,
+                                 task_timeout)
+        except OSError:
+            _incr("resilience.pool_serial_fallbacks")
+            _run_inline(fn, tasks, [i], outcomes, capture)
+            continue
+        if isolated:
+            _incr("resilience.worker_crashes")
+            outcomes[i] = WorkerCrashError(
+                f"worker process died executing task {i} "
+                "(killed its pool on repeated attempts)"
+            )
+
+
 def pool_map(
     fn: Callable[[T], R],
     tasks: Sequence[T],
@@ -63,6 +210,8 @@ def pool_map(
     workers: int = 1,
     gauge_merge: str = "last",
     return_exceptions: bool = False,
+    task_retries: int = 0,
+    task_timeout: Optional[float] = None,
 ) -> List[Any]:
     """Apply ``fn`` to every task, fanning out across ``workers`` processes.
 
@@ -81,11 +230,20 @@ def pool_map(
         caller's registry — see
         :meth:`repro.obs.MetricsRegistry.merge_snapshot`.
     return_exceptions:
-        When true, a task that raises contributes its exception object to
-        the result list instead of aborting the whole map (mirroring
-        ``asyncio.gather``); metrics of failed tasks are lost.  When false
-        (default), the first failure — in submission order — re-raises
-        after all submitted work has settled.
+        When true, a task that raises (or whose worker crashes, or that
+        times out) contributes its exception object to the result list
+        instead of aborting the whole map (mirroring ``asyncio.gather``);
+        metrics of failed tasks are lost.  When false (default), the first
+        failure — in submission order — re-raises after all submitted work
+        has settled.
+    task_retries:
+        Extra attempts for tasks that fail with an ordinary exception or a
+        timeout (crashed workers already get their own pool-level recovery
+        and are not retried here).  ``fn`` must be safe to re-run.
+    task_timeout:
+        Per-task deadline in seconds for the multi-process path (the
+        serial path cannot preempt a running task).  A task over deadline
+        yields a ``TimeoutError`` result; its worker is abandoned.
 
     Returns results in submission order.
     """
@@ -93,27 +251,32 @@ def pool_map(
     if not tasks:
         return []
     if workers <= 1:
-        return _serial_map(fn, tasks, return_exceptions)
+        return _serial_map(fn, tasks, return_exceptions, task_retries)
 
     parent = recorder()
     capture = bool(parent.enabled)
     span_prefix = parent.span_path if isinstance(parent, MetricsRegistry) else ""
-    outcomes: List[Any] = []
-    with ProcessPoolExecutor(
-        max_workers=min(workers, len(tasks)), mp_context=_preferred_context()
-    ) as executor:
-        futures: List[Future] = [
-            executor.submit(_run_captured, fn, task, capture) for task in tasks
+    outcomes: Dict[int, Any] = {}
+    indices = list(range(len(tasks)))
+    _fanout(fn, tasks, indices, outcomes, workers, capture, task_timeout)
+    for _ in range(max(0, task_retries)):
+        failed = [
+            i for i in indices
+            if isinstance(outcomes.get(i), Exception)
+            and not isinstance(outcomes.get(i), WorkerCrashError)
         ]
-        for future in futures:  # submission order, not completion order
-            try:
-                outcomes.append(future.result())
-            except Exception as exc:  # noqa: BLE001 - surfaced to caller
-                outcomes.append(exc)
+        if not failed:
+            break
+        _incr("resilience.task_retries", len(failed))
+        retry_outcomes: Dict[int, Any] = {}
+        _fanout(fn, tasks, failed, retry_outcomes, workers, capture,
+                task_timeout)
+        outcomes.update(retry_outcomes)
 
     results: List[Any] = []
     first_error: Optional[Exception] = None
-    for outcome in outcomes:
+    for i in indices:
+        outcome = outcomes.get(i)
         if isinstance(outcome, Exception):
             if first_error is None:
                 first_error = outcome
@@ -131,16 +294,25 @@ def pool_map(
 
 
 def _serial_map(
-    fn: Callable[[T], R], tasks: Sequence[T], return_exceptions: bool
+    fn: Callable[[T], R],
+    tasks: Sequence[T],
+    return_exceptions: bool,
+    task_retries: int = 0,
 ) -> List[Any]:
     """The inline path: identical semantics, no processes, no snapshots."""
     results: List[Any] = []
-    for task in tasks:
-        if not return_exceptions:
-            results.append(fn(task))
-            continue
-        try:
-            results.append(fn(task))
-        except Exception as exc:  # noqa: BLE001 - surfaced to caller
-            results.append(exc)
+    for i, task in enumerate(tasks):
+        attempts = 1 + max(0, task_retries)
+        outcome: Any = None
+        for attempt in range(attempts):
+            try:
+                outcome = fn(task)
+                break
+            except Exception as exc:  # noqa: BLE001 - surfaced to caller
+                outcome = exc
+                if attempt + 1 < attempts:
+                    _incr("resilience.task_retries")
+        if isinstance(outcome, Exception) and not return_exceptions:
+            raise outcome
+        results.append(outcome)
     return results

@@ -1,0 +1,84 @@
+"""repro.resilience — surviving flaky oracles, crashes, and kills.
+
+The paper's active algorithms (Theorems 2-3) assume an oracle that never
+fails; every realistic probe source — a human annotator queue, a
+crowdsourcing API, a remote scoring service — is flaky, slow, and
+occasionally wrong.  This subsystem makes the pipeline survive that
+without losing paid-for probes:
+
+* :mod:`.faults` — :class:`FaultyOracle`, a deterministic
+  ``SeedSequence``-driven fault injector (transient errors, timeouts,
+  latency, dead indices, label flips) for tests and chaos experiments;
+* :mod:`.retry` — :class:`RetryPolicy` (bounded retries, exponential
+  backoff with deterministic jitter), :class:`CircuitBreaker`, and
+  :class:`ResilientOracle` with majority-vote reconciliation;
+* :mod:`.checkpoint` — the crash-safe probe journal and
+  :class:`JournaledOracle`, plus active-run checkpoints, so an
+  interrupted run resumes without re-paying probes;
+* :mod:`.runtime` — :class:`ResilienceConfig` (what the pipeline entry
+  points accept), :func:`build_oracle_stack`, and :class:`RunReport`
+  (what degraded runs return instead of raising);
+* :mod:`.errors` — the failure taxonomy, including ``HALT_ERRORS``.
+
+Everything is observable: the layer emits ``resilience.*`` counters
+(``retries``, ``faults_injected``, ``breaker_trips``,
+``checkpoints_written``, ...) into the ambient :mod:`repro.obs` session,
+and is driveable from the CLI (``--retry-max``, ``--probe-timeout``,
+``--checkpoint``, ``--resume``, ``--inject-faults``).  See
+``docs/resilience.md`` for the fault model and guarantees.
+"""
+
+from .checkpoint import (
+    ActiveCheckpoint,
+    JournaledOracle,
+    journal_path,
+    load_active_checkpoint,
+    read_journal,
+    replay_journal,
+    save_active_checkpoint,
+)
+from .errors import (
+    HALT_ERRORS,
+    CircuitOpenError,
+    OraclePermanentError,
+    OracleTimeoutError,
+    OracleTransientError,
+    ProbeRetriesExhausted,
+    WorkerCrashError,
+)
+from .faults import FaultSpec, FaultyOracle
+from .retry import CircuitBreaker, ResilientOracle, RetryPolicy
+from .runtime import (
+    OracleStack,
+    ResilienceConfig,
+    RunReport,
+    build_oracle_stack,
+)
+from .wrappers import OracleWrapper
+
+__all__ = [
+    "ActiveCheckpoint",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "FaultSpec",
+    "FaultyOracle",
+    "HALT_ERRORS",
+    "JournaledOracle",
+    "OraclePermanentError",
+    "OracleStack",
+    "OracleTimeoutError",
+    "OracleTransientError",
+    "OracleWrapper",
+    "ProbeRetriesExhausted",
+    "ResilienceConfig",
+    "ResilientOracle",
+    "RetryPolicy",
+    "RunReport",
+    "WorkerCrashError",
+    "build_oracle_stack",
+    "journal_path",
+    "load_active_checkpoint",
+    "read_journal",
+    "replay_journal",
+    "save_active_checkpoint",
+]

@@ -1,0 +1,84 @@
+"""Failure taxonomy of the resilience layer.
+
+The active algorithms treat the oracle as an infallible function; real
+probe sources (human annotators, crowdsourcing APIs, remote scorers) fail
+in a handful of characteristic ways, each of which gets its own exception
+type so retry policies can decide *what is worth retrying*:
+
+* :class:`OracleTransientError` — the probe failed but a retry may
+  succeed (rate limit, dropped connection, annotator timeout-and-requeue);
+* :class:`OracleTimeoutError` — the probe took longer than the caller's
+  per-probe deadline; a special case of transient (the label may still
+  arrive on a re-ask);
+* :class:`OraclePermanentError` — the index can never be labeled (record
+  deleted upstream, annotator task rejected); retrying is pointless;
+* :class:`ProbeRetriesExhausted` — the retry policy gave up on one index;
+  carries the last underlying failure as ``__cause__``;
+* :class:`CircuitOpenError` — the circuit breaker is open and the probe
+  was rejected without being attempted;
+* :class:`WorkerCrashError` — re-exported from :mod:`repro.parallel.pool`:
+  a worker process died (SIGKILL, OOM) while executing a task.
+
+``HALT_ERRORS`` collects everything that legitimately *halts* a run —
+used by the graceful-degradation path to distinguish "stop and return the
+best effort" from genuine bugs, which keep propagating.
+"""
+
+from __future__ import annotations
+
+from ..core.oracle import ProbeBudgetExceeded
+from ..parallel.pool import WorkerCrashError
+
+__all__ = [
+    "OracleTransientError",
+    "OracleTimeoutError",
+    "OraclePermanentError",
+    "ProbeRetriesExhausted",
+    "CircuitOpenError",
+    "WorkerCrashError",
+    "HALT_ERRORS",
+]
+
+
+class OracleTransientError(RuntimeError):
+    """A probe failed in a way that a retry may fix."""
+
+
+class OracleTimeoutError(OracleTransientError):
+    """A probe exceeded its per-probe deadline (retryable)."""
+
+
+class OraclePermanentError(RuntimeError):
+    """The probed index can never be labeled; retrying is pointless."""
+
+
+class ProbeRetriesExhausted(RuntimeError):
+    """The retry policy gave up on one probe.
+
+    ``index`` and ``attempts`` identify what was abandoned; the last
+    underlying failure travels as ``__cause__``.
+    """
+
+    def __init__(self, index: int, attempts: int, message: str = "") -> None:
+        self.index = int(index)
+        self.attempts = int(attempts)
+        detail = f": {message}" if message else ""
+        super().__init__(
+            f"probe of point {index} failed after {attempts} attempts{detail}"
+        )
+
+
+class CircuitOpenError(RuntimeError):
+    """The circuit breaker is open; the probe was rejected unattempted."""
+
+
+#: Everything that legitimately halts a run (as opposed to a bug).  The
+#: graceful-degradation path catches exactly these and returns a
+#: best-effort result plus a RunReport; anything else keeps propagating.
+HALT_ERRORS = (
+    ProbeBudgetExceeded,
+    ProbeRetriesExhausted,
+    OraclePermanentError,
+    CircuitOpenError,
+    WorkerCrashError,
+)

@@ -1,0 +1,229 @@
+"""Deterministic fault injection for probe oracles.
+
+:class:`FaultyOracle` wraps any probing oracle and injects the failure
+modes of a realistic label source — transient errors, timeouts, latency,
+permanently-dead indices, and label flips that disagree across re-probes.
+Every fault is driven by a :class:`numpy.random.SeedSequence` keyed on
+``(seed, index, attempt)``, so the fault pattern is a *pure function* of
+the spec: independent of worker count, probe order, and process boundaries.
+That is what makes chaos experiments reproducible and lets the test suite
+assert bit-identical recovery (see ``tests/test_chaos_pipeline.py``).
+
+Fault decisions are made *before* the wrapped oracle is consulted, so a
+failed probe never charges probing cost — recovery via retries therefore
+reaches the exact charge count of a fault-free run.  Label flips are the
+one exception: the true label is fetched (and charged once, as always)
+and flipped on the way out, so re-probes can disagree and majority-vote
+reconciliation (:class:`~repro.resilience.retry.ResilientOracle`) has
+something to reconcile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..obs import recorder
+from .errors import OraclePermanentError, OracleTimeoutError, OracleTransientError
+from .wrappers import OracleWrapper
+
+__all__ = ["FaultSpec", "FaultyOracle"]
+
+#: Stream tags keeping the per-(index, attempt) draws and the per-index
+#: dead-point decision statistically independent.
+_ATTEMPT_TAG = 0xFA017
+_DEAD_TAG = 0xDEAD
+
+
+def _spec_field(value: str, key: str) -> float:
+    try:
+        return float(value)
+    except ValueError:
+        raise ValueError(f"fault spec field {key}={value!r} is not a number") from None
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Configuration of the injected fault distribution.
+
+    All rates are per-attempt probabilities in ``[0, 1]``; ``seed`` roots
+    the deterministic fault streams.  ``latency_mean`` simulates per-probe
+    latency (exponentially distributed, recorded to the
+    ``resilience.simulated_latency`` histogram — no real sleeping); a
+    probe whose simulated latency exceeds the caller's per-probe timeout
+    raises :class:`~repro.resilience.errors.OracleTimeoutError` exactly as
+    a slow remote annotator would.
+    """
+
+    transient_rate: float = 0.0
+    timeout_rate: float = 0.0
+    flip_rate: float = 0.0
+    dead_rate: float = 0.0
+    dead_indices: Tuple[int, ...] = field(default_factory=tuple)
+    latency_mean: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("transient_rate", "timeout_rate", "flip_rate", "dead_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]; got {rate}")
+        if self.latency_mean < 0:
+            raise ValueError(f"latency_mean must be >= 0; got {self.latency_mean}")
+
+    @property
+    def active(self) -> bool:
+        """Whether this spec injects anything at all."""
+        return bool(
+            self.transient_rate
+            or self.timeout_rate
+            or self.flip_rate
+            or self.dead_rate
+            or self.dead_indices
+            or self.latency_mean
+        )
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultSpec":
+        """Parse a CLI fault spec like ``"transient=0.1,flip=0.02,seed=7"``.
+
+        Fields: ``transient``, ``timeout``, ``flip``, ``dead`` (rate),
+        ``dead_indices`` (semicolon-separated ints), ``latency`` (mean
+        seconds), ``seed``.  Unknown fields are an error, not a silent
+        no-op — a typo must not turn a chaos run into a clean one.
+        """
+        kwargs: Dict[str, Any] = {}
+        for part in filter(None, (p.strip() for p in spec.split(","))):
+            if "=" not in part:
+                raise ValueError(f"fault spec field {part!r} is not key=value")
+            key, _, value = part.partition("=")
+            key = key.strip()
+            if key == "transient":
+                kwargs["transient_rate"] = _spec_field(value, key)
+            elif key == "timeout":
+                kwargs["timeout_rate"] = _spec_field(value, key)
+            elif key == "flip":
+                kwargs["flip_rate"] = _spec_field(value, key)
+            elif key == "dead":
+                kwargs["dead_rate"] = _spec_field(value, key)
+            elif key == "dead_indices":
+                kwargs["dead_indices"] = tuple(
+                    int(i) for i in value.split(";") if i
+                )
+            elif key == "latency":
+                kwargs["latency_mean"] = _spec_field(value, key)
+            elif key == "seed":
+                kwargs["seed"] = int(value)
+            else:
+                raise ValueError(
+                    f"unknown fault spec field {key!r}; expected one of "
+                    "transient, timeout, flip, dead, dead_indices, latency, seed"
+                )
+        return cls(**kwargs)
+
+
+class FaultyOracle(OracleWrapper):
+    """Injects deterministic faults in front of any probing oracle.
+
+    Parameters
+    ----------
+    inner:
+        The oracle to wrap (a real oracle, a shard, or another wrapper).
+    spec:
+        The fault distribution and its seed.
+    timeout:
+        Optional per-probe deadline in (simulated) seconds; when the
+        simulated latency of an attempt exceeds it, the attempt raises
+        :class:`OracleTimeoutError` without consulting the inner oracle.
+
+    Faults are decided per ``(index, attempt)``: the ``k``-th probe of a
+    given index always behaves the same, whichever process issues it.
+    Attempt counters start at zero per wrapper instance, and chains
+    partition the index space in the active pipeline, so serial and
+    sharded runs see identical fault patterns.
+    """
+
+    def __init__(self, inner: Any, spec: FaultSpec,
+                 timeout: Optional[float] = None) -> None:
+        super().__init__(inner)
+        self.spec = spec
+        self.timeout = timeout
+        self._attempts: Dict[int, int] = {}
+        self.faults_injected = 0
+        self.fault_counts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def _record_fault(self, kind: str) -> None:
+        self.faults_injected += 1
+        self.fault_counts[kind] = self.fault_counts.get(kind, 0) + 1
+        rec = recorder()
+        if rec.enabled:
+            rec.incr("resilience.faults_injected")
+            rec.incr(f"resilience.faults.{kind}")
+
+    def _is_dead(self, index: int) -> bool:
+        if index in self.spec.dead_indices:
+            return True
+        if self.spec.dead_rate <= 0.0:
+            return False
+        # Attempt-independent: a dead index stays dead across retries.
+        seq = np.random.SeedSequence(
+            [self.spec.seed & 0xFFFFFFFF, index, _DEAD_TAG]
+        )
+        return bool(np.random.default_rng(seq).random() < self.spec.dead_rate)
+
+    def probe(self, index: int) -> int:
+        """Probe through the fault model; failed attempts charge nothing."""
+        index = int(index)
+        attempt = self._attempts.get(index, 0)
+        self._attempts[index] = attempt + 1
+        spec = self.spec
+        if self._is_dead(index):
+            self._record_fault("dead")
+            raise OraclePermanentError(f"point {index} is permanently dead")
+        seq = np.random.SeedSequence(
+            [spec.seed & 0xFFFFFFFF, index, attempt, _ATTEMPT_TAG]
+        )
+        rng = np.random.default_rng(seq)
+        u_transient, u_timeout, u_flip = rng.random(3)
+        latency = (
+            float(rng.exponential(spec.latency_mean))
+            if spec.latency_mean > 0.0 else 0.0
+        )
+        rec = recorder()
+        if rec.enabled and spec.latency_mean > 0.0:
+            rec.observe("resilience.simulated_latency", latency)
+        if u_transient < spec.transient_rate:
+            self._record_fault("transient")
+            raise OracleTransientError(
+                f"transient fault probing point {index} (attempt {attempt})"
+            )
+        if u_timeout < spec.timeout_rate or (
+            self.timeout is not None and latency > self.timeout
+        ):
+            self._record_fault("timeout")
+            raise OracleTimeoutError(
+                f"probe of point {index} timed out (attempt {attempt})"
+            )
+        label = self._inner.probe(index)
+        if u_flip < spec.flip_rate:
+            self._record_fault("flip")
+            label = 1 - label
+        return label
+
+    # ------------------------------------------------------------------
+
+    def shard(self, indices: Sequence[int],
+              budget: Optional[int] = None) -> "FaultyOracle":
+        """A worker-side shard with the same fault model re-applied."""
+        return FaultyOracle(
+            self._inner.shard(indices, budget=budget),
+            self.spec, timeout=self.timeout,
+        )
+
+    def __repr__(self) -> str:
+        return (f"FaultyOracle({self._inner!r}, "
+                f"faults_injected={self.faults_injected})")

@@ -1,0 +1,254 @@
+"""Retry policies, circuit breaking, and label reconciliation.
+
+:class:`ResilientOracle` is the recovery half of the resilience layer: it
+wraps a (possibly faulty) probing oracle and turns transient failures into
+successful probes via bounded retries with exponential backoff, trips a
+:class:`CircuitBreaker` into degraded mode when the oracle looks down, and
+reconciles disagreeing re-probes by majority vote.
+
+Determinism: backoff jitter is derived from ``(seed, index, attempt)`` —
+never from wall-clock or a shared RNG stream — and by default delays are
+*recorded but not slept* (``RetryPolicy.sleep=False``), so tests and chaos
+experiments run at full speed and reproduce exactly.  The breaker counts
+events, not seconds, for the same reason.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as _Counter
+from dataclasses import dataclass
+from time import sleep as _sleep
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from ..obs import recorder
+from .errors import (
+    CircuitOpenError,
+    OraclePermanentError,
+    OracleTransientError,
+    ProbeRetriesExhausted,
+)
+from .wrappers import OracleWrapper
+
+__all__ = ["RetryPolicy", "CircuitBreaker", "ResilientOracle"]
+
+_JITTER_TAG = 0xB0FF
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to try before declaring a probe failed.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts per probe (first try included); must be >= 1.
+    base_delay, multiplier, max_delay:
+        Exponential backoff: attempt ``k`` (1-based) waits
+        ``min(base_delay * multiplier**(k-1), max_delay)`` scaled by
+        deterministic jitter.
+    jitter:
+        Fraction of the delay randomized away, in ``[0, 1]``: the waited
+        delay is ``delay * (1 - jitter * u)`` with ``u`` drawn from a
+        stream keyed on ``(seed, index, attempt)``.
+    timeout:
+        Per-probe deadline in seconds, enforced by the fault model (and by
+        real oracles that support deadlines); ``None`` disables it.
+    votes:
+        Re-probes per successful read for majority-vote reconciliation of
+        flip-prone oracles; must be odd.  1 (default) disables it.
+    sleep:
+        Whether backoff delays are actually slept.  Off by default:
+        delays are always *recorded* (``resilience.backoff_seconds``) but
+        only a production deployment should pay them in wall-clock.
+    seed:
+        Roots the jitter stream.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.01
+    multiplier: float = 2.0
+    max_delay: float = 1.0
+    jitter: float = 0.5
+    timeout: Optional[float] = None
+    votes: int = 1
+    sleep: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1; got {self.max_attempts}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1]; got {self.jitter}")
+        if self.votes < 1 or self.votes % 2 == 0:
+            raise ValueError(f"votes must be odd and >= 1; got {self.votes}")
+        if self.base_delay < 0 or self.max_delay < 0 or self.multiplier < 1.0:
+            raise ValueError("backoff parameters must be non-negative "
+                             "(multiplier >= 1)")
+
+    def delay_for(self, index: int, attempt: int) -> float:
+        """Deterministic backoff delay before retry ``attempt`` (1-based)."""
+        raw = min(self.base_delay * self.multiplier ** (attempt - 1),
+                  self.max_delay)
+        if raw <= 0.0 or self.jitter == 0.0:
+            return raw
+        seq = np.random.SeedSequence(
+            [self.seed & 0xFFFFFFFF, int(index), int(attempt), _JITTER_TAG]
+        )
+        u = float(np.random.default_rng(seq).random())
+        return raw * (1.0 - self.jitter * u)
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with event-counted recovery.
+
+    States: *closed* (probes flow), *open* (probes rejected with
+    :class:`CircuitOpenError`), *half-open* (one trial probe allowed).
+    The breaker opens after ``threshold`` consecutive failures; after
+    ``cooldown`` rejected probes it lets one trial through — success
+    closes it, failure re-opens it.  Cooldown counts *events*, not
+    seconds, so breaker behavior is reproducible in tests.
+
+    The breaker is process-local: parallel workers each get a fresh one
+    (shipped inside their shard), so a worker tripping cannot poison its
+    siblings.
+    """
+
+    def __init__(self, threshold: int = 5, cooldown: int = 8) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1; got {threshold}")
+        if cooldown < 1:
+            raise ValueError(f"cooldown must be >= 1; got {cooldown}")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.state = "closed"
+        self.trips = 0
+        self._consecutive_failures = 0
+        self._rejected_since_open = 0
+
+    def clone_fresh(self) -> "CircuitBreaker":
+        """A new breaker with the same configuration and pristine state."""
+        return CircuitBreaker(self.threshold, self.cooldown)
+
+    def before_call(self) -> None:
+        """Gate an attempt; raises :class:`CircuitOpenError` while open."""
+        if self.state == "open":
+            self._rejected_since_open += 1
+            if self._rejected_since_open >= self.cooldown:
+                self.state = "half-open"
+                return  # let this trial attempt through
+            raise CircuitOpenError(
+                f"circuit breaker open after {self.trips} trip(s); "
+                f"{self.cooldown - self._rejected_since_open} rejection(s) "
+                "until half-open trial"
+            )
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        if self.state != "closed":
+            self.state = "closed"
+
+    def record_failure(self) -> None:
+        self._consecutive_failures += 1
+        if self.state == "half-open" or (
+            self.state == "closed"
+            and self._consecutive_failures >= self.threshold
+        ):
+            self.state = "open"
+            self._rejected_since_open = 0
+            self.trips += 1
+            rec = recorder()
+            if rec.enabled:
+                rec.incr("resilience.breaker_trips")
+
+    def __repr__(self) -> str:
+        return (f"CircuitBreaker(state={self.state!r}, trips={self.trips}, "
+                f"threshold={self.threshold}, cooldown={self.cooldown})")
+
+
+class ResilientOracle(OracleWrapper):
+    """Retry / breaker / reconciliation wrapper over a probing oracle.
+
+    ``probe`` retries transient failures per the policy (permanent errors
+    and budget overruns propagate immediately), records every retry and
+    backoff delay, and — when ``policy.votes > 1`` — reads each label
+    ``votes`` times and returns the majority, reconciling flip-prone
+    oracles.  When retries are exhausted,
+    :class:`~repro.resilience.errors.ProbeRetriesExhausted` is raised with
+    the final failure chained.
+    """
+
+    def __init__(self, inner: Any, policy: RetryPolicy,
+                 breaker: Optional[CircuitBreaker] = None) -> None:
+        super().__init__(inner)
+        self.policy = policy
+        self.breaker = breaker
+        self.retries = 0
+        self.reconciliations = 0
+
+    # ------------------------------------------------------------------
+
+    def _probe_once(self, index: int) -> int:
+        policy = self.policy
+        breaker = self.breaker
+        rec = recorder()
+        last_error: Optional[Exception] = None
+        for attempt in range(1, policy.max_attempts + 1):
+            if breaker is not None:
+                breaker.before_call()
+            try:
+                label = self._inner.probe(index)
+            except OraclePermanentError:
+                if breaker is not None:
+                    breaker.record_failure()
+                raise
+            except OracleTransientError as exc:
+                if breaker is not None:
+                    breaker.record_failure()
+                last_error = exc
+                if attempt >= policy.max_attempts:
+                    break
+                delay = policy.delay_for(index, attempt)
+                self.retries += 1
+                if rec.enabled:
+                    rec.incr("resilience.retries")
+                    rec.record_time("resilience.backoff_seconds", delay)
+                if policy.sleep and delay > 0.0:
+                    _sleep(delay)
+                continue
+            if breaker is not None:
+                breaker.record_success()
+            return label
+        raise ProbeRetriesExhausted(
+            index, policy.max_attempts, str(last_error or "")
+        ) from last_error
+
+    def probe(self, index: int) -> int:
+        """Probe with retries; majority vote when ``votes > 1``."""
+        index = int(index)
+        votes = self.policy.votes
+        if votes == 1:
+            return self._probe_once(index)
+        readings = [self._probe_once(index) for _ in range(votes)]
+        tally = _Counter(readings)
+        if len(tally) > 1:
+            self.reconciliations += 1
+            rec = recorder()
+            if rec.enabled:
+                rec.incr("resilience.reconciliations")
+        return tally.most_common(1)[0][0]
+
+    # ------------------------------------------------------------------
+
+    def shard(self, indices: Sequence[int],
+              budget: Optional[int] = None) -> "ResilientOracle":
+        """A worker-side shard with the policy re-applied (fresh breaker)."""
+        breaker = self.breaker.clone_fresh() if self.breaker is not None else None
+        return ResilientOracle(
+            self._inner.shard(indices, budget=budget), self.policy, breaker
+        )
+
+    def __repr__(self) -> str:
+        return (f"ResilientOracle({self._inner!r}, retries={self.retries}, "
+                f"breaker={self.breaker!r})")

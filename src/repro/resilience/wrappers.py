@@ -1,0 +1,101 @@
+"""Forwarding base class for oracle decorators.
+
+Every resilience feature is an *oracle wrapper*: it sits in front of any
+:class:`~repro.core.oracle.ProbeOracle` (including another wrapper) and
+intercepts :meth:`probe` while forwarding the rest of the surface the
+pipeline relies on — accounting (``cost``, ``log``), cached reads
+(``peek``), parallel sharding (``shard`` / ``absorb`` / ``new_revealed``),
+and checkpoint restore.  Wrappers therefore compose freely::
+
+    JournaledOracle(ResilientOracle(FaultyOracle(LabelOracle(truth))))
+
+and the whole stack still satisfies the probing protocol, shards for
+worker processes, and keeps the inner oracle's charge accounting exact.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["OracleWrapper"]
+
+
+class OracleWrapper:
+    """Transparent decorator around a probing oracle.
+
+    Subclasses override :meth:`probe` (and usually :meth:`shard`, so the
+    wrapper re-applies itself around worker-side shards).  Everything else
+    forwards to the wrapped oracle; attributes the inner oracle does not
+    provide raise ``AttributeError`` exactly as they would have unwrapped.
+    """
+
+    def __init__(self, inner: Any) -> None:
+        self._inner = inner
+
+    # ------------------------------------------------------------------
+    # Probing surface
+    # ------------------------------------------------------------------
+
+    @property
+    def inner(self) -> Any:
+        """The wrapped oracle (possibly itself a wrapper)."""
+        return self._inner
+
+    def probe(self, index: int) -> int:
+        """Reveal the label of ``index`` (subclasses intercept here)."""
+        return self._inner.probe(index)
+
+    def probe_many(self, indices: Iterable[int]) -> List[int]:
+        """Probe a sequence of points through this wrapper's :meth:`probe`."""
+        return [self.probe(i) for i in indices]
+
+    def peek(self, index: int) -> Optional[int]:
+        """Return an already-revealed label without probing (never faulted)."""
+        return self._inner.peek(index)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def cost(self) -> int:
+        """Distinct points charged by the wrapped oracle."""
+        return self._inner.cost
+
+    @property
+    def total_requests(self) -> int:
+        return self._inner.total_requests
+
+    @property
+    def log(self) -> List[int]:
+        return self._inner.log
+
+    @property
+    def new_revealed(self) -> Dict[int, int]:
+        """Shard-side: labels first revealed here (for ``absorb``)."""
+        return self._inner.new_revealed
+
+    @property
+    def budget(self) -> Optional[int]:
+        return getattr(self._inner, "budget", None)
+
+    def remaining_budget(self) -> Optional[int]:
+        return self._inner.remaining_budget()
+
+    # ------------------------------------------------------------------
+    # Sharding and checkpoint restore
+    # ------------------------------------------------------------------
+
+    def shard(self, indices: Sequence[int], budget: Optional[int] = None) -> Any:
+        """A worker-side shard (subclasses re-wrap to keep their behavior)."""
+        return self._inner.shard(indices, budget=budget)
+
+    def absorb(self, shard_log: Sequence[int], shard_revealed: Dict[int, int]) -> None:
+        self._inner.absorb(shard_log, shard_revealed)
+
+    def restore(self, revealed: Dict[int, int]) -> int:
+        """Re-seed already-paid reveals (checkpoint resume); see oracles."""
+        return self._inner.restore(revealed)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self._inner!r})"

@@ -1,0 +1,275 @@
+"""Acceptance tests for the resilience layer threaded through the pipeline.
+
+These are the ISSUE-level criteria: chaos determinism (faults + retries
+must not change the classifier or the probe bill), kill/resume round
+trips through the checkpoint journal, graceful degradation, resumable
+grids, and ``resilience.*`` counters reaching the CLI metrics surface.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import LabelOracle, active_classify
+from repro.cli import main as cli_main
+from repro.core.oracle import ProbeBudgetExceeded
+from repro.datasets.synthetic import width_controlled
+from repro.obs import metrics_session
+from repro.parallel.grid import GridConfig, run_grid
+from repro.resilience import FaultSpec, ResilienceConfig, RetryPolicy
+
+
+def _dataset(n=2_000, width=4, seed=7):
+    return width_controlled(n, width, noise=0.1, rng=seed)
+
+
+def _chaos_config(rate=0.1, seed=3, attempts=8):
+    return ResilienceConfig(
+        retry=RetryPolicy(max_attempts=attempts),
+        faults=FaultSpec(transient_rate=rate, seed=seed),
+    )
+
+
+class TestChaosDeterminism:
+    """Faults + retries must be invisible in the output and the bill."""
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_chaotic_run_matches_fault_free_bit_for_bit(self, workers):
+        truth = _dataset()
+        hidden = truth.with_hidden_labels()
+
+        plain_oracle = LabelOracle(truth)
+        plain = active_classify(hidden, plain_oracle, epsilon=0.5, rng=7,
+                                workers=workers)
+
+        chaos_oracle = LabelOracle(truth)
+        chaos = active_classify(hidden, chaos_oracle, epsilon=0.5, rng=7,
+                                workers=workers,
+                                resilience=_chaos_config(rate=0.1))
+
+        # Identical probe bill: failed attempts never charge, retries
+        # re-land on the same indices, repeats are free.
+        assert chaos.probing_cost == plain.probing_cost
+        assert chaos_oracle.cost == plain_oracle.cost
+        # Identical weighted sample, hence identical classifier.
+        assert chaos.sigma.weights == plain.sigma.weights
+        assert chaos.sigma.labels == plain.sigma.labels
+        assert chaos.sigma_error == plain.sigma_error
+        preds_plain = [plain.classifier(p) for p in truth.coords]
+        preds_chaos = [chaos.classifier(p) for p in truth.coords]
+        assert preds_chaos == preds_plain
+        assert chaos.report is not None and chaos.report.completed
+
+    def test_worker_count_does_not_change_chaotic_output(self):
+        truth = _dataset()
+        hidden = truth.with_hidden_labels()
+        results = []
+        for workers in (1, 2):
+            oracle = LabelOracle(truth)
+            results.append(active_classify(
+                hidden, oracle, epsilon=0.5, rng=7, workers=workers,
+                resilience=_chaos_config(rate=0.1)))
+        a, b = results
+        assert a.probing_cost == b.probing_cost
+        assert a.sigma.weights == b.sigma.weights
+        assert a.sigma_error == b.sigma_error
+
+    def test_parent_report_counts_faults_serially(self):
+        truth = _dataset(n=1_000, width=2)
+        oracle = LabelOracle(truth)
+        result = active_classify(truth.with_hidden_labels(), oracle,
+                                 epsilon=0.5, rng=7,
+                                 resilience=_chaos_config(rate=0.2))
+        assert result.report is not None
+        assert result.report.faults_injected > 0
+        assert result.report.retries >= result.report.faults_injected
+
+
+class TestKillResume:
+    """Interrupted run + resumed run must pay exactly one run's probes."""
+
+    def test_round_trip_charges_match_single_run(self, tmp_path):
+        truth = _dataset()
+        hidden = truth.with_hidden_labels()
+        ckpt = tmp_path / "run.ckpt.json"
+
+        # Reference: one uninterrupted run.
+        ref_oracle = LabelOracle(truth)
+        reference = active_classify(hidden, ref_oracle, epsilon=0.5, rng=7)
+        total = ref_oracle.cost
+        assert total > 20  # the interruption below must land mid-run
+
+        # Interrupted run: a budget half the bill kills it partway through,
+        # after the journal and per-chain checkpoints have been written.
+        k = total // 2
+        crashed = LabelOracle(truth, budget=k)
+        with pytest.raises(ProbeBudgetExceeded):
+            active_classify(hidden, crashed, epsilon=0.5, rng=7,
+                            resilience=ResilienceConfig(checkpoint=str(ckpt)))
+        assert crashed.cost == k
+        assert ckpt.exists() or (tmp_path / "run.ckpt.json.journal").exists()
+
+        # Resume with a fresh oracle: journal replay restores the k paid
+        # probes for free, checkpointed chains are skipped outright.
+        resumed_oracle = LabelOracle(truth)
+        resumed = active_classify(
+            hidden, resumed_oracle, epsilon=0.5, rng=7,
+            resilience=ResilienceConfig(checkpoint=str(ckpt), resume=True))
+
+        assert resumed.report is not None
+        assert resumed.report.restored_probes == k
+        assert resumed.probing_cost == total - k  # only the new charges
+        assert k + resumed.probing_cost == total
+        assert resumed.sigma_error == reference.sigma_error
+        assert resumed.sigma.weights == reference.sigma.weights
+
+    def test_resume_requires_compatible_checkpoint(self, tmp_path):
+        truth = _dataset(n=500, width=2)
+        hidden = truth.with_hidden_labels()
+        ckpt = tmp_path / "run.ckpt.json"
+        oracle = LabelOracle(truth, budget=30)
+        with pytest.raises(ProbeBudgetExceeded):
+            active_classify(hidden, oracle, epsilon=0.5, rng=7,
+                            resilience=ResilienceConfig(checkpoint=str(ckpt)))
+        other = _dataset(n=600, width=3, seed=9)
+        with pytest.raises(ValueError, match="checkpoint"):
+            active_classify(other.with_hidden_labels(), LabelOracle(other),
+                            epsilon=0.5, rng=7,
+                            resilience=ResilienceConfig(checkpoint=str(ckpt),
+                                                        resume=True))
+
+
+class TestDegradation:
+    def test_degrade_reports_instead_of_raising(self):
+        truth = _dataset(n=1_000, width=2)
+        oracle = LabelOracle(truth, budget=25)
+        result = active_classify(
+            truth.with_hidden_labels(), oracle, epsilon=0.5, rng=7,
+            resilience=ResilienceConfig(degrade=True))
+        assert result.report is not None
+        assert result.report.degraded
+        assert not result.report.completed
+        assert result.report.halt_reason is not None
+        assert "ProbeBudgetExceeded" in result.report.halt_reason
+        # Best-effort classifier still exists and is callable.
+        assert result.classifier(truth.coords[0]) in (0, 1)
+        assert oracle.cost == 25
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_degrade_under_faults_and_workers(self, workers):
+        truth = _dataset(n=1_000, width=2)
+        oracle = LabelOracle(truth)
+        result = active_classify(
+            truth.with_hidden_labels(), oracle, epsilon=0.5, rng=7,
+            workers=workers,
+            resilience=ResilienceConfig(
+                retry=RetryPolicy(max_attempts=2),
+                faults=FaultSpec(transient_rate=0.6, seed=1),
+                degrade=True))
+        assert result.report is not None
+        assert result.report.degraded
+        assert result.classifier(truth.coords[0]) in (0, 1)
+
+
+class TestCountersReachMetrics:
+    def test_resilience_counters_in_session(self):
+        truth = _dataset(n=1_000, width=2)
+        with metrics_session(name="chaos") as registry:
+            oracle = LabelOracle(truth)
+            active_classify(truth.with_hidden_labels(), oracle, epsilon=0.5,
+                            rng=7, resilience=_chaos_config(rate=0.2))
+            snap = registry.snapshot()
+        counters = snap["counters"]
+        assert counters["resilience.faults_injected"] > 0
+        assert counters["resilience.retries"] > 0
+        assert counters["resilience.faults.transient"] == \
+            counters["resilience.faults_injected"]
+
+    def test_checkpoint_counters_in_session(self, tmp_path):
+        truth = _dataset(n=1_000, width=2)
+        ckpt = tmp_path / "run.ckpt.json"
+        with metrics_session(name="ckpt") as registry:
+            oracle = LabelOracle(truth)
+            active_classify(truth.with_hidden_labels(), oracle, epsilon=0.5,
+                            rng=7,
+                            resilience=ResilienceConfig(checkpoint=str(ckpt)))
+            snap = registry.snapshot()
+        counters = snap["counters"]
+        assert counters["resilience.checkpoints_written"] > 0
+        assert counters["resilience.journal_appends"] == oracle.cost
+
+
+class TestCLI:
+    @pytest.fixture
+    def data_file(self, tmp_path):
+        out = tmp_path / "d.csv"
+        cli_main(["generate", str(out), "--kind", "width", "--n", "400",
+                  "--width", "3", "--noise", "0.1", "--seed", "3"])
+        return out
+
+    def test_inject_faults_with_metrics_out(self, data_file, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        code = cli_main(["active", str(data_file), "--epsilon", "0.8",
+                         "--inject-faults", "transient=0.1,seed=2",
+                         "--retry-max", "8",
+                         "--metrics-out", str(metrics)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resilience" in out  # RunReport summary line
+        doc = json.loads(metrics.read_text())
+        assert doc["counters"]["resilience.faults_injected"] > 0
+        assert doc["counters"]["resilience.retries"] > 0
+
+    def test_checkpoint_resume_flags(self, data_file, tmp_path, capsys):
+        ckpt = tmp_path / "cli.ckpt.json"
+        assert cli_main(["active", str(data_file), "--epsilon", "0.8",
+                         "--checkpoint", str(ckpt)]) == 0
+        assert ckpt.exists()
+        assert cli_main(["active", str(data_file), "--epsilon", "0.8",
+                         "--checkpoint", str(ckpt), "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "restored" in out
+
+    def test_resume_without_checkpoint_rejected(self, data_file, capsys):
+        code = cli_main(["active", str(data_file), "--epsilon", "0.8",
+                         "--resume"])
+        assert code != 0
+
+    def test_bad_fault_spec_is_a_clean_error(self, data_file, capsys):
+        code = cli_main(["active", str(data_file), "--epsilon", "0.8",
+                         "--inject-faults", "bogus=1"])
+        assert code != 0
+        assert "bogus" in capsys.readouterr().err
+
+    def test_degrade_flag(self, data_file, capsys):
+        assert cli_main(["active", str(data_file), "--epsilon", "0.8",
+                         "--degrade", "--inject-faults",
+                         "transient=0.1,seed=2", "--retry-max", "8"]) == 0
+
+
+class TestGridResume:
+    def test_resume_skips_completed_configs(self, tmp_path):
+        configs = [
+            GridConfig("lowerbound", {"n": 8}, label="lb8"),
+            GridConfig("lowerbound", {"n": 16}, label="lb16"),
+        ]
+        first = run_grid(configs, out_dir=str(tmp_path))
+        assert all(r.ok and not r.resumed for r in first)
+
+        with metrics_session(name="grid") as registry:
+            second = run_grid(configs, out_dir=str(tmp_path), resume=True)
+            snap = registry.snapshot()
+        assert all(r.ok and r.resumed for r in second)
+        assert snap["counters"]["resilience.grid_skips"] == 2
+        assert [r.rows for r in second] == [r.rows for r in first]
+
+    def test_resume_reruns_missing_or_stale(self, tmp_path):
+        configs = [GridConfig("lowerbound", {"n": 8}, label="lb8")]
+        run_grid(configs, out_dir=str(tmp_path))
+        # Clobber the result file: resume must rerun, not trust it.
+        out_file = next(tmp_path.glob("lb8*"))
+        out_file.write_text(json.dumps({"experiment": "other"}))
+        results = run_grid(configs, out_dir=str(tmp_path), resume=True)
+        assert results[0].ok and not results[0].resumed

@@ -198,7 +198,7 @@ class TestRunner:
             "figure1", "passive_scaling", "active_scaling",
             "baseline_comparison", "lowerbound", "poset_scaling",
             "flow_backends", "entity_matching", "confidence", "robustness",
-            "recursion_geometry", "width_profile", "ablations",
+            "recursion_geometry", "width_profile", "ablations", "chaos",
         }
 
     def test_run_experiment_by_name(self):
