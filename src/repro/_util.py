@@ -67,14 +67,23 @@ def as_generator(rng: RngLike) -> np.random.Generator:
     return np.random.default_rng(rng)
 
 
-def as_float_matrix(coords: Iterable[Sequence[float]]) -> np.ndarray:
+def as_float_matrix(coords: Iterable[Sequence[float]],
+                    require_finite: bool = True) -> np.ndarray:
     """Convert an iterable of coordinate sequences into a 2-D float array.
 
     Raises ``ValueError`` on ragged input or wrong dimensionality because a
-    silent reshape would corrupt dominance comparisons downstream.
+    silent reshape would corrupt dominance comparisons downstream.  Non-finite
+    entries are rejected by default: ``NaN >= x`` is always false, so a NaN
+    coordinate breaks dominance trichotomy and every monotonicity check built
+    on it.  ``require_finite=False`` is the explicit opt-out for callers that
+    knowingly handle ±inf themselves.
     """
-    matrix = np.asarray(list(coords) if not isinstance(coords, np.ndarray) else coords,
-                        dtype=float)
+    try:
+        matrix = np.asarray(
+            list(coords) if not isinstance(coords, np.ndarray) else coords,
+            dtype=float)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"coordinates are not a numeric matrix: {exc}") from None
     if matrix.ndim == 1:
         # A flat sequence of reals is interpreted as 1-D points.
         matrix = matrix.reshape(-1, 1)
@@ -82,8 +91,12 @@ def as_float_matrix(coords: Iterable[Sequence[float]]) -> np.ndarray:
         raise ValueError(
             f"coordinates must form a 2-D array of shape (n, d); got ndim={matrix.ndim}"
         )
-    if not np.isfinite(matrix).all():
-        raise ValueError("coordinates must be finite real numbers")
+    if require_finite and matrix.size and not np.isfinite(matrix).all():
+        bad = int(np.flatnonzero(~np.isfinite(matrix).all(axis=1))[0])
+        raise ValueError(
+            f"coordinates must be finite real numbers (point {bad} is not; "
+            "pass validate=False to PointSet to accept non-finite coords)"
+        )
     return matrix
 
 
@@ -93,8 +106,11 @@ def validate_labels(labels: Iterable[int], n: int, allow_hidden: bool = False) -
     Labels are 0/1; the sentinel -1 denotes a hidden label and is accepted
     only when ``allow_hidden`` is set (active setting).
     """
-    arr = np.asarray(list(labels) if not isinstance(labels, np.ndarray) else labels,
-                     dtype=np.int8)
+    try:
+        arr = np.asarray(list(labels) if not isinstance(labels, np.ndarray) else labels,
+                         dtype=np.int8)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"labels are not an integer vector: {exc}") from None
     if arr.shape != (n,):
         raise ValueError(f"expected {n} labels, got shape {arr.shape}")
     allowed = {-1, 0, 1} if allow_hidden else {0, 1}
@@ -108,8 +124,11 @@ def validate_weights(weights: Optional[Iterable[float]], n: int) -> np.ndarray:
     """Validate a weight vector; ``None`` means unit weights."""
     if weights is None:
         return np.ones(n, dtype=float)
-    arr = np.asarray(list(weights) if not isinstance(weights, np.ndarray) else weights,
-                     dtype=float)
+    try:
+        arr = np.asarray(list(weights) if not isinstance(weights, np.ndarray) else weights,
+                         dtype=float)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"weights are not a numeric vector: {exc}") from None
     if arr.shape != (n,):
         raise ValueError(f"expected {n} weights, got shape {arr.shape}")
     if not np.isfinite(arr).all():

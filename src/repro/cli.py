@@ -13,6 +13,10 @@ Subcommands
     Report the dominance width and chain statistics of a stored point set.
 ``experiment``
     Run one or all registered experiments and print their tables.
+``fuzz``
+    Differential fuzz campaign: hostile instance families through every
+    passive configuration, certificates cross-checked, disagreements
+    shrunk into a replayable corpus (see ``docs/robustness.md``).
 
 Every subcommand accepts ``--metrics`` (print an instrumentation report
 after the run) and ``--metrics-out FILE`` (write the full metrics document
@@ -139,7 +143,40 @@ def build_parser() -> argparse.ArgumentParser:
                             help="skip experiments already completed in "
                                  "--out-dir (restart a killed sweep)")
 
-    for command in (gen, passive, active, width, audit, repair, viz, experiment):
+    from .fuzz.generators import FAMILIES
+    from .fuzz.mutants import MUTANTS
+    from .fuzz.runner import IO_FAMILY
+
+    fuzz = sub.add_parser(
+        "fuzz", help="differential fuzz campaign across all solver configs")
+    fuzz.add_argument("--runs", type=int, default=100,
+                      help="instances to generate and cross-check (default 100)")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="campaign seed; run i replays from child seed i")
+    fuzz.add_argument("--family", action="append", default=None,
+                      choices=sorted(FAMILIES) + [IO_FAMILY], metavar="NAME",
+                      help="restrict to an instance family (repeatable; "
+                           f"choices: {', '.join(sorted(FAMILIES) + [IO_FAMILY])})")
+    fuzz.add_argument("--corpus", default=None, metavar="DIR",
+                      help="archive shrunk reproducers into DIR")
+    fuzz.add_argument("--size", type=int, default=48,
+                      help="target instance size (default 48)")
+    fuzz.add_argument("--active-every", type=int, default=0, metavar="K",
+                      help="also cross-check the active pipeline "
+                           "(workers 1 vs 2) on every K-th run")
+    fuzz.add_argument("--time-budget", type=float, default=None,
+                      metavar="SECONDS",
+                      help="stop early after this much wall-clock time "
+                           "(deterministic prefix of the campaign)")
+    fuzz.add_argument("--mutant", choices=sorted(MUTANTS), default=None,
+                      help="self-test mode: activate a deliberately broken "
+                           "solver mutant; the campaign must catch it")
+    fuzz.add_argument("--replay", default=None, metavar="DIR",
+                      help="replay a regression corpus instead of generating "
+                           "new instances")
+
+    for command in (gen, passive, active, width, audit, repair, viz,
+                    experiment, fuzz):
         _add_metrics_flags(command)
     return parser
 
@@ -327,6 +364,52 @@ def _cmd_viz(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .fuzz import replay_corpus, run_fuzz
+
+    if args.replay is not None:
+        failures = replay_corpus(args.replay)
+        rows = [{"entry": str(path), "findings": len(findings)}
+                for path, findings in failures]
+        print(format_table(rows) if rows
+              else "corpus replay clean (no regressions)")
+        for path, findings in failures:
+            for finding in findings:
+                print(f"  {path.name}: {finding}")
+        return 1 if failures else 0
+
+    report = run_fuzz(
+        runs=args.runs,
+        seed=args.seed,
+        families=args.family,
+        size=args.size,
+        corpus_dir=args.corpus,
+        mutant=args.mutant,
+        active_every=args.active_every,
+        time_budget=args.time_budget,
+    )
+    print(format_table([report.summary_row()]))
+    for family, index, finding in report.findings[:50]:
+        print(f"  run {index} [{family}]: {finding}")
+    for violation in report.io_violations[:50]:
+        print(f"  io: {violation}")
+    for path in report.reproducers:
+        print(f"  reproducer: {path}")
+    if report.truncated_by_budget:
+        print(f"  (campaign truncated by --time-budget after "
+              f"{report.runs} runs)")
+    if args.mutant is not None:
+        # Self-test: a campaign against a broken mutant MUST find it.
+        if report.ok:
+            print(f"error: mutant {args.mutant!r} was NOT detected",
+                  file=sys.stderr)
+            return 1
+        print(f"mutant {args.mutant!r} detected "
+              f"({report.num_disagreements} finding(s))")
+        return 0
+    return 0 if report.ok else 1
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from .experiments.runner import EXPERIMENTS, main as run_main
 
@@ -364,6 +447,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "repair": _cmd_repair,
         "viz": _cmd_viz,
         "experiment": _cmd_experiment,
+        "fuzz": _cmd_fuzz,
     }
     handler = handlers[args.command]
     metrics_out = getattr(args, "metrics_out", None)

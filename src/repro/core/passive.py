@@ -63,6 +63,54 @@ __all__ = [
 LARGE_INPUT_THRESHOLD = 8_192
 
 
+def _effective_infinity(total_weight: float, min_weight: float) -> float:
+    """Capacity that can never sit in a minimum cut, for a given weight scale.
+
+    Every finite cut (source/sink edges only) weighs at most ``total_weight``,
+    so any capacity strictly greater works.  ``total + 1.0`` is the natural
+    choice but loses meaning at extreme scales: above ~1e16 the ``+ 1.0`` is
+    absorbed by rounding (the "infinite" edges become exactly as cheap as
+    cutting everything finite), and near 1e308 doubling overflows to ``inf``
+    (which breaks residual arithmetic in the backends).  Detect both and use
+    ``2 * total`` — a margin rounding cannot erase — or raise a clean
+    ``ValueError`` telling the caller to rescale.
+
+    The flow backends themselves also carry absolute rounding error on the
+    order of ``ulp(total_weight)`` (e.g. push-relabel briefly saturates the
+    whole source side, so a tiny final flow is a difference of huge
+    intermediates).  The optimal error can be as small as ``min_weight``
+    (the lightest contending point), so when ``ulp(total)`` approaches that
+    scale the min-cut certificate check would trip on pure noise.  Reject
+    such ill-conditioned weight mixes up front with a clean ``ValueError``
+    instead of failing deep inside a backend-dependent assertion.
+    """
+    if not np.isfinite(total_weight):
+        raise ValueError(
+            "total contending weight overflows float64; rescale the weights "
+            "(only ratios matter for the optimal classifier)"
+        )
+    # Conditioning guard: absolute flow noise ~ulp(total) must stay well
+    # below both the 1e-6 absolute floor of the min-cut certificate check
+    # and the smallest weight that could form the optimal cut.
+    if float(np.spacing(total_weight)) > 1e-7 * max(1.0, min_weight):
+        raise ValueError(
+            f"contending weights are too ill-conditioned for float64 min-cut "
+            f"arithmetic (total {total_weight:.6g}, lightest {min_weight:.6g}"
+            f"): flow rounding noise could exceed the optimal error; rescale "
+            "the weights (only ratios matter for the optimal classifier)"
+        )
+    cap = total_weight + 1.0
+    if cap > total_weight:
+        return cap
+    cap = 2.0 * total_weight
+    if np.isfinite(cap):
+        return cap
+    raise ValueError(
+        f"weight scale {total_weight!r} is too close to the float64 limit to "
+        "represent an uncuttable capacity; rescale the weights"
+    )
+
+
 @dataclass(frozen=True)
 class PassiveResult:
     """Output of the Theorem 4 solver.
@@ -229,8 +277,13 @@ def solve_passive(points: PointSet, backend: str = "dinic",
             source, sink = 0, 1
 
             # Effective infinity: strictly larger than any finite cut,
-            # numerically safe.
-            infinite_cap = float(weights[active].sum()) + 1.0
+            # numerically safe even at extreme weight scales.  An
+            # overflowing sum is deliberate input to the guard, not a
+            # numpy warning condition.
+            with np.errstate(over="ignore"):
+                infinite_cap = _effective_infinity(
+                    float(weights[active].sum()),
+                    float(weights[active].min()))
 
             for p in active_zeros:
                 network.add_edge(source, vertex_of[p], float(weights[p]))

@@ -53,6 +53,12 @@ class LabeledPoint:
             raise ValueError(f"label must be 0, 1, or HIDDEN(-1); got {self.label}")
         if not (self.weight > 0 and np.isfinite(self.weight)):
             raise ValueError(f"weight must be a positive finite real; got {self.weight}")
+        if not all(np.isfinite(c) for c in self.coords):
+            # NaN coordinates silently break dominance trichotomy (NaN >= x
+            # is always False), so a "monotone" answer over them is bogus.
+            raise ValueError(
+                f"coordinates must be finite real numbers; got {self.coords}"
+            )
 
     @property
     def dim(self) -> int:
@@ -92,6 +98,12 @@ class PointSet:
     weights:
         ``(n,)`` positive float array.
 
+    Coordinates must be finite reals: a NaN coordinate makes dominance
+    non-trichotomous (``NaN >= x`` is always false), so every monotonicity
+    check downstream silently passes on garbage.  Construction therefore
+    raises ``ValueError`` on non-finite coordinates unless ``validate=False``
+    is passed explicitly (callers doing their own ±inf handling).
+
     The dominance matrix is computed lazily and cached; it costs
     ``O(d n^2)`` time and ``O(n^2)`` space, matching the bound the paper
     charges for graph construction (Theorem 4, Lemma 6).
@@ -103,8 +115,9 @@ class PointSet:
     def __init__(self, coords: Iterable[Sequence[float]],
                  labels: Optional[Iterable[int]] = None,
                  weights: Optional[Iterable[float]] = None,
-                 names: Optional[Sequence[Optional[str]]] = None) -> None:
-        matrix = as_float_matrix(coords)
+                 names: Optional[Sequence[Optional[str]]] = None,
+                 validate: bool = True) -> None:
+        matrix = as_float_matrix(coords, require_finite=validate)
         n = matrix.shape[0]
         if labels is None:
             label_arr = np.full(n, HIDDEN, dtype=np.int8)
@@ -155,6 +168,7 @@ class PointSet:
             labels=self.labels if labels is None else labels,
             weights=self.weights if weights is None else weights,
             names=self.names,
+            validate=False,
         )
 
     def subset(self, indices: Sequence[int]) -> "PointSet":
@@ -163,11 +177,13 @@ class PointSet:
         names = None
         if self.names is not None:
             names = [self.names[i] for i in idx]
-        return PointSet(self.coords[idx], self.labels[idx], self.weights[idx], names)
+        return PointSet(self.coords[idx], self.labels[idx], self.weights[idx],
+                        names, validate=False)
 
     def with_hidden_labels(self) -> "PointSet":
         """Return a copy whose labels are all hidden (active-setting input)."""
-        return PointSet(self.coords, None, self.weights, self.names)
+        return PointSet(self.coords, None, self.weights, self.names,
+                        validate=False)
 
     # ------------------------------------------------------------------
     # Basic protocol

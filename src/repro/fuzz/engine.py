@@ -1,0 +1,351 @@
+"""The differential engine: one instance, every solver configuration.
+
+Differential testing in the query-engine-fuzzer style: run the same
+instance through every interchangeable implementation and treat *any*
+divergence as a finding.  For the passive problem the configuration grid
+is all four max-flow backends × Hasse reduction on/off (8 exact solvers
+that must agree to the last certificate), plus brute force for small
+``n``.  For the active problem, ``workers=1`` versus ``workers=2`` must be
+bit-for-bit identical and the Theorem 2/3 accounting must audit clean.
+Every result is additionally cross-checked against the machine-checkable
+certificates in :mod:`repro.core.validation` and the flow-feasibility
+check of :class:`~repro.flow.FlowNetwork`.
+
+A configuration that *raises* is also a finding (kind ``"error"``): the
+strict validation boundary means hostile instances either solve
+identically everywhere or fail identically everywhere with ``ValueError``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.passive import brute_force_passive, solve_passive
+from ..core.points import PointSet
+from ..core.validation import audit_active_result, audit_passive_result
+from ..flow import FLOW_BACKENDS, FlowNetwork, solve_max_flow
+from ..obs import recorder
+
+__all__ = [
+    "PassiveConfig",
+    "ALL_PASSIVE_CONFIGS",
+    "Disagreement",
+    "run_passive_differential",
+    "run_active_differential",
+    "run_flow_differential",
+    "check_poset_structure",
+]
+
+#: Relative tolerance for cross-implementation value agreement.
+VALUE_RTOL = 1e-6
+
+#: Default ceiling for including the exponential brute-force oracle.
+BRUTE_FORCE_MAX_N = 12
+
+
+@dataclass(frozen=True)
+class PassiveConfig:
+    """One passive solver configuration in the differential grid."""
+
+    backend: str
+    hasse: bool
+
+    @property
+    def label(self) -> str:
+        """Human-readable configuration name used in findings."""
+        return f"{self.backend}{'+hasse' if self.hasse else ''}"
+
+
+#: The full grid: every flow backend with and without Hasse reduction.
+ALL_PASSIVE_CONFIGS: Tuple[PassiveConfig, ...] = tuple(
+    PassiveConfig(backend, hasse)
+    for backend in sorted(FLOW_BACKENDS)
+    for hasse in (False, True)
+)
+
+
+@dataclass(frozen=True)
+class Disagreement:
+    """One differential finding on one instance.
+
+    Attributes
+    ----------
+    kind:
+        ``"value_mismatch"`` (configurations report different optima),
+        ``"certificate"`` (an optimality/accounting audit failed),
+        ``"error"`` (a configuration raised where others succeeded),
+        ``"structure"`` (the Hasse reduction is not minimal/complete), or
+        ``"flow"`` (max-flow backends diverge or produced infeasible flow).
+    config:
+        Label of the configuration(s) involved.
+    detail:
+        Human-readable description with the observed values.
+    """
+
+    kind: str
+    config: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.config}: {self.detail}"
+
+
+@dataclass
+class DifferentialOutcome:
+    """Raw per-config observations backing a list of findings (debugging aid)."""
+
+    values: Dict[str, float] = field(default_factory=dict)
+    errors: Dict[str, str] = field(default_factory=dict)
+
+
+def _relative_gap(a: float, b: float) -> float:
+    return abs(a - b) / max(1.0, abs(a), abs(b))
+
+
+def run_passive_differential(
+    points: PointSet,
+    configs: Sequence[PassiveConfig] = ALL_PASSIVE_CONFIGS,
+    brute_force_max_n: int = BRUTE_FORCE_MAX_N,
+    check_structure: bool = True,
+    structure_max_n: int = 1024,
+) -> List[Disagreement]:
+    """Run one instance through the passive grid and cross-check everything.
+
+    Returns the (possibly empty) list of findings.  ``ValueError`` raised
+    uniformly by *all* configurations is treated as a clean rejection by
+    the validation boundary, not a finding; divergent acceptance is.
+    """
+    rec = recorder()
+    findings: List[Disagreement] = []
+    outcome = DifferentialOutcome()
+
+    for config in configs:
+        if rec.enabled:
+            rec.incr("fuzz.configs_run")
+        try:
+            result = solve_passive(points, backend=config.backend,
+                                   use_hasse_reduction=config.hasse)
+        except Exception as exc:  # noqa: BLE001 - every escape is data here
+            outcome.errors[config.label] = f"{type(exc).__name__}: {exc}"
+            continue
+        outcome.values[config.label] = float(result.optimal_error)
+        audit = audit_passive_result(points, result)
+        if not audit.ok:
+            findings.append(Disagreement(
+                kind="certificate",
+                config=config.label,
+                detail=f"audit failed: {', '.join(audit.failures)}",
+            ))
+
+    # Uniform clean rejection (every config raised ValueError) is the
+    # validation boundary working as designed.
+    if not outcome.values and outcome.errors:
+        if all(msg.startswith("ValueError") for msg in outcome.errors.values()):
+            return findings
+    # Divergence between raising and succeeding configs (or any non-ValueError
+    # escape) is a finding per raising config.
+    for label, msg in outcome.errors.items():
+        if outcome.values or not msg.startswith("ValueError"):
+            findings.append(Disagreement(
+                kind="error", config=label,
+                detail=f"raised {msg} while other configs solved",
+            ))
+
+    if outcome.values:
+        items = sorted(outcome.values.items())
+        ref_label, ref_value = items[0]
+        for label, value in items[1:]:
+            if _relative_gap(value, ref_value) > VALUE_RTOL:
+                findings.append(Disagreement(
+                    kind="value_mismatch",
+                    config=f"{ref_label} vs {label}",
+                    detail=f"optimal error {ref_value!r} != {value!r}",
+                ))
+        if points.n <= brute_force_max_n:
+            brute = brute_force_passive(points, max_n=brute_force_max_n)
+            if _relative_gap(brute, ref_value) > VALUE_RTOL:
+                findings.append(Disagreement(
+                    kind="value_mismatch",
+                    config=f"brute_force vs {ref_label}",
+                    detail=f"brute force {brute!r} != solver {ref_value!r}",
+                ))
+
+    if check_structure and points.n <= structure_max_n:
+        findings.extend(check_poset_structure(points))
+
+    if rec.enabled and findings:
+        rec.incr("fuzz.disagreements", len(findings))
+    return findings
+
+
+def check_poset_structure(points: PointSet) -> List[Disagreement]:
+    """Verify the Hasse reduction is exactly the covering relation.
+
+    Three invariants of :func:`repro.poset.sparse.transitive_reduction`
+    over the shared order matrix:
+
+    * the reduction is a subset of the order;
+    * its transitive closure reproduces the order exactly (nothing lost);
+    * it is *minimal* — no kept edge has a third point strictly between
+      its endpoints (the invariant the historical uint8 mod-256 overflow
+      violated: spurious covering pairs at 256-multiple depths).
+    """
+    from ..poset.sparse import transitive_reduction
+
+    findings: List[Disagreement] = []
+    n = points.n
+    if n == 0:
+        return findings
+    order = points.order_matrix()
+    red = transitive_reduction(order)
+
+    if bool(np.any(red & ~order)):
+        findings.append(Disagreement(
+            kind="structure", config="transitive_reduction",
+            detail="reduction contains pairs outside the order",
+        ))
+        return findings
+
+    # Completeness: closure of the reduction must equal the order.
+    closure = red.copy()
+    for k in range(n):
+        closure |= np.outer(closure[:, k], closure[k, :])
+    if bool(np.any(closure != order)):
+        missing = int(np.count_nonzero(order & ~closure))
+        findings.append(Disagreement(
+            kind="structure", config="transitive_reduction",
+            detail=f"closure of reduction loses {missing} order pair(s)",
+        ))
+
+    # Minimality: a kept edge (i, j) with some k strictly between is not a
+    # covering pair.  Boolean reachability via a float matmul — no integer
+    # counter to wrap.
+    between = (order.astype(np.float32) @ order.astype(np.float32)) > 0.5
+    spurious = red & between
+    if bool(np.any(spurious)):
+        i, j = (int(x[0]) for x in np.nonzero(spurious))
+        findings.append(Disagreement(
+            kind="structure", config="transitive_reduction",
+            detail=(f"{int(np.count_nonzero(spurious))} non-covering edge(s) "
+                    f"kept, e.g. ({i}, {j})"),
+        ))
+    return findings
+
+
+def run_flow_differential(network: FlowNetwork, source: int,
+                          sink: int) -> List[Disagreement]:
+    """All max-flow backends on one network: equal values, feasible flows."""
+    rec = recorder()
+    findings: List[Disagreement] = []
+    values: Dict[str, float] = {}
+    for backend in sorted(FLOW_BACKENDS):
+        network.reset_flow()
+        if rec.enabled:
+            rec.incr("fuzz.flow_solves")
+        try:
+            value = solve_max_flow(network, source, sink, backend=backend)
+        except Exception as exc:  # noqa: BLE001
+            findings.append(Disagreement(
+                kind="flow", config=backend,
+                detail=f"raised {type(exc).__name__}: {exc}",
+            ))
+            continue
+        values[backend] = float(value)
+        if not network.check_flow_conservation(source, sink):
+            findings.append(Disagreement(
+                kind="flow", config=backend,
+                detail="produced an infeasible flow (conservation/capacity)",
+            ))
+        recomputed = network.flow_value(source)
+        if _relative_gap(recomputed, value) > VALUE_RTOL:
+            findings.append(Disagreement(
+                kind="flow", config=backend,
+                detail=f"reported value {value!r} != net source flow "
+                       f"{recomputed!r}",
+            ))
+    if values:
+        items = sorted(values.items())
+        ref_backend, ref_value = items[0]
+        for backend, value in items[1:]:
+            if _relative_gap(value, ref_value) > VALUE_RTOL:
+                findings.append(Disagreement(
+                    kind="flow", config=f"{ref_backend} vs {backend}",
+                    detail=f"max-flow {ref_value!r} != {value!r}",
+                ))
+    network.reset_flow()
+    if rec.enabled and findings:
+        rec.incr("fuzz.disagreements", len(findings))
+    return findings
+
+
+def run_active_differential(
+    points: PointSet,
+    seed: int = 0,
+    epsilons: Sequence[float] = (0.5, 0.05),
+    worker_counts: Sequence[int] = (1, 2),
+    true_optimum: Optional[float] = None,
+) -> List[Disagreement]:
+    """Active pipeline differential: worker counts must be bit-identical.
+
+    Runs :func:`~repro.core.active.active_classify` on ``points`` (fully
+    labeled; labels are hidden for the run and served by a fresh
+    :class:`~repro.core.oracle.LabelOracle`) for each ``epsilon`` at every
+    worker count, compares probing cost / Σ error / per-point predictions
+    across worker counts, and audits the Theorem 2/3 accounting.  Tiny
+    epsilons are deliberately in the default grid: sample sizes blow up and
+    the recursion windows degenerate, which is where off-by-one sampling
+    bugs live.
+    """
+    from ..core.active import active_classify
+    from ..core.oracle import LabelOracle
+
+    rec = recorder()
+    findings: List[Disagreement] = []
+    points.require_full_labels()
+    hidden = points.with_hidden_labels()
+
+    for epsilon in epsilons:
+        reference = None
+        reference_label = ""
+        for workers in worker_counts:
+            label = f"active(eps={epsilon}, workers={workers})"
+            if rec.enabled:
+                rec.incr("fuzz.configs_run")
+            oracle = LabelOracle(points)
+            try:
+                result = active_classify(hidden, oracle, epsilon=epsilon,
+                                         rng=seed, workers=workers)
+            except Exception as exc:  # noqa: BLE001
+                findings.append(Disagreement(
+                    kind="error", config=label,
+                    detail=f"raised {type(exc).__name__}: {exc}",
+                ))
+                continue
+            audit = audit_active_result(points, result, oracle,
+                                        true_optimum=true_optimum)
+            if not audit.ok:
+                findings.append(Disagreement(
+                    kind="certificate", config=label,
+                    detail=f"audit failed: {', '.join(audit.failures)}",
+                ))
+            observation = (
+                result.probing_cost,
+                float(result.sigma_error),
+                result.classifier.classify_set(points).tobytes(),
+            )
+            if reference is None:
+                reference = observation
+                reference_label = label
+            elif observation[:2] != reference[:2] or observation[2] != reference[2]:
+                findings.append(Disagreement(
+                    kind="value_mismatch",
+                    config=f"{reference_label} vs {label}",
+                    detail=(f"probes/Σ-error/predictions diverge: "
+                            f"{reference[:2]} vs {observation[:2]}"),
+                ))
+    if rec.enabled and findings:
+        rec.incr("fuzz.disagreements", len(findings))
+    return findings

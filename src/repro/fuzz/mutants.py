@@ -1,0 +1,126 @@
+"""Deliberately broken solver mutants for self-testing the fuzzer.
+
+A differential engine that has never caught a bug is untested itself.
+Mutation testing closes the loop: each mutant here re-introduces a real
+(historical or representative) defect behind a context manager, and the
+engine's self-tests assert that the campaign finds a disagreement and
+shrinks it to a small reproducer.  This is the correctness-side analogue
+of the fault injection in :mod:`repro.resilience.faults` — there we break
+the *infrastructure* on purpose, here we break the *solver*.
+
+Mutants patch module attributes and restore them in a ``finally`` block;
+they are process-local, never nest with themselves, and are exposed on the
+CLI (``repro fuzz --mutant NAME``) so the whole detect-shrink-serialize
+path can be exercised end to end by hand.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, ContextManager, Dict, Iterator
+
+import numpy as np
+
+__all__ = ["MUTANTS", "apply_mutant"]
+
+
+def _uint8_transitive_reduction(order: np.ndarray) -> np.ndarray:
+    """The pre-PR-3 Hasse reduction with the uint8 mod-256 overflow.
+
+    Counts the points strictly between each pair with a ``uint8`` matrix
+    product; a pair with a multiple-of-256 number of intermediates wraps
+    to zero and is falsely kept as a covering edge (a 258-point chain
+    emits a spurious ``(0, 257)`` edge).  Kept verbatim as a mutant: the
+    fuzzer's poset-structure check must flag the non-minimal reduction.
+    """
+    order = np.asarray(order, dtype=bool)
+    small = order.astype(np.uint8)
+    between_count = small @ small
+    return order & (between_count == 0)
+
+
+@contextmanager
+def _hasse_uint8_overflow() -> Iterator[None]:
+    from ..poset import sparse
+
+    original = sparse.transitive_reduction
+    sparse.transitive_reduction = _uint8_transitive_reduction  # type: ignore[assignment]
+    try:
+        yield
+    finally:
+        sparse.transitive_reduction = original  # type: ignore[assignment]
+
+
+@contextmanager
+def _hasse_index_tie_break() -> Iterator[None]:
+    """Drop the label-aware tie-break from the Hasse-reduced order.
+
+    Re-introduces the subtle duplicate-coordinate bug the label-aware
+    ranking in ``_hasse_reduced_order`` exists to prevent: with a plain
+    index tie-break, an opposing-label duplicate pair can be encoded in
+    the direction that fails to forbid the zero-flip assignment, so the
+    Hasse-reduced network reports a cheaper (wrong) optimum or an outright
+    non-monotone assignment.
+    """
+    from ..core import passive
+
+    original = passive._hasse_reduced_order
+
+    def broken(points):  # type: ignore[no-untyped-def]
+        weak = points.weak_dominance_matrix()
+        equal = weak & weak.T
+        order = weak & ~equal
+        if points.n:
+            idx = np.arange(points.n)
+            order |= equal & (idx[:, None] > idx[None, :])
+        return order
+
+    passive._hasse_reduced_order = broken  # type: ignore[assignment]
+    try:
+        yield
+    finally:
+        passive._hasse_reduced_order = original  # type: ignore[assignment]
+
+
+@contextmanager
+def _capacity_plus_one() -> Iterator[None]:
+    """Revert the effective-infinity guard to the bare ``total + 1.0``.
+
+    Strips *every* scale check at once: the ill-conditioning rejection, the
+    overflow detection and the absorbed-``+ 1.0`` fallback — the naive
+    implementation the guard replaced.  At extreme weight scales the mutant
+    either feeds the backends numerically meaningless capacities (tripping
+    a backend-dependent assertion where healthy code raises a uniform
+    ``ValueError``) or silently makes "infinite" edges cuttable — the
+    extreme-weights family exists to catch precisely this.
+    """
+    from ..core import passive
+
+    original = passive._effective_infinity
+    passive._effective_infinity = (  # type: ignore[assignment]
+        lambda total, min_weight: total + 1.0)
+    try:
+        yield
+    finally:
+        passive._effective_infinity = original  # type: ignore[assignment]
+
+
+#: Named mutants: context managers that break one solver invariant each.
+MUTANTS: Dict[str, Callable[[], ContextManager[None]]] = {
+    "hasse_uint8_overflow": _hasse_uint8_overflow,
+    "hasse_index_tie_break": _hasse_index_tie_break,
+    "capacity_plus_one": _capacity_plus_one,
+}
+
+
+@contextmanager
+def apply_mutant(name: str) -> Iterator[None]:
+    """Activate a named mutant for the duration of the block."""
+    try:
+        factory = MUTANTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown mutant {name!r}; available: {sorted(MUTANTS)}"
+        ) from None
+    with factory():
+        yield

@@ -10,6 +10,14 @@ a killed worker, a crash mid-serialization, a full disk — leaves either
 the previous file or no file, never a truncated one.  The primitives
 :func:`atomic_write_text` / :func:`atomic_write_json` are re-exported for
 any code that writes results.
+
+Both loaders are a strict validation boundary: every structural problem in
+a dataset file — truncation, wrong types, ragged rows, non-finite values,
+bad labels — surfaces as a ``ValueError`` carrying the file path (and line
+number for CSV), never as a raw ``TypeError``/``KeyError``/``IndexError``
+traceback.  The CLI turns these into one-line exit-2 errors; the byte-level
+mutation fuzzer (:mod:`repro.fuzz`) holds the loaders to exactly this
+contract.
 """
 
 from __future__ import annotations
@@ -52,28 +60,48 @@ def save_csv(points: PointSet, path: PathLike) -> None:
 
 
 def load_csv(path: PathLike) -> PointSet:
-    """Read a point set previously written by :func:`save_csv`."""
+    """Read a point set previously written by :func:`save_csv`.
+
+    Malformed content (missing header, ragged rows, non-numeric fields,
+    out-of-range labels, non-finite coordinates) raises ``ValueError`` with
+    the file path and offending line number.
+    """
     path = Path(path)
     with path.open(newline="") as handle:
         reader = csv.reader(handle)
-        header = next(reader)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path}: empty file (no header row)") from None
+        except csv.Error as exc:
+            raise ValueError(f"{path}: not parseable as CSV: {exc}") from None
         if len(header) < 3 or header[-2] != "label" or header[-1] != "weight":
             raise ValueError(
                 f"{path}: expected columns 'x0..x{{d-1}}, label, weight'; got {header}"
             )
         dim = len(header) - 2
         coords, labels, weights = [], [], []
-        for lineno, row in enumerate(reader, start=2):
-            if not row:
-                continue
-            if len(row) != dim + 2:
-                raise ValueError(f"{path}:{lineno}: expected {dim + 2} fields, got {len(row)}")
-            coords.append([float(v) for v in row[:dim]])
-            labels.append(int(row[dim]))
-            weights.append(float(row[dim + 1]))
+        try:
+            for lineno, row in enumerate(reader, start=2):
+                if not row:
+                    continue
+                if len(row) != dim + 2:
+                    raise ValueError(
+                        f"{path}:{lineno}: expected {dim + 2} fields, got {len(row)}")
+                try:
+                    coords.append([float(v) for v in row[:dim]])
+                    labels.append(int(row[dim]))
+                    weights.append(float(row[dim + 1]))
+                except ValueError as exc:
+                    raise ValueError(f"{path}:{lineno}: {exc}") from None
+        except csv.Error as exc:
+            raise ValueError(f"{path}: not parseable as CSV: {exc}") from None
     if not coords:
         return PointSet(np.empty((0, dim)), [], [])
-    return PointSet(coords, labels, weights)
+    try:
+        return PointSet(coords, labels, weights)
+    except ValueError as exc:
+        raise ValueError(f"{path}: {exc}") from None
 
 
 def save_json(points: PointSet, path: PathLike) -> None:
@@ -89,14 +117,53 @@ def save_json(points: PointSet, path: PathLike) -> None:
 
 
 def load_json(path: PathLike) -> PointSet:
-    """Read a point set previously written by :func:`save_json`."""
-    payload = json.loads(Path(path).read_text())
+    """Read a point set previously written by :func:`save_json`.
+
+    Schema-validates the payload before construction: the document must be
+    an object with ``dim`` (positive int), list-valued ``coords``/``labels``/
+    ``weights`` of one common length, and an optional ``names`` list.  Any
+    violation — including truncated or byte-mutated files — raises
+    ``ValueError`` naming the file, never a raw ``TypeError``/``KeyError``.
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ValueError(f"{path}: not parseable as JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"{path}: expected a JSON object, got {type(payload).__name__}")
     required = {"dim", "coords", "labels", "weights"}
     missing = required - payload.keys()
     if missing:
         raise ValueError(f"{path}: missing keys {sorted(missing)}")
-    coords = np.asarray(payload["coords"], dtype=float)
-    if coords.size == 0:
-        coords = coords.reshape(0, payload["dim"])
-    return PointSet(coords, payload["labels"], payload["weights"],
-                    names=payload.get("names"))
+    dim = payload["dim"]
+    if not isinstance(dim, int) or isinstance(dim, bool) or dim < 1:
+        raise ValueError(f"{path}: 'dim' must be a positive integer; got {dim!r}")
+    for key in ("coords", "labels", "weights"):
+        if not isinstance(payload[key], list):
+            raise ValueError(
+                f"{path}: '{key}' must be a list; got {type(payload[key]).__name__}")
+    n = len(payload["coords"])
+    for key in ("labels", "weights"):
+        if len(payload[key]) != n:
+            raise ValueError(
+                f"{path}: '{key}' has {len(payload[key])} entries for {n} points")
+    names = payload.get("names")
+    if names is not None:
+        if not isinstance(names, list) or len(names) != n:
+            raise ValueError(f"{path}: 'names' must be a list of {n} entries")
+        if not all(v is None or isinstance(v, str) for v in names):
+            raise ValueError(f"{path}: 'names' entries must be strings or null")
+    for i, row in enumerate(payload["coords"]):
+        if not isinstance(row, list) or len(row) != dim:
+            raise ValueError(
+                f"{path}: coords[{i}] is not a list of {dim} numbers")
+    coords = payload["coords"]
+    if n == 0:
+        coords = np.empty((0, dim))
+    try:
+        return PointSet(coords, payload["labels"], payload["weights"],
+                        names=names)
+    except ValueError as exc:
+        raise ValueError(f"{path}: {exc}") from None

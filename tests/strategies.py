@@ -1,0 +1,66 @@
+"""Shared Hypothesis strategies for property-based tests.
+
+Centralizes the instance generators that several test modules (and the
+fuzz self-tests) need: labeled point sets of bounded size/dimension and
+small capacitated flow networks.  Keeping them here means a strategy
+tweak (say, widening the weight range) immediately propagates to every
+property test instead of drifting per-file.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro import PointSet
+from repro.flow import FlowNetwork
+
+__all__ = ["point_sets", "flow_networks"]
+
+
+@st.composite
+def point_sets(draw, max_n: int = 16, max_dim: int = 3,
+               weighted: bool = True) -> PointSet:
+    """A labeled :class:`~repro.PointSet` on a small integer grid.
+
+    Integer coordinates keep dominance decisions exact (no float-ordering
+    surprises) while still producing duplicates, chains and antichains;
+    weights are bounded well inside the float64 conditioning guard.
+    """
+    n = draw(st.integers(1, max_n))
+    dim = draw(st.integers(1, max_dim))
+    coords = draw(st.lists(
+        st.tuples(*[st.integers(0, 4) for _ in range(dim)]),
+        min_size=n, max_size=n))
+    labels = draw(st.lists(st.integers(0, 1), min_size=n, max_size=n))
+    if weighted:
+        weights = draw(st.lists(
+            st.floats(0.01, 100.0, allow_nan=False, allow_infinity=False),
+            min_size=n, max_size=n))
+    else:
+        weights = [1.0] * n
+    return PointSet(np.asarray(coords, dtype=float).reshape(n, dim),
+                    labels, weights)
+
+
+@st.composite
+def flow_networks(draw, max_nodes: int = 10, max_edges: int = 25
+                  ) -> Tuple[FlowNetwork, int, int]:
+    """A small capacitated digraph plus a (source, sink) pair.
+
+    Capacities mix zeros, ties and a large-but-finite value so residual
+    bookkeeping, tie-breaking and saturation paths all get exercised.
+    """
+    n = draw(st.integers(2, max_nodes))
+    network = FlowNetwork(n)
+    edges: List[Tuple[int, int]] = draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+        max_size=max_edges))
+    for u, v in edges:
+        if u == v:
+            continue
+        capacity = draw(st.sampled_from([0.0, 0.5, 1.0, 2.0, 3.0, 1e6]))
+        network.add_edge(u, v, capacity)
+    return network, 0, n - 1

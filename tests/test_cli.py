@@ -196,3 +196,74 @@ class TestExperimentCommand:
 
     def test_unknown_experiment(self, capsys):
         assert main(["experiment", "nope"]) == 2
+
+
+class TestMalformedInputs:
+    """User mistakes are one-line exit-2 errors, not tracebacks."""
+
+    def test_missing_file_exits_2(self, capsys):
+        assert main(["passive", "/no/such/file.csv"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and err.count("\n") == 1
+
+    def test_malformed_csv_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("x0,label,weight\nfoo,0,1.0\n")
+        assert main(["passive", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "bad.csv" in err
+
+    def test_truncated_json_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "trunc.json"
+        bad.write_text('{"dim": 2, "coords": [[0.0, 1.')
+        assert main(["audit", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and err.count("\n") == 1
+
+    def test_binary_garbage_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "noise.json"
+        bad.write_bytes(bytes(range(256)))
+        assert main(["width", str(bad)]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+
+class TestFuzzCommand:
+    def test_small_clean_campaign(self, capsys):
+        assert main(["fuzz", "--runs", "9", "--seed", "11",
+                     "--size", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "disagreements" in out and "ok" in out
+
+    def test_family_restriction_and_corpus(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        assert main(["fuzz", "--runs", "2", "--seed", "4", "--size", "10",
+                     "--family", "chain", "--corpus", str(corpus)]) == 0
+        assert "disagreements" in capsys.readouterr().out
+
+    def test_mutant_self_test_detects_and_exits_0(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        assert main(["fuzz", "--runs", "4", "--seed", "3", "--size", "24",
+                     "--family", "duplicates", "--corpus", str(corpus),
+                     "--mutant", "hasse_index_tie_break"]) == 0
+        out = capsys.readouterr().out
+        assert "detected" in out
+        assert list(corpus.glob("repro-*.json"))
+
+    def test_undetected_mutant_exits_1(self, capsys):
+        # One antichain instance cannot trigger the tie-break mutant, so
+        # the self-test must report failure.
+        assert main(["fuzz", "--runs", "1", "--seed", "0", "--size", "6",
+                     "--family", "antichain",
+                     "--mutant", "hasse_index_tie_break"]) == 1
+        assert "NOT detected" in capsys.readouterr().err
+
+    def test_replay_clean_corpus_exits_0(self, capsys):
+        from pathlib import Path
+
+        corpus = Path(__file__).parent / "corpus"
+        assert main(["fuzz", "--replay", str(corpus)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_unknown_family_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fuzz", "--family", "nope"])

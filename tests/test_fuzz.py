@@ -1,0 +1,272 @@
+"""Tests for the differential fuzzing subsystem (repro.fuzz).
+
+The centerpiece is the mutation self-test: a fuzzer that has never caught
+a bug proves nothing, so we point the campaign at a deliberately broken
+solver and assert the whole detect → shrink → archive → replay loop
+closes (ISSUE acceptance: disagreement found, reproducer shrunk to a
+handful of points, corpus round-trips deterministically).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro import PointSet
+from repro.fuzz import (
+    ALL_PASSIVE_CONFIGS,
+    FAMILIES,
+    apply_mutant,
+    check_poset_structure,
+    fuzz_io_roundtrip,
+    generate,
+    iter_corpus,
+    load_reproducer,
+    mutate_bytes,
+    replay_corpus,
+    run_flow_differential,
+    run_fuzz,
+    run_passive_differential,
+    save_reproducer,
+    shrink_instance,
+)
+from repro.fuzz.runner import IO_FAMILY
+
+from tests.strategies import flow_networks, point_sets
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_family_produces_valid_instances(self, family, rng):
+        points = generate(family, rng, 32)
+        assert isinstance(points, PointSet)
+        assert 1 <= points.n <= 64
+        assert np.isfinite(points.coords).all()
+        assert set(np.unique(points.labels)) <= {0, 1}
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_families_are_deterministic(self, family):
+        a = generate(family, np.random.default_rng(7), 24)
+        b = generate(family, np.random.default_rng(7), 24)
+        np.testing.assert_array_equal(a.coords, b.coords)
+        np.testing.assert_array_equal(a.labels, b.labels)
+        np.testing.assert_array_equal(a.weights, b.weights)
+
+    def test_unknown_family_rejected(self, rng):
+        with pytest.raises(ValueError, match="unknown"):
+            generate("no_such_family", rng, 8)
+
+    def test_mutate_bytes_deterministic(self):
+        text = "a,b,c\n1,2,3\n"
+        a = mutate_bytes(text, np.random.default_rng(5), mutations=3)
+        b = mutate_bytes(text, np.random.default_rng(5), mutations=3)
+        assert isinstance(a, bytes) and a == b
+
+
+class TestPassiveDifferential:
+    def test_clean_on_healthy_instances(self, tiny_2d, monotone_2d):
+        assert run_passive_differential(tiny_2d) == []
+        assert run_passive_differential(monotone_2d) == []
+
+    def test_uniform_rejection_is_not_a_finding(self):
+        # Ill-conditioned weights: every configuration raises the same
+        # clean ValueError — the validation boundary working as designed.
+        points = PointSet([(0.1,), (0.8,)], [1, 0], [1e-4, 1e11])
+        assert run_passive_differential(points) == []
+        with pytest.raises(ValueError, match="rescale"):
+            from repro import solve_passive
+
+            solve_passive(points)
+
+    @settings(max_examples=20, deadline=None)
+    @given(point_sets(max_n=10))
+    def test_grid_agrees_with_brute_force_on_random_sets(self, points):
+        # n <= 10 keeps the exponential oracle in the loop for every case.
+        assert run_passive_differential(points) == []
+
+
+class TestFlowDifferential:
+    @settings(max_examples=25, deadline=None)
+    @given(flow_networks())
+    def test_backends_agree_and_flows_are_feasible(self, case):
+        network, source, sink = case
+        assert run_flow_differential(network, source, sink) == []
+
+
+class TestStructureCheck:
+    def test_clean_reduction_passes(self, tiny_2d):
+        assert check_poset_structure(tiny_2d) == []
+
+    def test_catches_uint8_overflow_on_long_chain(self):
+        # The historical mod-256 bug needs >= 258 comparable points: the
+        # (top, bottom) pair of a 258-chain has 256 points strictly
+        # between, which a uint8 counter wraps to zero.
+        n = 258
+        chain = PointSet(np.arange(n, dtype=float).reshape(-1, 1),
+                         np.zeros(n, dtype=int))
+        assert check_poset_structure(chain) == []
+        with apply_mutant("hasse_uint8_overflow"):
+            findings = check_poset_structure(chain)
+        assert findings and findings[0].kind == "structure"
+        assert "non-covering" in findings[0].detail
+
+    def test_mutants_restore_on_exit(self):
+        from repro.core import passive
+        from repro.poset import sparse
+
+        original_red = sparse.transitive_reduction
+        original_inf = passive._effective_infinity
+        with apply_mutant("hasse_uint8_overflow"):
+            assert sparse.transitive_reduction is not original_red
+        with apply_mutant("capacity_plus_one"):
+            assert passive._effective_infinity is not original_inf
+        assert sparse.transitive_reduction is original_red
+        assert passive._effective_infinity is original_inf
+
+    def test_unknown_mutant_rejected(self):
+        with pytest.raises(ValueError, match="unknown mutant"):
+            with apply_mutant("nope"):
+                pass
+
+
+class TestShrink:
+    def test_shrinks_to_single_required_point(self, rng):
+        coords = rng.random((40, 2))
+        coords[17] = (100.0, 100.0)
+        points = PointSet(coords, rng.integers(0, 2, size=40))
+
+        def has_beacon(candidate: PointSet) -> bool:
+            return bool((candidate.coords == 100.0).any())
+
+        shrunk, evaluations = shrink_instance(points, has_beacon)
+        assert shrunk.n == 1
+        assert float(shrunk.coords[0, 0]) == 100.0
+        assert evaluations > 0
+
+    def test_requires_failing_original(self, tiny_2d):
+        with pytest.raises(ValueError, match="predicate does not hold"):
+            shrink_instance(tiny_2d, lambda candidate: False)
+
+    def test_is_deterministic(self, rng):
+        coords = rng.random((30, 2))
+        points = PointSet(coords, rng.integers(0, 2, size=30))
+
+        def pair(candidate: PointSet) -> bool:
+            return candidate.n >= 2 and bool(
+                (candidate.coords[:, 0] > 0.5).any()
+                and (candidate.coords[:, 0] < 0.5).any())
+
+        first, _ = shrink_instance(points, pair)
+        second, _ = shrink_instance(points, pair)
+        np.testing.assert_array_equal(first.coords, second.coords)
+
+
+class TestCorpus:
+    def test_save_is_idempotent_and_loads_back(self, tiny_2d, tmp_path):
+        a = save_reproducer(tmp_path, tiny_2d, family="chain", seed=1,
+                            findings=[])
+        b = save_reproducer(tmp_path, tiny_2d, family="chain", seed=1,
+                            findings=[])
+        assert a == b and a.exists()
+        loaded, meta = load_reproducer(a)
+        np.testing.assert_array_equal(loaded.coords, tiny_2d.coords)
+        np.testing.assert_array_equal(loaded.labels, tiny_2d.labels)
+        np.testing.assert_array_equal(loaded.weights, tiny_2d.weights)
+        assert meta["family"] == "chain" and meta["seed"] == 1
+
+    def test_malformed_entries_rejected(self, tmp_path):
+        bad = tmp_path / "repro-x-000000000000.json"
+        bad.write_text("{not json")
+        with pytest.raises(ValueError, match="JSON"):
+            load_reproducer(bad)
+        bad.write_text(json.dumps({"schema": 999, "points": {}}))
+        with pytest.raises(ValueError, match="schema"):
+            load_reproducer(bad)
+        bad.write_text(json.dumps({"no": "points"}))
+        with pytest.raises(ValueError, match="points"):
+            load_reproducer(bad)
+
+    def test_seed_corpus_exists_and_replays_clean(self):
+        # tier-1 regression gate: every archived bug must stay fixed.
+        entries = list(iter_corpus(CORPUS_DIR))
+        assert entries, f"seed corpus missing under {CORPUS_DIR}"
+        failures = replay_corpus(CORPUS_DIR)
+        assert failures == [], (
+            "corpus entries disagree again: "
+            + "; ".join(f"{path.name}: {[str(f) for f in fs]}"
+                        for path, fs in failures))
+
+
+class TestMutantSelfTest:
+    """ISSUE acceptance: the fuzzer must catch a deliberately broken solver."""
+
+    def test_detect_shrink_archive_replay_loop(self, tmp_path):
+        corpus = tmp_path / "corpus"
+        report = run_fuzz(runs=4, seed=3, families=["duplicates"], size=24,
+                          corpus_dir=str(corpus),
+                          mutant="hasse_index_tie_break")
+        assert not report.ok, "mutant was not detected"
+        assert report.reproducers, "no reproducer archived"
+
+        for path in report.reproducers:
+            shrunk, meta = load_reproducer(path)
+            assert shrunk.n <= 12, f"{path}: shrunk to {shrunk.n} points"
+            assert meta["mutant"] == "hasse_index_tie_break"
+            # Round-trip determinism: re-saving the loaded instance lands
+            # on the identical file (content digest unchanged).
+            again = save_reproducer(corpus, shrunk, family=meta["family"],
+                                    seed=meta["seed"],
+                                    findings=meta["findings"],
+                                    mutant=meta["mutant"])
+            assert str(again) == path
+
+        # With the mutant gone the archived instances must agree again.
+        assert replay_corpus(corpus) == []
+
+    def test_reproducer_still_fails_under_mutant(self, tmp_path):
+        corpus = tmp_path / "corpus"
+        report = run_fuzz(runs=4, seed=3, families=["duplicates"], size=24,
+                          corpus_dir=str(corpus),
+                          mutant="hasse_index_tie_break")
+        assert report.reproducers
+        points, _meta = load_reproducer(report.reproducers[0])
+        with apply_mutant("hasse_index_tie_break"):
+            assert run_passive_differential(
+                points, configs=ALL_PASSIVE_CONFIGS), \
+                "shrunk reproducer no longer triggers the mutant"
+
+
+class TestIOFuzz:
+    def test_loader_boundary_survives_mutations(self, tiny_2d, rng):
+        tried, violations = fuzz_io_roundtrip(tiny_2d, rng,
+                                              mutations_per_text=16)
+        assert tried == 32
+        assert violations == []
+
+
+class TestRunner:
+    def test_small_clean_campaign(self, tmp_path):
+        report = run_fuzz(runs=9, seed=11, size=16,
+                          corpus_dir=str(tmp_path / "corpus"))
+        assert report.ok and report.runs == 9
+        assert set(report.instances_by_family) <= set(FAMILIES) | {IO_FAMILY}
+        assert report.reproducers == []
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError, match="runs"):
+            run_fuzz(runs=-1)
+        with pytest.raises(ValueError, match="unknown fuzz family"):
+            run_fuzz(runs=1, families=["nope"])
+
+    def test_time_budget_truncates_deterministically(self):
+        full = run_fuzz(runs=6, seed=2, families=["random"], size=12)
+        truncated = run_fuzz(runs=6, seed=2, families=["random"], size=12,
+                             time_budget=0.0)
+        assert truncated.truncated_by_budget
+        assert truncated.runs < full.runs

@@ -86,6 +86,71 @@ class TestJSON:
         assert loaded.dim == 3
 
 
+class TestValidationBoundary:
+    """Hostile bytes must surface as ValueError naming the file — never
+    TypeError/KeyError/IndexError tracebacks (the repro.fuzz IO fuzzer
+    hammers exactly this contract)."""
+
+    def test_csv_empty_file(self, tmp_path):
+        path = tmp_path / "zero.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_csv(path)
+
+    def test_csv_non_numeric_cell_names_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x0,label,weight\n1.0,0,1.0\nfoo,1,1.0\n")
+        with pytest.raises(ValueError, match=r"bad\.csv:3"):
+            load_csv(path)
+
+    def test_csv_nonfinite_coord_rejected(self, tmp_path):
+        path = tmp_path / "nan.csv"
+        path.write_text("x0,label,weight\nnan,0,1.0\n")
+        with pytest.raises(ValueError):
+            load_csv(path)
+
+    def test_json_not_json(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_bytes(b"\x00\xffnot json")
+        with pytest.raises(ValueError, match="garbage"):
+            load_json(path)
+
+    def test_json_not_an_object(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError):
+            load_json(path)
+
+    @pytest.mark.parametrize("dim", ['"2"', "true", "-1", "0"])
+    def test_json_bad_dim(self, tmp_path, dim):
+        path = tmp_path / "dim.json"
+        path.write_text('{"dim": %s, "coords": [], "labels": [], '
+                        '"weights": []}' % dim)
+        with pytest.raises(ValueError):
+            load_json(path)
+
+    def test_json_ragged_coords(self, tmp_path):
+        path = tmp_path / "ragged.json"
+        path.write_text('{"dim": 2, "coords": [[0.0, 1.0], [2.0]], '
+                        '"labels": [0, 1], "weights": [1.0, 1.0]}')
+        with pytest.raises(ValueError):
+            load_json(path)
+
+    def test_json_length_mismatch(self, tmp_path):
+        path = tmp_path / "short.json"
+        path.write_text('{"dim": 1, "coords": [[0.0], [1.0]], '
+                        '"labels": [0], "weights": [1.0, 1.0]}')
+        with pytest.raises(ValueError):
+            load_json(path)
+
+    def test_json_nonfinite_coord_rejected(self, tmp_path):
+        path = tmp_path / "inf.json"
+        path.write_text('{"dim": 1, "coords": [[Infinity]], '
+                        '"labels": [0], "weights": [1.0]}')
+        with pytest.raises(ValueError):
+            load_json(path)
+
+
 class TestCrossFormat:
     def test_csv_and_json_agree(self, sample, tmp_path):
         csv_path = tmp_path / "p.csv"

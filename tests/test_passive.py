@@ -17,6 +17,7 @@ from repro import (
 )
 from repro.core.passive import contending_mask
 from repro.datasets.synthetic import planted_monotone
+from repro.flow import FLOW_BACKENDS
 
 
 class TestContendingMask:
@@ -241,3 +242,40 @@ class TestHasseReduction:
         assert kept < closure_edges
         # The covering DAG of k disjoint chains has exactly n - k edges.
         assert kept == ps.n - num_chains
+
+
+class TestWeightScaleGuard:
+    """The effective-infinity / conditioning guard on extreme weights.
+
+    Found by the differential fuzzer: a min-cut of ~1e-4 computed among
+    ~1e11-scale capacities drowns in flow rounding noise (push-relabel
+    briefly saturates the whole source side), tripping a backend-dependent
+    assertion.  The guard turns that into a uniform, actionable ValueError.
+    """
+
+    @pytest.mark.parametrize("backend", sorted(FLOW_BACKENDS))
+    def test_ill_conditioned_weights_rejected_uniformly(self, backend):
+        ps = PointSet([(0.1,), (0.8,)], [1, 0], [1e-4, 1e11])
+        with pytest.raises(ValueError, match="rescale the weights"):
+            solve_passive(ps, backend=backend)
+
+    def test_overflowing_total_rejected(self):
+        ps = PointSet([(0.1,), (0.8,)], [1, 0], [1e308, 1e308])
+        with pytest.raises(ValueError, match="rescale the weights"):
+            solve_passive(ps)
+
+    def test_uniform_huge_weights_still_solve(self):
+        # All-large weights are fine: the optimum is itself large, so the
+        # relative certificate tolerance absorbs the rounding noise.  This
+        # is the regime where "+ 1.0" would be silently absorbed, so the
+        # capacity fallback (2 * total) must kick in.
+        scale = 1e16
+        ps = PointSet([(0.0, 0.0), (1.0, 1.0), (2.0, 0.0), (2.0, 2.0)],
+                      [1, 0, 0, 1],
+                      [scale, 2 * scale, 2 * scale, scale])
+        result = solve_passive(ps)
+        assert result.optimal_error == pytest.approx(scale, rel=1e-9)
+
+    def test_moderate_scales_unaffected(self):
+        ps = PointSet([(0.1,), (0.8,)], [1, 0], [1e-4, 1e6])
+        assert solve_passive(ps).optimal_error == pytest.approx(1e-4)

@@ -86,6 +86,30 @@ class TestPointSetConstruction:
         with pytest.raises(ValueError):
             PointSet([(float("nan"),)], [0])
 
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     -float("inf")])
+    def test_rejects_nonfinite_coords_naming_the_point(self, bad):
+        # NaN breaks dominance trichotomy (NaN >= x is always False), so
+        # the boundary must reject it up front — and say which point.
+        with pytest.raises(ValueError, match="point 1"):
+            PointSet([(0.0, 1.0), (0.5, bad)], [0, 1])
+
+    def test_labeled_point_rejects_nonfinite_coords(self):
+        with pytest.raises(ValueError):
+            LabeledPoint((0.0, float("nan")))
+
+    def test_validate_false_opts_out(self):
+        # Escape hatch for callers that pre-validate (or fuzz the solver
+        # itself): construction succeeds, downstream behavior is on them.
+        ps = PointSet([(float("nan"),), (1.0,)], [0, 1], validate=False)
+        assert ps.n == 2
+        assert not np.isfinite(ps.coords).all()
+
+    def test_subset_skips_revalidation(self):
+        ps = PointSet([(float("nan"),), (1.0,)], [0, 1], validate=False)
+        assert ps.subset(np.array([0])).n == 1
+        assert ps.replace().n == 2
+
     def test_rejects_bad_label_values(self):
         with pytest.raises(ValueError):
             PointSet([(0.0,)], [3])
