@@ -1,0 +1,95 @@
+"""Instrumentation-overhead smoke benchmarks (the observability gate).
+
+Three benchmarks time the *same* active-pipeline workload under the three
+instrumentation states — no session (the no-op recorder path), a metrics
+session, and a tracing session including the Chrome-trace/profiler
+post-processing — so the committed baseline pins each state's cost and
+``compare.py`` fails CI when instrumentation overhead regresses by more
+than the gate threshold.  Two micro-benchmarks additionally guard the two
+hot primitives the pipeline leans on: histogram observation (the
+log-bucket path) and span enter/exit under tracing.
+
+The absolute no-op overhead target (< 2 % over a bare run) is recorded in
+``BENCH_obs.json``; these benchmarks guard against *drift* rather than
+re-deriving the ratio, which single-round CI timing is too noisy to pin.
+"""
+
+from __future__ import annotations
+
+from repro import LabelOracle, active_classify, obs
+from repro.datasets.synthetic import width_controlled
+
+
+def _workload():
+    points = width_controlled(800, 4, noise=0.05, rng=0)
+    hidden = points.with_hidden_labels()
+
+    def job():
+        return active_classify(hidden, LabelOracle(points), epsilon=1.0, rng=1)
+
+    return job
+
+
+def test_smoke_obs_noop_path(benchmark):
+    """Active pipeline with NO session: every call site hits NullRecorder.
+
+    This is the price every un-instrumented run pays; a regression here
+    means a hot path stopped honoring the single-attribute-check contract.
+    """
+    job = _workload()
+    result = benchmark(job)
+    benchmark.extra_info["probes"] = result.probing_cost
+
+
+def test_smoke_obs_metrics_session(benchmark):
+    """The same pipeline inside a metrics session (counters/spans live)."""
+    job = _workload()
+
+    def instrumented():
+        with obs.metrics_session(name="bench"):
+            return job()
+
+    result = benchmark(instrumented)
+    benchmark.extra_info["probes"] = result.probing_cost
+
+
+def test_smoke_obs_tracing_session(benchmark):
+    """Tracing session plus export: timeline buffer, Chrome JSON, profiler."""
+    job = _workload()
+
+    def traced():
+        with obs.metrics_session(name="bench", trace=True) as registry:
+            result = job()
+        obs.to_chrome_trace(registry)
+        obs.profile_events(registry)
+        return result, len(registry.trace_events)
+
+    (result, num_events) = benchmark(traced)
+    benchmark.extra_info["probes"] = result.probing_cost
+    benchmark.extra_info["trace_events"] = num_events
+
+
+def test_smoke_histogram_observe(benchmark):
+    """50k observations through the log-bucket histogram (spilled path)."""
+    def job():
+        hist = obs.Histogram("bench")
+        for i in range(50_000):
+            hist.observe(float(i % 997) + 0.5)
+        return hist.quantiles((0.5, 0.9, 0.99))
+
+    quantiles = benchmark(job)
+    benchmark.extra_info["p99"] = quantiles[2]
+
+
+def test_smoke_span_tracing(benchmark):
+    """10k span enter/exit cycles with the timeline buffer enabled."""
+    def job():
+        registry = obs.MetricsRegistry("bench", trace=True)
+        for _ in range(2_000):
+            with registry.span("outer"):
+                with registry.span("inner"):
+                    pass
+        return len(registry.trace_events)
+
+    events = benchmark(job)
+    assert events == 4_000

@@ -17,12 +17,16 @@ Subcommands
     Differential fuzz campaign: hostile instance families through every
     passive configuration, certificates cross-checked, disagreements
     shrunk into a replayable corpus (see ``docs/robustness.md``).
+``profile``
+    Phase-attribution profile (self/cumulative time, flamegraph export)
+    of a trace recorded with ``--trace-out``.
 
-Every subcommand accepts ``--metrics`` (print an instrumentation report
-after the run) and ``--metrics-out FILE`` (write the full metrics document
-as JSON, or CSV when the path ends in ``.csv``).  Missing or malformed
-input files exit with code 2 and a one-line message instead of a
-traceback.
+Every workload subcommand accepts ``--metrics`` (print an instrumentation
+report after the run), ``--metrics-out FILE`` (write the metrics document
+— JSON, CSV, or OpenMetrics text by extension), and ``--trace-out FILE``
+(write a Chrome trace-event timeline, viewable in Perfetto).  Missing or
+malformed input files and unwritable output destinations exit with code 2
+and a one-line message instead of a traceback.
 """
 
 from __future__ import annotations
@@ -45,7 +49,11 @@ def _add_metrics_flags(sub: argparse.ArgumentParser) -> None:
                        help="print counters/gauges/span timings after the run")
     group.add_argument("--metrics-out", metavar="FILE", default=None,
                        help="write the metrics document to FILE "
-                            "(JSON, or CSV if FILE ends in .csv)")
+                            "(JSON or CSV by extension; .prom/.om/"
+                            ".openmetrics for OpenMetrics text)")
+    group.add_argument("--trace-out", metavar="FILE", default=None,
+                       help="write a Chrome trace-event timeline of the run "
+                            "to FILE (open in Perfetto or chrome://tracing)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -174,6 +182,19 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--replay", default=None, metavar="DIR",
                       help="replay a regression corpus instead of generating "
                            "new instances")
+
+    profile = sub.add_parser(
+        "profile", help="phase-attribution profile of a recorded trace")
+    profile.add_argument("trace", help="Chrome trace file written by --trace-out")
+    profile.add_argument("--sort", choices=["self", "cum", "calls"],
+                         default="self",
+                         help="table order: self time (default), cumulative "
+                              "time, or call count")
+    profile.add_argument("--top", type=int, default=None, metavar="N",
+                         help="show only the N heaviest phases")
+    profile.add_argument("--collapsed", default=None, metavar="FILE",
+                         help="also write collapsed-stack lines to FILE "
+                              "(flamegraph.pl / speedscope / inferno input)")
 
     for command in (gen, passive, active, width, audit, repair, viz,
                     experiment, fuzz):
@@ -410,6 +431,17 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from . import obs
+
+    events = obs.load_trace_events(args.trace)
+    print(obs.profile_report(events, sort=args.sort, top=args.top))
+    if args.collapsed is not None:
+        obs.to_collapsed(events, args.collapsed)
+        print(f"wrote collapsed stacks to {args.collapsed}")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from .experiments.runner import EXPERIMENTS, main as run_main
 
@@ -427,14 +459,39 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return run_main(runner_argv)
 
 
+def _check_writable(path: str, flag: str) -> None:
+    """Fail fast when an output path cannot be written.
+
+    Checked *before* the workload runs: a long solve that then dies
+    writing its metrics or trace wastes the whole run, so unwritable
+    destinations are a one-line exit-2 error up front.
+    """
+    import os
+
+    directory = os.path.dirname(path) or "."
+    if not os.path.isdir(directory):
+        raise ValueError(f"{flag} {path}: directory {directory!r} does not exist")
+    if not os.access(directory, os.W_OK):
+        raise ValueError(f"{flag} {path}: directory {directory!r} is not writable")
+    if os.path.exists(path):
+        if os.path.isdir(path):
+            raise ValueError(f"{flag} {path}: is a directory")
+        if not os.access(path, os.W_OK):
+            raise ValueError(f"{flag} {path}: file is not writable")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code.
 
-    Input problems (missing file, malformed CSV/JSON) are reported as a
+    Input problems (missing file, malformed CSV/JSON, unwritable
+    ``--metrics-out``/``--trace-out`` destinations) are reported as a
     one-line ``error:`` message on stderr with exit code 2 — user mistakes
-    are not tracebacks.  When ``--metrics``/``--metrics-out`` is given the
-    whole command runs inside a metrics session; the report prints after
-    the command's own output so tables stay machine-greppable.
+    are not tracebacks.  When ``--metrics``/``--metrics-out``/
+    ``--trace-out`` is given the whole command runs inside a metrics
+    session (tracing enabled iff a trace is requested); the report prints
+    after the command's own output so tables stay machine-greppable.  The
+    trace file is written even when the command fails — a trace of the
+    run that died is exactly the trace worth looking at.
     """
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -448,17 +505,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         "viz": _cmd_viz,
         "experiment": _cmd_experiment,
         "fuzz": _cmd_fuzz,
+        "profile": _cmd_profile,
     }
     handler = handlers[args.command]
     metrics_out = getattr(args, "metrics_out", None)
-    want_metrics = getattr(args, "metrics", False) or metrics_out is not None
+    trace_out = getattr(args, "trace_out", None)
+    want_metrics = (getattr(args, "metrics", False)
+                    or metrics_out is not None or trace_out is not None)
     try:
+        if metrics_out is not None:
+            _check_writable(metrics_out, "--metrics-out")
+        if trace_out is not None:
+            _check_writable(trace_out, "--trace-out")
         if not want_metrics:
             return handler(args)
         from . import obs
 
-        with obs.metrics_session(name=args.command) as registry:
-            code = handler(args)
+        registry = obs.MetricsRegistry(args.command,
+                                       trace=trace_out is not None)
+        try:
+            with obs.metrics_session(registry):
+                code = handler(args)
+        finally:
+            if trace_out is not None:
+                obs.to_chrome_trace(registry, trace_out)
+                print(f"wrote trace to {trace_out}")
         if args.metrics:
             print()
             print(obs.report(registry))

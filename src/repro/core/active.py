@@ -158,7 +158,7 @@ def active_classify(points: PointSet, oracle: LabelOracle, epsilon: float,
     plan = plan or SamplingPlan()
     rec = recorder()
 
-    with rec.span("active"):
+    with rec.span("active") as active_span:
         with rec.span("chain_decompose"):
             if decomposition in ("exact", "auto"):
                 decomp = minimum_chain_decomposition(points)
@@ -180,6 +180,9 @@ def active_classify(points: PointSet, oracle: LabelOracle, epsilon: float,
             rec.gauge("active.chain_width", w)
             for size in decomp.sizes():
                 rec.observe("active.chain_size", size)
+            active_span.set_attr("n", n)
+            active_span.set_attr("epsilon", epsilon)
+            active_span.set_attr("width", w)
 
         state = _ResilienceState.build(
             oracle, resilience, n=n, epsilon=epsilon, delta=delta,
@@ -206,7 +209,9 @@ def active_classify(points: PointSet, oracle: LabelOracle, epsilon: float,
                         # index 0 is the most dominated point, so every
                         # monotone classifier is a threshold on the position.
                         positions = np.arange(len(chain), dtype=float)
-                        with rec.span(f"chain[{i}]"):
+                        with rec.span(f"chain[{i}]") as chain_span, \
+                                rec.timer("active.chain_seconds"):
+                            chain_span.set_attr("size", len(chain))
                             chain_sigma, _levels, trace = build_weighted_sample_1d(
                                 positions, np.asarray(chain, dtype=int),
                                 effective, epsilon, per_chain_delta, plan,

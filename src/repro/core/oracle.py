@@ -15,6 +15,7 @@ unit of *probing cost* per point whose label it asks the oracle to reveal.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Dict, Iterable, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
@@ -115,6 +116,9 @@ class OracleShard:
             raise ProbeBudgetExceeded(
                 f"shard probe budget of {self.budget} distinct points exhausted"
             )
+        # Only *charged* probes are timed: dedup hits are dictionary reads
+        # and timing them would drown the latency distribution in noise.
+        start = perf_counter() if rec.enabled else 0.0
         if self._labels is not None:
             if index not in self._labels:
                 raise IndexError(f"point index {index} is not in this shard")
@@ -131,6 +135,7 @@ class OracleShard:
         self._revealed[index] = label
         if rec.enabled:
             rec.incr("oracle.probes")
+            rec.record_time("oracle.probe_seconds", perf_counter() - start)
         return label
 
     def probe_many(self, indices: Iterable[int]) -> List[int]:

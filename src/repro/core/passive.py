@@ -235,7 +235,7 @@ def solve_passive(points: PointSet, backend: str = "dinic",
     rows_per_block = block_size or DEFAULT_BLOCK_SIZE
     rec = recorder()
 
-    with rec.span("passive"):
+    with rec.span("passive") as passive_span:
         with rec.span("contending"):
             if use_contending_reduction:
                 if points.dim <= 2:
@@ -254,6 +254,9 @@ def solve_passive(points: PointSet, backend: str = "dinic",
         if rec.enabled:
             rec.gauge("passive.n", n)
             rec.gauge("passive.num_contending", len(active))
+            passive_span.set_attr("n", n)
+            passive_span.set_attr("num_contending", len(active))
+            passive_span.set_attr("backend", backend)
 
         if len(active) == 0:
             # Labeling already monotone: zero error, keep every label.

@@ -23,7 +23,8 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
+from contextlib import nullcontext
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from .. import obs
 from .._util import format_table
@@ -101,6 +102,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="experiment names (default: all)")
     parser.add_argument("--metrics", action="store_true",
                         help="print an instrumentation report per experiment")
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="write a Chrome trace-event timeline of the "
+                             "whole run to FILE (open in Perfetto)")
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes for experiment fan-out "
                              "(default 1 = serial; results are identical)")
@@ -127,8 +131,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("--resume requires --out-dir (prior results live there)")
         return 2
     configs = [GridConfig(name=name) for name in names]
-    results = run_grid(configs, workers=args.workers, out_dir=args.out_dir,
-                       capture_metrics=args.metrics, resume=args.resume)
+    # With --trace-out the whole run happens inside a tracing session:
+    # serial configs trace into it directly; worker-side sessions (grid
+    # capture or pool capture) ride home in snapshots and are merged
+    # below, so one coherent timeline covers every experiment.
+    trace_registry: Optional[obs.MetricsRegistry] = None
+    session: Any = nullcontext()
+    if args.trace_out is not None:
+        trace_registry = obs.MetricsRegistry("experiments", trace=True)
+        session = obs.metrics_session(trace_registry)
+    with session:
+        results = run_grid(configs, workers=args.workers, out_dir=args.out_dir,
+                           capture_metrics=args.metrics,
+                           capture_trace=args.trace_out is not None,
+                           resume=args.resume)
     failed = False
     for result in results:
         module = sys.modules[EXPERIMENTS[result.name].__module__]
@@ -145,12 +161,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print()
         if result.out_path is not None:
             print(f"wrote rows to {result.out_path}")
+        if result.metrics is not None and trace_registry is not None:
+            trace_registry.merge_snapshot(result.metrics,
+                                          span_prefix=result.label)
         if args.metrics and result.metrics is not None:
             registry = obs.MetricsRegistry(result.name)
             registry.merge_snapshot(result.metrics)
             print(f"--- instrumentation: {result.name} ---")
             print(obs.report(registry))
             print()
+    if trace_registry is not None and args.trace_out is not None:
+        obs.to_chrome_trace(trace_registry, args.trace_out)
+        print(f"wrote trace to {args.trace_out}")
     return 1 if failed else 0
 
 

@@ -96,4 +96,5 @@ def dinic_max_flow(network: FlowNetwork, source: int, sink: int) -> float:
         rec.incr("flow.dinic.phases", phases)
         rec.incr("flow.dinic.augmenting_paths", paths)
         rec.incr("flow.dinic.pushes", pushes)
+        rec.observe("flow.dinic.paths_per_call", paths)
     return total

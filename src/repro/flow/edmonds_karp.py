@@ -79,4 +79,5 @@ def edmonds_karp_max_flow(network: FlowNetwork, source: int, sink: int) -> float
         rec.incr("flow.edmonds_karp.calls")
         rec.incr("flow.edmonds_karp.augmenting_paths", paths)
         rec.incr("flow.edmonds_karp.pushes", pushes)
+        rec.observe("flow.edmonds_karp.paths_per_call", paths)
     return total

@@ -113,4 +113,5 @@ def push_relabel_max_flow(network: FlowNetwork, source: int, sink: int) -> float
         rec.incr("flow.push_relabel.pushes", num_pushes)
         rec.incr("flow.push_relabel.relabels", num_relabels)
         rec.incr("flow.push_relabel.gap_lifts", num_gap_lifts)
+        rec.observe("flow.push_relabel.pushes_per_call", num_pushes)
     return network.flow_value(source)

@@ -99,4 +99,5 @@ def capacity_scaling_max_flow(network: FlowNetwork, source: int,
         rec.incr("flow.capacity_scaling.calls")
         rec.incr("flow.capacity_scaling.phases", phases)
         rec.incr("flow.capacity_scaling.augmenting_paths", paths)
+        rec.observe("flow.capacity_scaling.paths_per_call", paths)
     return total

@@ -1,9 +1,12 @@
-"""Exporters: JSON / CSV documents and the plain-text report table.
+"""Exporters: JSON / CSV / OpenMetrics documents and the plain-text report.
 
 JSON mirrors :meth:`MetricsRegistry.snapshot` verbatim; CSV flattens every
-metric into ``kind,name,field,value`` rows so spreadsheets can pivot on
-them; :func:`report` renders the aligned tables the experiment harness
-already uses (``format_table``).
+scalar metric field into ``kind,name,field,value`` rows so spreadsheets can
+pivot on them; :func:`to_openmetrics` renders the OpenMetrics text
+exposition format (counters, gauges, and bucketed histograms with ``le``
+labels) for the future serving layer's scrape endpoint; :func:`report`
+renders the aligned tables the experiment harness already uses
+(``format_table``).
 """
 
 from __future__ import annotations
@@ -11,15 +14,23 @@ from __future__ import annotations
 import csv
 import io
 import json
+import math
+import re
 from pathlib import Path
 from typing import List, Optional, Union
 
 from .._util import atomic_write_text, format_table
+from .metrics import Histogram
 from .registry import MetricsRegistry
 
-__all__ = ["to_json", "to_csv", "export_file", "report"]
+__all__ = ["to_json", "to_csv", "to_openmetrics", "export_file", "report"]
 
 PathLike = Union[str, Path]
+
+#: Histogram snapshot fields that are distribution payloads, not scalars.
+_PAYLOAD_FIELDS = ("raw", "buckets")
+
+_METRIC_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
 
 
 def to_json(
@@ -37,7 +48,9 @@ def to_csv(registry: MetricsRegistry, path: Optional[PathLike] = None) -> str:
 
     Columns are ``kind,name,field,value``: counters and gauges emit one
     ``value`` row each; histograms, timers, and spans emit one row per
-    summary field (count/total/mean/min/max/last).
+    scalar summary field (count/total/mean/min/max/last and the
+    quantiles) — the raw/bucket distribution payloads stay in the JSON
+    export, where their structure survives.
     """
     snap = registry.snapshot()
     buffer = io.StringIO()
@@ -51,6 +64,8 @@ def to_csv(registry: MetricsRegistry, path: Optional[PathLike] = None) -> str:
         singular = kind[:-1]
         for name, fields in snap[kind].items():
             for field, value in fields.items():
+                if field in _PAYLOAD_FIELDS:
+                    continue
                 writer.writerow([singular, name, field, value])
     text = buffer.getvalue()
     if path is not None:
@@ -58,10 +73,80 @@ def to_csv(registry: MetricsRegistry, path: Optional[PathLike] = None) -> str:
     return text
 
 
+def _metric_name(name: str, prefix: str = "repro") -> str:
+    """Sanitize a dotted/slashed metric name into OpenMetrics grammar."""
+    return f"{prefix}_{_METRIC_NAME_RE.sub('_', name)}".strip("_")
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _openmetrics_histogram(lines: List[str], name: str, hist: Histogram) -> None:
+    lines.append(f"# TYPE {name} histogram")
+    for upper, cumulative in hist.cumulative_buckets():
+        lines.append(
+            f'{name}_bucket{{le="{_format_value(upper)}"}} {cumulative}'
+        )
+    lines.append(f"{name}_sum {_format_value(hist.total)}")
+    lines.append(f"{name}_count {hist.count}")
+
+
+def to_openmetrics(
+    registry: MetricsRegistry, path: Optional[PathLike] = None
+) -> str:
+    """Render the registry in OpenMetrics text exposition format.
+
+    Counters become ``<name>_total`` counter samples, gauges stay gauges,
+    and histograms/timers/spans become OpenMetrics histograms whose ``le``
+    buckets come from the log-bucket layout (computed on the fly for
+    histograms still on the exact path, so the exposition is stable across
+    the spill).  Metric names are sanitized into the exposition grammar
+    (``oracle.probes`` -> ``repro_oracle_probes``).  The document ends
+    with the mandatory ``# EOF`` marker.
+    """
+    lines: List[str] = []
+    for name, counter in sorted(registry.counters.items()):
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}_total {_format_value(counter.value)}")
+    for name, gauge in sorted(registry.gauges.items()):
+        if gauge.value is None:
+            continue
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(gauge.value)}")
+    for family, prefix in (
+        (registry.histograms, "repro"),
+        (registry.timers, "repro_timer"),
+        (registry.spans, "repro_span"),
+    ):
+        for name, hist in sorted(family.items()):
+            _openmetrics_histogram(lines, _metric_name(name, prefix), hist)
+    lines.append("# EOF")
+    text = "\n".join(lines) + "\n"
+    if path is not None:
+        atomic_write_text(path, text)
+    return text
+
+
 def export_file(registry: MetricsRegistry, path: PathLike) -> None:
-    """Write the registry to ``path``; ``.csv`` selects CSV, else JSON."""
-    if str(path).endswith(".csv"):
+    """Write the registry to ``path``, picking the format from the suffix.
+
+    ``.csv`` selects CSV, ``.prom`` / ``.om`` / ``.openmetrics`` select
+    the OpenMetrics text format, anything else gets JSON.
+    """
+    text = str(path)
+    if text.endswith(".csv"):
         to_csv(registry, path)
+    elif text.endswith((".prom", ".om", ".openmetrics")):
+        to_openmetrics(registry, path)
     else:
         to_json(registry, path)
 
@@ -86,6 +171,9 @@ def report(registry: MetricsRegistry) -> str:
             "count": v["count"],
             "mean": v["mean"],
             "min": v["min"],
+            "p50": v["p50"],
+            "p90": v["p90"],
+            "p99": v["p99"],
             "max": v["max"],
             "total": v["total"],
         }
@@ -100,6 +188,8 @@ def report(registry: MetricsRegistry) -> str:
             "calls": v["count"],
             "total_s": v["total"],
             "mean_s": v["mean"],
+            "p50_s": v["p50"],
+            "p99_s": v["p99"],
             "max_s": v["max"],
         }
         for k, v in snap["spans"].items()
@@ -110,6 +200,8 @@ def report(registry: MetricsRegistry) -> str:
             "calls": v["count"],
             "total_s": v["total"],
             "mean_s": v["mean"],
+            "p50_s": v["p50"],
+            "p99_s": v["p99"],
             "max_s": v["max"],
         }
         for k, v in snap["timers"].items()

@@ -1,4 +1,4 @@
-"""Metric primitives: counters, gauges, histograms, and timers.
+"""Metric primitives: counters, gauges, quantile histograms, and timers.
 
 These are deliberately tiny, zero-dependency value objects.  They carry no
 locking and no global state — a :class:`~repro.obs.registry.MetricsRegistry`
@@ -9,16 +9,59 @@ Determinism note: everything except wall-clock durations is a pure function
 of the algorithm's execution, so counter/gauge/histogram values from a
 seeded run are reproducible bit-for-bit and usable as regression fixtures
 (``tests/test_obs.py`` pins this).
+
+Histogram design
+----------------
+:class:`Histogram` reports quantiles (p50/p90/p99/p99.9), not just a
+count/total/min/max summary.  Two representations back it:
+
+* **exact** — the first :data:`EXACT_LIMIT` observations are kept raw, so
+  small-n histograms (most per-run phase distributions, and everything the
+  test suite checks) report *exact* quantiles;
+* **log-bucketed** — past the limit, observations spill into logarithmic
+  buckets with growth factor :data:`GROWTH` per bucket (~19% relative
+  width), preserving quantile accuracy to within one bucket width at any
+  stream length in O(1) memory per occupied bucket.  Negative values use a
+  mirrored bucket array and zeros are counted separately, so the full real
+  line is covered.
+
+Both representations merge *exactly*: folding worker snapshots into a
+parent histogram reproduces the distribution the serial run would have
+seen (raw values concatenate; bucket counts add — bucket boundaries are
+fixed by construction, never data-dependent), which is what makes
+cross-process quantiles trustworthy.  ``docs/observability.md`` documents
+the semantics.
 """
 
 from __future__ import annotations
 
+import math
 from time import perf_counter
-from typing import Callable, Dict, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
-__all__ = ["Counter", "Gauge", "Histogram", "Timer"]
+__all__ = ["Counter", "Gauge", "Histogram", "Timer", "EXACT_LIMIT", "GROWTH"]
 
 Number = Union[int, float]
+
+#: Raw observations retained before spilling to log buckets.
+EXACT_LIMIT = 512
+
+#: Per-bucket growth factor of the log-bucket layout (4 buckets per octave).
+GROWTH = 2.0 ** 0.25
+
+_LOG_GROWTH = math.log(GROWTH)
+
+#: Bucket-index clamp: GROWTH**±_INDEX_CLAMP spans ~1e-30 .. 1e+30, far past
+#: any duration/count the pipeline emits; outliers land in the edge bucket.
+_INDEX_CLAMP = 400
+
+#: Quantiles reported by :meth:`Histogram.snapshot`.
+_SNAPSHOT_QUANTILES: Tuple[Tuple[str, float], ...] = (
+    ("p50", 0.50),
+    ("p90", 0.90),
+    ("p99", 0.99),
+    ("p999", 0.999),
+)
 
 
 class Counter:
@@ -66,15 +109,35 @@ class Gauge:
         return f"Gauge({self.name!r}, value={self.value!r})"
 
 
-class Histogram:
-    """Running summary of a stream of observations.
+def bucket_index(value: float) -> int:
+    """Log-bucket index of a positive magnitude (clamped to the layout)."""
+    index = math.floor(math.log(value) / _LOG_GROWTH)
+    return max(-_INDEX_CLAMP, min(_INDEX_CLAMP, index))
 
-    Keeps count / sum / min / max / last in O(1) memory, which is enough
-    for the per-level and per-chain quantities the pipeline emits (sample
-    sizes, shrink factors, chain sizes, span durations).
+
+def bucket_bounds(index: int) -> Tuple[float, float]:
+    """``(lower, upper)`` magnitude bounds of bucket ``index``."""
+    return GROWTH ** index, GROWTH ** (index + 1)
+
+
+def _bucket_representative(index: int) -> float:
+    """Geometric midpoint of bucket ``index`` — the reported quantile value."""
+    return GROWTH ** (index + 0.5)
+
+
+class Histogram:
+    """Mergeable quantile histogram over a stream of observations.
+
+    Keeps count / total / min / max / last plus either the raw values
+    (up to :data:`EXACT_LIMIT` observations — exact quantiles) or sparse
+    logarithmic buckets (quantiles within one bucket width).  Merging via
+    :meth:`merge_summary` is exact in both modes: a parent that folds in
+    worker snapshots reports the same quantiles a single-process run over
+    the union of observations would.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "last")
+    __slots__ = ("name", "count", "total", "min", "max", "last",
+                 "_raw", "_zeros", "_pos", "_neg")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -83,9 +146,17 @@ class Histogram:
         self.min: Optional[float] = None
         self.max: Optional[float] = None
         self.last: Optional[float] = None
+        self._raw: Optional[List[float]] = []
+        self._zeros: int = 0
+        self._pos: Dict[int, int] = {}
+        self._neg: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
 
     def observe(self, value: Number) -> None:
-        """Fold one observation into the summary."""
+        """Fold one observation into the histogram."""
         value = float(value)
         self.count += 1
         self.total += value
@@ -94,20 +165,107 @@ class Histogram:
         if self.max is None or value > self.max:
             self.max = value
         self.last = value
+        if self._raw is not None:
+            self._raw.append(value)
+            if len(self._raw) > EXACT_LIMIT:
+                self._spill()
+        else:
+            self._bucket_one(value)
+
+    def _bucket_one(self, value: float) -> None:
+        if value == 0.0:
+            self._zeros += 1
+        elif value > 0.0:
+            index = bucket_index(value)
+            self._pos[index] = self._pos.get(index, 0) + 1
+        else:
+            index = bucket_index(-value)
+            self._neg[index] = self._neg.get(index, 0) + 1
+
+    def _spill(self) -> None:
+        """Switch from raw values to log buckets (one-way, exact at switch)."""
+        raw, self._raw = self._raw, None
+        assert raw is not None
+        for value in raw:
+            self._bucket_one(value)
+
+    @property
+    def exact(self) -> bool:
+        """Whether quantiles are still computed from raw observations."""
+        return self._raw is not None
 
     @property
     def mean(self) -> Optional[float]:
         """Arithmetic mean of all observations, or ``None`` when empty."""
         return self.total / self.count if self.count else None
 
-    def merge_summary(self, summary: Dict[str, Optional[float]]) -> None:
-        """Fold another histogram's :meth:`snapshot` into this one.
+    # ------------------------------------------------------------------
+    # Quantiles
+    # ------------------------------------------------------------------
+
+    def quantile(self, q: float) -> Optional[float]:
+        """The ``q``-quantile (nearest-rank), or ``None`` when empty.
+
+        Exact while raw values are retained; within one bucket width
+        (a factor of :data:`GROWTH` in magnitude) after spilling.
+        """
+        return self.quantiles([q])[0]
+
+    def quantiles(self, qs: List[float]) -> List[Optional[float]]:
+        """Several quantiles in one pass (one sort / one bucket walk)."""
+        for q in qs:
+            if not 0.0 <= q <= 1.0:
+                raise ValueError(f"quantile must be in [0, 1]; got {q}")
+        if self.count == 0:
+            return [None for _ in qs]
+        ranks = [max(1, math.ceil(q * self.count)) for q in qs]
+        if self._raw is not None:
+            ordered = sorted(self._raw)
+            return [ordered[rank - 1] for rank in ranks]
+        return [self._bucket_rank(rank) for rank in ranks]
+
+    def _bucket_rank(self, rank: int) -> float:
+        """Value at 1-based ``rank`` in the bucketed distribution."""
+        seen = 0
+        for index in sorted(self._neg, reverse=True):  # most negative first
+            seen += self._neg[index]
+            if seen >= rank:
+                return self._clamp(-_bucket_representative(index))
+        seen += self._zeros
+        if seen >= rank:
+            return 0.0
+        for index in sorted(self._pos):
+            seen += self._pos[index]
+            if seen >= rank:
+                return self._clamp(_bucket_representative(index))
+        return self.max if self.max is not None else 0.0
+
+    def _clamp(self, value: float) -> float:
+        """Clamp a bucket representative into the observed [min, max] range."""
+        if self.min is not None and value < self.min:
+            return self.min
+        if self.max is not None and value > self.max:
+            return self.max
+        return value
+
+    # ------------------------------------------------------------------
+    # Merging (cross-process exactness)
+    # ------------------------------------------------------------------
+
+    def merge_summary(self, summary: Dict[str, Any]) -> None:
+        """Fold another histogram's :meth:`snapshot` into this one, exactly.
 
         Used when worker-process registries are merged back into a parent:
-        counts and totals add, min/max combine, and ``last`` takes the
-        merged summary's last (merge order is the deterministic task
-        order, so the result matches a serial run for order-insensitive
-        fields).
+        counts and totals add, min/max combine, ``last`` takes the merged
+        summary's last (merge order is the deterministic task order), and
+        the distribution payload — raw values while both sides are exact,
+        bucket counts otherwise — is folded so the merged quantiles equal
+        a single-process run over the same observations
+        (``tests/test_trace.py`` pins worker-merged == serial).
+
+        Summaries without a distribution payload (snapshots from versions
+        predating bucketed histograms) degrade to the old lossy behavior:
+        scalars fold, quantiles of the foreign part are unavailable.
         """
         count = int(summary.get("count") or 0)
         if count == 0:
@@ -125,8 +283,38 @@ class Histogram:
         if last is not None:
             self.last = float(last)
 
-    def snapshot(self) -> Dict[str, Optional[float]]:
-        return {
+        raw = summary.get("raw")
+        buckets = summary.get("buckets")
+        if raw is not None:
+            if self._raw is not None and len(self._raw) + len(raw) <= EXACT_LIMIT:
+                self._raw.extend(float(v) for v in raw)
+            else:
+                if self._raw is not None:
+                    self._spill()
+                for value in raw:
+                    self._bucket_one(float(value))
+        elif buckets is not None:
+            if self._raw is not None:
+                self._spill()
+            self._zeros += int(buckets.get("zeros") or 0)
+            for store, key in ((self._pos, "pos"), (self._neg, "neg")):
+                for index, bucket_count in buckets.get(key) or []:
+                    index = int(index)
+                    store[index] = store.get(index, 0) + int(bucket_count)
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-serializable summary: scalars, quantiles, and the payload.
+
+        The ``raw`` / ``buckets`` keys carry the mergeable distribution
+        (exactly one is present for a non-empty histogram); everything
+        else is a scalar field for reports and spreadsheets.
+        """
+        quantiles = self.quantiles([q for _, q in _SNAPSHOT_QUANTILES])
+        doc: Dict[str, Any] = {
             "count": self.count,
             "total": self.total,
             "mean": self.mean,
@@ -134,6 +322,54 @@ class Histogram:
             "max": self.max,
             "last": self.last,
         }
+        for (label, _), value in zip(_SNAPSHOT_QUANTILES, quantiles):
+            doc[label] = value
+        if self._raw is not None:
+            if self._raw:
+                doc["raw"] = list(self._raw)
+        else:
+            doc["buckets"] = {
+                "zeros": self._zeros,
+                "pos": sorted(self._pos.items()),
+                "neg": sorted(self._neg.items()),
+            }
+        return doc
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs for exposition formats.
+
+        Bucketizes the raw values on the fly when still exact, so the
+        OpenMetrics exporter sees one stable layout either way.  The final
+        pair is ``(inf, count)``.
+        """
+        pos: Dict[int, int] = dict(self._pos)
+        neg: Dict[int, int] = dict(self._neg)
+        zeros = self._zeros
+        if self._raw is not None:
+            pos, neg, zeros = {}, {}, 0
+            for value in self._raw:
+                if value == 0.0:
+                    zeros += 1
+                elif value > 0.0:
+                    index = bucket_index(value)
+                    pos[index] = pos.get(index, 0) + 1
+                else:
+                    index = bucket_index(-value)
+                    neg[index] = neg.get(index, 0) + 1
+        pairs: List[Tuple[float, int]] = []
+        running = 0
+        for index in sorted(neg, reverse=True):
+            running += neg[index]
+            # Upper bound of a negative bucket is its *least* negative edge.
+            pairs.append((-(GROWTH ** index), running))
+        running += zeros
+        if zeros:
+            pairs.append((0.0, running))
+        for index in sorted(pos):
+            running += pos[index]
+            pairs.append((GROWTH ** (index + 1), running))
+        pairs.append((math.inf, self.count))
+        return pairs
 
     def __repr__(self) -> str:
         return f"Histogram({self.name!r}, count={self.count}, mean={self.mean!r})"

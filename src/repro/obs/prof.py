@@ -1,0 +1,166 @@
+"""Deterministic phase-attribution profiler over span timelines.
+
+Consumes the trace-event documents produced by a tracing session (or
+loaded back from a Chrome trace file via
+:func:`repro.obs.trace.load_trace_events`) and aggregates the span tree
+into a per-phase table:
+
+* **cumulative time** — total wall-clock spent inside a span path,
+  summed over all of its occurrences;
+* **self time** — cumulative time minus the cumulative time of the
+  path's *direct* children, i.e. time attributable to the phase's own
+  code.  Ancestry is carried by the span path itself (``active/
+  sample_chains/chain[3]`` is a child of ``active/sample_chains``), which
+  makes the attribution a pure function of the trace — no sampling, no
+  symbolication.
+
+Self time can legitimately clamp to zero for phases whose children ran
+*concurrently* (a dispatching span whose worker spans sum to more than
+its own wall-clock); the ``conc`` column reports that overlap factor.
+
+Two export shapes feed external tooling:
+
+* :func:`to_collapsed` — collapsed-stack lines (``a;b;c <self µs>``)
+  consumable by flamegraph.pl, speedscope, or inferno;
+* the table itself via :func:`profile_report` (the ``repro profile``
+  CLI renders this).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from .._util import atomic_write_text, format_table
+from .registry import SPAN_SEP, MetricsRegistry
+
+__all__ = [
+    "profile_events",
+    "profile_report",
+    "to_collapsed",
+]
+
+TraceEvent = Dict[str, Any]
+PathLike = Union[str, Path]
+
+#: Sort keys accepted by :func:`profile_report` (column -> row key).
+SORT_KEYS = {"self": "self_s", "cum": "cum_s", "calls": "calls"}
+
+
+def _span_events(
+    source: Union[MetricsRegistry, Sequence[TraceEvent]],
+) -> List[TraceEvent]:
+    events = (source.trace_events if isinstance(source, MetricsRegistry)
+              else source)
+    return [e for e in events
+            if e.get("dur") is not None and e.get("path")]
+
+
+def profile_events(
+    source: Union[MetricsRegistry, Sequence[TraceEvent]],
+) -> List[Dict[str, Any]]:
+    """Aggregate span events into per-path self/cumulative rows.
+
+    Rows are sorted by self time, descending.  Each row carries::
+
+        {"phase": path, "calls": n, "cum_s": ..., "self_s": ...,
+         "mean_s": cum/calls, "conc": children_cum / cum (capped >= 1.0)}
+
+    ``conc`` > 1 flags phases whose direct children overlapped in time
+    (parallel dispatch); for purely serial phases it stays <= 1.
+    """
+    cum_ns: Dict[str, int] = {}
+    calls: Dict[str, int] = {}
+    for event in _span_events(source):
+        path = event["path"]
+        cum_ns[path] = cum_ns.get(path, 0) + int(event["dur"])
+        calls[path] = calls.get(path, 0) + 1
+    child_ns: Dict[str, int] = {}
+    for path, total in cum_ns.items():
+        if SPAN_SEP in path:
+            parent = path.rsplit(SPAN_SEP, 1)[0]
+            if parent in cum_ns:
+                child_ns[parent] = child_ns.get(parent, 0) + total
+    rows: List[Dict[str, Any]] = []
+    for path in cum_ns:
+        cum = cum_ns[path]
+        children = child_ns.get(path, 0)
+        rows.append({
+            "phase": path,
+            "calls": calls[path],
+            "cum_s": cum / 1e9,
+            "self_s": max(0, cum - children) / 1e9,
+            "mean_s": cum / calls[path] / 1e9,
+            "conc": round(children / cum, 3) if cum and children > cum else 1.0,
+        })
+    rows.sort(key=lambda row: (-row["self_s"], row["phase"]))
+    return rows
+
+
+def profile_report(
+    source: Union[MetricsRegistry, Sequence[TraceEvent]],
+    *,
+    sort: str = "self",
+    top: Optional[int] = None,
+) -> str:
+    """Render the self/cumulative phase table as aligned text."""
+    try:
+        key = SORT_KEYS[sort]
+    except KeyError:
+        raise ValueError(
+            f"sort must be one of {sorted(SORT_KEYS)}; got {sort!r}"
+        ) from None
+    rows = profile_events(source)
+    if not rows:
+        return "(no span events in trace)"
+    rows.sort(key=lambda row: (-row[key], row["phase"]))
+    if top is not None:
+        rows = rows[: max(0, top)]
+    display = [
+        {
+            "phase": row["phase"],
+            "calls": row["calls"],
+            "self_s": f"{row['self_s']:.6f}",
+            "cum_s": f"{row['cum_s']:.6f}",
+            "mean_s": f"{row['mean_s']:.6f}",
+            "conc": row["conc"],
+        }
+        for row in rows
+    ]
+    return format_table(display)
+
+
+def to_collapsed(
+    source: Union[MetricsRegistry, Sequence[TraceEvent]],
+    path: Optional[PathLike] = None,
+) -> str:
+    """Collapsed-stack output: one ``frame;frame;frame <self µs>`` per line.
+
+    The value attributed to each stack is its *self* time in integer
+    microseconds — the flamegraph convention, where a frame's total width
+    comes from summing its own line with its descendants'.  Lines are
+    sorted lexicographically (the canonical collapsed-stack order); zero
+    self-time stacks are kept only if they have no children, so purely
+    structural phases do not clutter the graph.
+    """
+    cum_ns: Dict[str, int] = {}
+    for event in _span_events(source):
+        cum_ns[event["path"]] = cum_ns.get(event["path"], 0) + int(event["dur"])
+    child_ns: Dict[str, int] = {}
+    parents = set()
+    for span_path, total in cum_ns.items():
+        if SPAN_SEP in span_path:
+            parent = span_path.rsplit(SPAN_SEP, 1)[0]
+            if parent in cum_ns:
+                parents.add(parent)
+                child_ns[parent] = child_ns.get(parent, 0) + total
+    lines: List[str] = []
+    for span_path in sorted(cum_ns):
+        self_us = max(0, cum_ns[span_path] - child_ns.get(span_path, 0)) // 1000
+        if self_us == 0 and span_path in parents:
+            continue
+        lines.append(f"{span_path.replace(SPAN_SEP, ';')} {self_us}")
+    text = "\n".join(lines) + ("\n" if lines else "")
+    if path is not None:
+        atomic_write_text(path, text)
+    return text

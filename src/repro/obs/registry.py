@@ -1,9 +1,10 @@
-"""Session-scoped metrics registry and the no-op disabled path.
+"""Session-scoped metrics registry, timeline tracing, and the no-op path.
 
-Two recorders implement the same five-method protocol:
+Two recorders implement the same recording protocol:
 
 * :class:`MetricsRegistry` — collects counters, gauges, histograms, timers,
-  and hierarchical spans for one run;
+  hierarchical spans, and (when tracing is enabled) timeline trace events
+  for one run;
 * :class:`NullRecorder` — every method is a no-op and ``enabled`` is
   ``False``, so instrumented hot loops can guard a whole block behind a
   single attribute check (``if rec.enabled: ...``) and pay nothing when
@@ -23,10 +24,21 @@ levels, matching rounds, flow pushes — lands in ``registry``.  Because the
 scope is a contextvar, nested sessions shadow outer ones and concurrent
 tasks (threads with distinct contexts, asyncio tasks) each see their own
 registry rather than colliding in a process-global singleton.
+
+Timeline tracing (``metrics_session(trace=True)``) additionally records
+one :class:`TraceEvent`-shaped document per completed span — wall-aligned
+monotonic timestamps, process/thread ids, span identity/parentage, and
+typed attributes — plus instant events (:meth:`MetricsRegistry.event`).
+The buffer exports to Chrome trace-event JSON via
+:func:`repro.obs.trace.to_chrome_trace` and feeds the phase profiler
+(:mod:`repro.obs.prof`); ``docs/observability.md`` documents the format.
 """
 
 from __future__ import annotations
 
+import os
+import threading
+import time
 from contextlib import contextmanager
 from contextvars import ContextVar
 from typing import Any, Dict, Iterator, List, Optional, Union
@@ -48,6 +60,10 @@ Number = Union[int, float]
 #: Separator between nested span names in a span path.
 SPAN_SEP = "/"
 
+#: Default cap on buffered trace events per registry; past it, events are
+#: dropped (counted in ``trace_dropped``) rather than exhausting memory.
+TRACE_EVENT_LIMIT = 200_000
+
 
 class _NullContext:
     """Reusable no-op context manager returned by the disabled recorder."""
@@ -59,6 +75,9 @@ class _NullContext:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         return None
+
+    def set_attr(self, key: str, value: Any) -> None:
+        """No-op attribute setter (mirrors :meth:`Span.set_attr`)."""
 
 
 _NULL_CONTEXT = _NullContext()
@@ -76,6 +95,7 @@ class NullRecorder:
     __slots__ = ()
 
     enabled = False
+    trace = False
 
     def incr(self, name: str, amount: Number = 1) -> None:
         pass
@@ -97,6 +117,9 @@ class NullRecorder:
 
     def span(self, name: str) -> _NullContext:
         return _NULL_CONTEXT
+
+    def event(self, name: str, **attrs: Any) -> None:
+        pass
 
     def merge_snapshot(
         self,
@@ -120,30 +143,71 @@ class Span:
     Entering pushes the span's name onto the owning registry's span stack;
     the full path (stack joined with ``/``) keys a duration histogram, so
     re-entering the same phase accumulates count and total wall-clock.
+
+    When the registry traces, exiting additionally records a timeline
+    event carrying wall-aligned start/end timestamps, the process and
+    thread id, a session-unique span id, the parent span's id, and any
+    typed attributes attached via :meth:`set_attr`.  A span that exits via
+    an exception still records (the ``error`` attribute carries the
+    exception type), so trace files never contain dangling spans.
     """
 
-    __slots__ = ("_registry", "name", "path", "elapsed", "_timer")
+    __slots__ = ("_registry", "name", "path", "elapsed", "attrs",
+                 "span_id", "parent_id", "_start_ns")
 
     def __init__(self, registry: "MetricsRegistry", name: str) -> None:
         self._registry = registry
         self.name = name
         self.path: Optional[str] = None
         self.elapsed: Optional[float] = None
-        self._timer = Timer()
+        self.attrs: Optional[Dict[str, Any]] = None
+        self.span_id: Optional[str] = None
+        self.parent_id: Optional[str] = None
+        self._start_ns: Optional[int] = None
+
+    def set_attr(self, key: str, value: Any) -> None:
+        """Attach a typed attribute (shown in trace viewers under ``args``)."""
+        if self.attrs is None:
+            self.attrs = {}
+        self.attrs[key] = value
 
     def __enter__(self) -> "Span":
-        stack = self._registry._span_stack
+        registry = self._registry
+        self.parent_id = registry.current_span_id
+        self.span_id = registry._new_span_id()
+        stack = registry._span_stack
         stack.append(self.name)
+        registry._span_ids.append(self.span_id)
         self.path = SPAN_SEP.join(stack)
-        self._timer.__enter__()
+        self._start_ns = time.perf_counter_ns()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self._timer.__exit__(exc_type, exc, tb)
-        self.elapsed = self._timer.elapsed
-        if self.path is not None and self.elapsed is not None:
-            self._registry._record_span(self.path, self.elapsed)
-        self._registry._span_stack.pop()
+        end_ns = time.perf_counter_ns()
+        registry = self._registry
+        start_ns = self._start_ns
+        if start_ns is None:
+            raise RuntimeError("Span exited without __enter__")
+        self.elapsed = (end_ns - start_ns) / 1e9
+        if self.path is not None:
+            registry._record_span(self.path, self.elapsed)
+            if registry.trace:
+                if exc_type is not None:
+                    self.set_attr("error", exc_type.__name__)
+                registry._append_trace({
+                    "name": self.name,
+                    "path": self.path,
+                    "cat": "span",
+                    "ts": registry._wall_ns(start_ns),
+                    "dur": end_ns - start_ns,
+                    "pid": registry._pid,
+                    "tid": threading.get_native_id(),
+                    "id": self.span_id,
+                    "parent": self.parent_id,
+                    "args": self.attrs,
+                })
+        registry._span_stack.pop()
+        registry._span_ids.pop()
 
     def __repr__(self) -> str:
         return f"Span({self.path or self.name!r}, elapsed={self.elapsed!r})"
@@ -156,6 +220,12 @@ class MetricsRegistry:
     ``flow.dinic.phases``); span paths are slash-joined (``active/solve``).
     The registry is not thread-safe by design — one registry per context,
     scoping handled by :func:`metrics_session`.
+
+    ``trace=True`` turns on the timeline buffer: completed spans and
+    instant events accumulate in :attr:`trace_events` (wall-aligned
+    nanosecond timestamps, capped at ``trace_limit``).  Tracing rides on
+    top of the always-on span duration histograms; with ``trace=False``
+    span accounting behaves exactly as before and costs no buffering.
     """
 
     enabled = True
@@ -167,17 +237,40 @@ class MetricsRegistry:
         "histograms",
         "timers",
         "spans",
+        "trace",
+        "trace_limit",
+        "trace_events",
+        "trace_dropped",
         "_span_stack",
+        "_span_ids",
+        "_span_counter",
+        "_pid",
+        "_epoch_wall_ns",
+        "_epoch_pc_ns",
     )
 
-    def __init__(self, name: str = "session") -> None:
+    def __init__(self, name: str = "session", *, trace: bool = False,
+                 trace_limit: int = TRACE_EVENT_LIMIT) -> None:
         self.name = name
         self.counters: Dict[str, Counter] = {}
         self.gauges: Dict[str, Gauge] = {}
         self.histograms: Dict[str, Histogram] = {}
         self.timers: Dict[str, Histogram] = {}
         self.spans: Dict[str, Histogram] = {}
+        self.trace = bool(trace)
+        self.trace_limit = int(trace_limit)
+        self.trace_events: List[Dict[str, Any]] = []
+        self.trace_dropped: int = 0
         self._span_stack: List[str] = []
+        self._span_ids: List[str] = []
+        self._span_counter = 0
+        self._pid = os.getpid()
+        # Epoch pair anchoring monotonic perf_counter readings to the wall
+        # clock: event ts = epoch_wall + (pc - epoch_pc).  Workers on the
+        # same host share the wall clock, which is what keeps merged
+        # cross-process timelines aligned.
+        self._epoch_wall_ns = time.time_ns()
+        self._epoch_pc_ns = time.perf_counter_ns()
 
     # ------------------------------------------------------------------
     # Recording protocol (shared with NullRecorder)
@@ -226,6 +319,47 @@ class MetricsRegistry:
         """A context manager tracing one hierarchical phase ``name``."""
         return Span(self, name)
 
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record an instant timeline event (fault injected, retry, ...).
+
+        No-op unless tracing is enabled: instant events exist for the
+        timeline, not for aggregate metrics — pair with a counter when the
+        aggregate matters.  The event is parented to the innermost open
+        span and carries the current span path.
+        """
+        if not self.trace:
+            return
+        self._append_trace({
+            "name": name,
+            "path": self.span_path,
+            "cat": "mark",
+            "ts": self._wall_ns(time.perf_counter_ns()),
+            "dur": None,
+            "pid": self._pid,
+            "tid": threading.get_native_id(),
+            "id": self._new_span_id(),
+            "parent": self.current_span_id,
+            "args": attrs or None,
+        })
+
+    # ------------------------------------------------------------------
+    # Trace internals
+    # ------------------------------------------------------------------
+
+    def _wall_ns(self, pc_ns: int) -> int:
+        """Convert a ``perf_counter_ns`` reading to wall-clock nanoseconds."""
+        return self._epoch_wall_ns + (pc_ns - self._epoch_pc_ns)
+
+    def _new_span_id(self) -> str:
+        self._span_counter += 1
+        return f"{self._pid}:{self._span_counter}"
+
+    def _append_trace(self, event: Dict[str, Any]) -> None:
+        if len(self.trace_events) >= self.trace_limit:
+            self.trace_dropped += 1
+            return
+        self.trace_events.append(event)
+
     # ------------------------------------------------------------------
     # Cross-process merging
     # ------------------------------------------------------------------
@@ -234,6 +368,11 @@ class MetricsRegistry:
     def span_path(self) -> str:
         """The currently open span path (empty string outside any span)."""
         return SPAN_SEP.join(self._span_stack)
+
+    @property
+    def current_span_id(self) -> Optional[str]:
+        """Id of the innermost open span (``None`` outside any span)."""
+        return self._span_ids[-1] if self._span_ids else None
 
     def merge_snapshot(
         self,
@@ -248,7 +387,9 @@ class MetricsRegistry:
         inside its own :func:`metrics_session`, ships ``snapshot()`` back
         (plain picklable dicts), and the parent merges the documents in
         deterministic task order.  Counters and histogram/timer/span
-        summaries are additive; gauges follow ``gauge_merge``:
+        distributions are additive (quantile-exact — see
+        :meth:`repro.obs.metrics.Histogram.merge_summary`); gauges follow
+        ``gauge_merge``:
 
         * ``"last"`` — the later merge wins (matches serial last-write
           semantics when merges happen in task order);
@@ -258,7 +399,11 @@ class MetricsRegistry:
         ``span_prefix`` re-roots the worker's span paths under the parent's
         current phase (pass :attr:`span_path`), so a worker's ``chain[3]``
         lands at ``active/sample_chains/chain[3]`` exactly as it would have
-        in a serial run.
+        in a serial run.  Trace events ride along: their paths get the same
+        prefix, worker-root spans are re-parented under the innermost span
+        open *now* (the dispatching span, since merges happen inside it),
+        and their timestamps/pids stay untouched — wall-clock alignment
+        across processes is what makes the merged timeline coherent.
         """
         if gauge_merge not in ("last", "max"):
             raise ValueError(
@@ -280,7 +425,7 @@ class MetricsRegistry:
             ("timers", self.timers),
             ("spans", self.spans),
         ):
-            summaries: Dict[str, Dict[str, Optional[float]]] = snapshot.get(family, {})
+            summaries: Dict[str, Dict[str, Any]] = snapshot.get(family, {})
             for name, summary in summaries.items():
                 if family == "spans" and span_prefix:
                     name = f"{span_prefix}{SPAN_SEP}{name}"
@@ -288,6 +433,18 @@ class MetricsRegistry:
                 if hist is None:
                     hist = store[name] = Histogram(name)
                 hist.merge_summary(summary)
+        if self.trace:
+            anchor = self.current_span_id
+            for event in snapshot.get("trace") or []:
+                event = dict(event)
+                if span_prefix and event.get("path"):
+                    event["path"] = f"{span_prefix}{SPAN_SEP}{event['path']}"
+                elif span_prefix:
+                    event["path"] = span_prefix
+                if event.get("parent") is None and anchor is not None:
+                    event["parent"] = anchor
+                self._append_trace(event)
+            self.trace_dropped += int(snapshot.get("trace_dropped") or 0)
 
     def merge(
         self,
@@ -323,7 +480,7 @@ class MetricsRegistry:
 
     def snapshot(self) -> dict:
         """A plain-dict, JSON-serializable view of everything recorded."""
-        return {
+        doc = {
             "session": self.name,
             "counters": {k: c.value for k, c in sorted(self.counters.items())},
             "gauges": {k: g.value for k, g in sorted(self.gauges.items())},
@@ -331,6 +488,10 @@ class MetricsRegistry:
             "timers": {k: h.snapshot() for k, h in sorted(self.timers.items())},
             "spans": {k: h.snapshot() for k, h in sorted(self.spans.items())},
         }
+        if self.trace:
+            doc["trace"] = list(self.trace_events)
+            doc["trace_dropped"] = self.trace_dropped
+        return doc
 
     def reset(self) -> None:
         """Drop everything recorded so far (keeps the session name)."""
@@ -339,13 +500,16 @@ class MetricsRegistry:
         self.histograms.clear()
         self.timers.clear()
         self.spans.clear()
+        self.trace_events.clear()
+        self.trace_dropped = 0
         self._span_stack.clear()
+        self._span_ids.clear()
 
     def __repr__(self) -> str:
         return (
             f"MetricsRegistry(name={self.name!r}, "
             f"counters={len(self.counters)}, gauges={len(self.gauges)}, "
-            f"spans={len(self.spans)})"
+            f"spans={len(self.spans)}, trace={self.trace})"
         )
 
 
@@ -371,16 +535,26 @@ def enabled() -> bool:
 
 @contextmanager
 def metrics_session(
-    registry: Optional[MetricsRegistry] = None, name: str = "session"
+    registry: Optional[MetricsRegistry] = None,
+    name: str = "session",
+    *,
+    trace: bool = False,
 ) -> Iterator[MetricsRegistry]:
     """Activate a registry for the dynamic extent of the ``with`` block.
 
     A fresh :class:`MetricsRegistry` is created unless one is passed in
-    (pass your own to accumulate several runs into one registry).  On exit
-    the previous recorder — possibly an outer session's registry — is
-    restored, so sessions nest without interference.
+    (pass your own to accumulate several runs into one registry).
+    ``trace=True`` enables the timeline buffer on the session's registry
+    (it upgrades a passed-in registry in place — tracing cannot be
+    un-requested by a nested session).  On exit the previous recorder —
+    possibly an outer session's registry — is restored, so sessions nest
+    without interference.
     """
-    registry = registry if registry is not None else MetricsRegistry(name)
+    registry = registry if registry is not None else MetricsRegistry(
+        name, trace=trace
+    )
+    if trace:
+        registry.trace = True
     token = _ACTIVE.set(registry)
     try:
         yield registry

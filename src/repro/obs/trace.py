@@ -1,0 +1,206 @@
+"""Timeline traces: Chrome trace-event export, load, and trace context.
+
+The registry's trace buffer (``metrics_session(trace=True)``) holds plain
+event documents::
+
+    {"name": "chain[3]", "path": "active/sample_chains/chain[3]",
+     "cat": "span" | "mark", "ts": <wall ns>, "dur": <ns> | None,
+     "pid": 1234, "tid": 5678, "id": "1234:17", "parent": "1234:9",
+     "args": {...} | None}
+
+``ts`` is a monotonic (``perf_counter``) reading anchored to the wall
+clock at session start, so events from different processes on the same
+host line up on one timeline.  This module converts that buffer to and
+from the Chrome trace-event JSON format, which Perfetto
+(https://ui.perfetto.dev) and ``chrome://tracing`` open directly:
+
+* spans become complete events (``"ph": "X"``) with microsecond ``ts`` /
+  ``dur`` relative to the earliest event in the file;
+* instant events (``"ph": "i"``) mark faults, retries, checkpoints;
+* per-process metadata events name each worker's track.
+
+The span ``path`` and identity travel in ``args`` so a trace file round
+trips losslessly through :func:`load_trace_events` back into the event
+documents the phase profiler (:mod:`repro.obs.prof`) consumes.
+
+:class:`TraceContext` is the cross-process propagation handle:
+``repro.parallel.pool_map`` extracts one from the dispatching session and
+ships it to workers, whose sessions then trace with the same enablement;
+on merge the worker's span tree is re-rooted under the dispatching span
+(see :meth:`repro.obs.MetricsRegistry.merge_snapshot`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from .._util import atomic_write_text
+from .registry import MetricsRegistry, NullRecorder, recorder
+
+__all__ = [
+    "TraceContext",
+    "chrome_trace_document",
+    "to_chrome_trace",
+    "load_trace_events",
+]
+
+PathLike = Union[str, Path]
+TraceEvent = Dict[str, Any]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """What a worker needs to continue the dispatcher's trace.
+
+    ``capture`` mirrors the parent session's ``enabled`` flag, ``trace``
+    its timeline flag, and ``parent_path`` the span path open at dispatch
+    time (informational — re-rooting happens parent-side at merge, keyed
+    on the *parent's* live span stack, so worker code never needs to know
+    where it will be grafted).
+    """
+
+    capture: bool = False
+    trace: bool = False
+    parent_path: str = ""
+
+    @classmethod
+    def current(cls) -> "TraceContext":
+        """Extract the context of the active session (disabled if none)."""
+        rec = recorder()
+        if isinstance(rec, NullRecorder) or not rec.enabled:
+            return cls()
+        return cls(capture=True, trace=bool(rec.trace),
+                   parent_path=rec.span_path)
+
+
+def _registry_events(
+    source: Union[MetricsRegistry, Sequence[TraceEvent]],
+) -> List[TraceEvent]:
+    if isinstance(source, MetricsRegistry):
+        return list(source.trace_events)
+    return list(source)
+
+
+def chrome_trace_document(
+    source: Union[MetricsRegistry, Sequence[TraceEvent]],
+    *,
+    origin_ns: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Build a Chrome trace-event JSON document from a trace buffer.
+
+    Timestamps are converted to microseconds relative to ``origin_ns``
+    (default: the earliest event), keeping the numbers small while
+    preserving cross-process alignment.  Span identity (``id``/``parent``)
+    and the hierarchical ``path`` are preserved under ``args`` so
+    :func:`load_trace_events` can reconstruct the original events.
+    """
+    events = _registry_events(source)
+    if origin_ns is None:
+        origin_ns = min((e["ts"] for e in events), default=0)
+    trace_events: List[Dict[str, Any]] = []
+    named_tracks = set()
+    for event in sorted(events, key=lambda e: e["ts"]):
+        pid = event.get("pid", 0)
+        if pid not in named_tracks:
+            named_tracks.add(pid)
+            trace_events.append({
+                "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                "args": {"name": f"repro pid {pid}"},
+            })
+        args = dict(event.get("args") or {})
+        args["path"] = event.get("path", "")
+        args["span_id"] = event.get("id")
+        if event.get("parent") is not None:
+            args["parent_id"] = event["parent"]
+        record: Dict[str, Any] = {
+            "name": event["name"],
+            "cat": event.get("cat", "span"),
+            "ts": (event["ts"] - origin_ns) / 1e3,
+            "pid": pid,
+            "tid": event.get("tid", 0),
+            "args": args,
+        }
+        if event.get("dur") is None:
+            record["ph"] = "i"
+            record["s"] = "t"
+        else:
+            record["ph"] = "X"
+            record["dur"] = event["dur"] / 1e3
+        trace_events.append(record)
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "origin_ns": origin_ns,
+            "format": "repro.obs.trace/1",
+        },
+    }
+
+
+def to_chrome_trace(
+    source: Union[MetricsRegistry, Sequence[TraceEvent]],
+    path: Optional[PathLike] = None,
+    *,
+    indent: Optional[int] = None,
+) -> str:
+    """Serialize a trace buffer to Chrome trace-event JSON.
+
+    Returns the JSON text; when ``path`` is given the file is written
+    atomically.  Open the result directly in Perfetto or
+    ``chrome://tracing``.
+    """
+    text = json.dumps(chrome_trace_document(source), indent=indent)
+    if path is not None:
+        atomic_write_text(path, text + "\n")
+    return text
+
+
+def load_trace_events(path: PathLike) -> List[TraceEvent]:
+    """Read a Chrome trace JSON file back into trace-event documents.
+
+    Accepts files written by :func:`to_chrome_trace` (full fidelity via
+    the ``args.path`` / ``args.span_id`` round-trip fields) and, with
+    reduced fidelity, any Chrome trace whose complete events carry
+    ``name``/``ts``/``dur`` — foreign events get their name as path.
+    Metadata events are skipped.  Raises :class:`ValueError` on files that
+    are not a Chrome trace document.
+    """
+    raw = Path(path).read_text(encoding="utf-8")
+    try:
+        doc = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not valid JSON ({exc})") from None
+    if isinstance(doc, list):  # Chrome also accepts a bare event array
+        records = doc
+        origin = 0
+    elif isinstance(doc, dict) and isinstance(doc.get("traceEvents"), list):
+        records = doc["traceEvents"]
+        origin = int((doc.get("otherData") or {}).get("origin_ns") or 0)
+    else:
+        raise ValueError(f"{path}: not a Chrome trace-event document")
+    events: List[TraceEvent] = []
+    for record in records:
+        if not isinstance(record, dict) or record.get("ph") not in ("X", "i"):
+            continue
+        args = dict(record.get("args") or {})
+        path_field = args.pop("path", None) or record.get("name", "")
+        span_id = args.pop("span_id", None)
+        parent_id = args.pop("parent_id", None)
+        dur = record.get("dur")
+        events.append({
+            "name": record.get("name", ""),
+            "path": path_field,
+            "cat": record.get("cat", "span"),
+            "ts": int(round(float(record.get("ts", 0.0)) * 1e3)) + origin,
+            "dur": None if record.get("ph") == "i" or dur is None
+                   else int(round(float(dur) * 1e3)),
+            "pid": record.get("pid", 0),
+            "tid": record.get("tid", 0),
+            "id": span_id,
+            "parent": parent_id,
+            "args": args or None,
+        })
+    return events

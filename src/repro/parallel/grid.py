@@ -83,12 +83,12 @@ def _resolve(config: GridConfig) -> Callable[..., List[dict]]:
         ) from None
 
 
-def _run_config(task: Tuple[GridConfig, Optional[str], bool]) -> GridResult:
+def _run_config(task: Tuple[GridConfig, Optional[str], bool, bool]) -> GridResult:
     """Worker-side: run one config, write its result file, return the rows."""
-    config, out_dir, capture = task
+    config, out_dir, capture, trace = task
     runner = _resolve(config)
-    if capture:
-        with metrics_session(name=config.out_name) as registry:
+    if capture or trace:
+        with metrics_session(name=config.out_name, trace=trace) as registry:
             rows = runner(**config.params)
         metrics: Optional[Dict[str, Any]] = registry.snapshot()
     else:
@@ -102,7 +102,7 @@ def _run_config(task: Tuple[GridConfig, Optional[str], bool]) -> GridResult:
             "params": config.params,
             "rows": rows,
         }
-        if metrics is not None:
+        if capture and metrics is not None:
             payload["metrics"] = metrics
         atomic_write_json(path, payload)
         out_path = str(path)
@@ -152,6 +152,7 @@ def run_grid(
     workers: int = 1,
     out_dir: Optional[str] = None,
     capture_metrics: bool = False,
+    capture_trace: bool = False,
     resume: bool = False,
     task_retries: int = 0,
 ) -> List[GridResult]:
@@ -161,6 +162,12 @@ def run_grid(
     as a failed :class:`GridResult` (``ok`` false, ``error`` set) rather
     than aborting the grid; configs that finished earlier keep their rows
     and their already-written result files.
+
+    ``capture_metrics`` runs each config inside its own metrics session
+    and ships the snapshot home in the :class:`GridResult`;
+    ``capture_trace`` additionally enables timeline tracing on those
+    sessions, so the snapshots carry trace events the caller can merge
+    and export (``repro.obs.to_chrome_trace``).
 
     With ``resume`` (requires ``out_dir``), configs whose output file from
     a previous run exists and matches (same experiment, same params) are
@@ -181,7 +188,7 @@ def run_grid(
                 if rec.enabled:
                     rec.incr("resilience.grid_skips")
     tasks = [
-        (config, out_dir, capture_metrics)
+        (config, out_dir, capture_metrics, capture_trace)
         for i, config in enumerate(configs) if i not in completed
     ]
     outcomes = pool_map(_run_config, tasks, workers=workers,

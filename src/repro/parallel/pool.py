@@ -6,12 +6,18 @@
   caller's process — the exact serial code path, with instrumentation
   flowing straight into the ambient metrics registry;
 * ``workers > 1`` dispatches tasks to a ``ProcessPoolExecutor``.  When the
-  caller has an active metrics session, each worker task runs inside its
-  own :func:`repro.obs.metrics_session`; the resulting snapshots travel
-  back with the results and are merged into the caller's registry *in
-  task-submission order*, so counter totals, histogram summaries, and
-  high-water gauges match the serial run exactly (wall-clock timers and
-  span durations are, of course, machine-dependent either way).
+  caller has an active metrics session, a :class:`repro.obs.TraceContext`
+  ships with every task and each worker runs inside its own
+  :func:`repro.obs.metrics_session` (tracing enabled iff the dispatcher
+  traces); the resulting snapshots travel back with the results and are
+  merged into the caller's registry *in task-submission order*, so counter
+  totals, histogram distributions (quantile-exact merge), and high-water
+  gauges match the serial run exactly (wall-clock timers and span
+  durations are, of course, machine-dependent either way).  Worker span
+  *trees* come home too: their trace events keep their wall-aligned
+  timestamps and worker pid, their paths are re-rooted under the
+  dispatching span, so a ``--workers 8`` run yields one coherent timeline
+  (see ``docs/observability.md``).
 
 Results always come back in submission order, never completion order —
 callers rely on that for deterministic downstream merging.
@@ -44,7 +50,7 @@ from concurrent.futures import TimeoutError as _FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
-from ..obs import MetricsRegistry, metrics_session, recorder
+from ..obs import MetricsRegistry, TraceContext, metrics_session, recorder
 
 __all__ = ["pool_map", "WorkerCrashError"]
 
@@ -71,12 +77,17 @@ def _preferred_context() -> multiprocessing.context.BaseContext:
 
 
 def _run_captured(
-    fn: Callable[[T], R], task: T, capture: bool
+    fn: Callable[[T], R], task: T, ctx: TraceContext
 ) -> Tuple[R, Optional[Snapshot]]:
-    """Worker-side shim: run one task, optionally under a metrics session."""
-    if not capture:
+    """Worker-side shim: run one task, optionally under a metrics session.
+
+    ``ctx`` is the dispatching session's trace context: no capture means
+    run bare; capture opens a worker session whose tracing mirrors the
+    dispatcher's, so worker span trees ride home inside the snapshot.
+    """
+    if not ctx.capture:
         return fn(task), None
-    with metrics_session(name="worker") as registry:
+    with metrics_session(name="worker", trace=ctx.trace) as registry:
         result = fn(task)
     return result, registry.snapshot()
 
@@ -93,7 +104,7 @@ def _dispatch(
     indices: Sequence[int],
     outcomes: Dict[int, Any],
     workers: int,
-    capture: bool,
+    ctx: TraceContext,
     task_timeout: Optional[float],
 ) -> List[int]:
     """Run ``tasks[i]`` for each index on one fresh pool, filling ``outcomes``.
@@ -111,7 +122,7 @@ def _dispatch(
         unsubmitted: List[int] = []
         for i in indices:
             try:
-                futures[i] = executor.submit(_run_captured, fn, tasks[i], capture)
+                futures[i] = executor.submit(_run_captured, fn, tasks[i], ctx)
             except BrokenProcessPool:
                 unsubmitted.append(i)
         for i in indices:
@@ -142,12 +153,12 @@ def _run_inline(
     tasks: Sequence[T],
     indices: Sequence[int],
     outcomes: Dict[int, Any],
-    capture: bool,
+    ctx: TraceContext,
 ) -> None:
     """Serial fallback: run the given tasks in the caller's process."""
     for i in indices:
         try:
-            outcomes[i] = _run_captured(fn, tasks[i], capture)
+            outcomes[i] = _run_captured(fn, tasks[i], ctx)
         except Exception as exc:  # noqa: BLE001 - surfaced to caller
             outcomes[i] = exc
 
@@ -158,7 +169,7 @@ def _fanout(
     indices: List[int],
     outcomes: Dict[int, Any],
     workers: int,
-    capture: bool,
+    ctx: TraceContext,
     task_timeout: Optional[float],
 ) -> None:
     """One full dispatch round with broken-pool recovery.
@@ -169,11 +180,11 @@ def _fanout(
     reported as :class:`WorkerCrashError` without taking siblings down.
     """
     try:
-        crashed = _dispatch(fn, tasks, indices, outcomes, workers, capture,
+        crashed = _dispatch(fn, tasks, indices, outcomes, workers, ctx,
                             task_timeout)
     except OSError:
         _incr("resilience.pool_serial_fallbacks")
-        _run_inline(fn, tasks, indices, outcomes, capture)
+        _run_inline(fn, tasks, indices, outcomes, ctx)
         return
     if not crashed:
         return
@@ -181,19 +192,19 @@ def _fanout(
     _incr("resilience.pool_task_resubmits", len(crashed))
     try:
         still_crashed = _dispatch(fn, tasks, crashed, outcomes,
-                                  min(workers, len(crashed)), capture,
+                                  min(workers, len(crashed)), ctx,
                                   task_timeout)
     except OSError:
         _incr("resilience.pool_serial_fallbacks")
-        _run_inline(fn, tasks, crashed, outcomes, capture)
+        _run_inline(fn, tasks, crashed, outcomes, ctx)
         return
     for i in still_crashed:
         try:
-            isolated = _dispatch(fn, tasks, [i], outcomes, 1, capture,
+            isolated = _dispatch(fn, tasks, [i], outcomes, 1, ctx,
                                  task_timeout)
         except OSError:
             _incr("resilience.pool_serial_fallbacks")
-            _run_inline(fn, tasks, [i], outcomes, capture)
+            _run_inline(fn, tasks, [i], outcomes, ctx)
             continue
         if isolated:
             _incr("resilience.worker_crashes")
@@ -254,11 +265,11 @@ def pool_map(
         return _serial_map(fn, tasks, return_exceptions, task_retries)
 
     parent = recorder()
-    capture = bool(parent.enabled)
+    ctx = TraceContext.current()
     span_prefix = parent.span_path if isinstance(parent, MetricsRegistry) else ""
     outcomes: Dict[int, Any] = {}
     indices = list(range(len(tasks)))
-    _fanout(fn, tasks, indices, outcomes, workers, capture, task_timeout)
+    _fanout(fn, tasks, indices, outcomes, workers, ctx, task_timeout)
     for _ in range(max(0, task_retries)):
         failed = [
             i for i in indices
@@ -269,7 +280,7 @@ def pool_map(
             break
         _incr("resilience.task_retries", len(failed))
         retry_outcomes: Dict[int, Any] = {}
-        _fanout(fn, tasks, failed, retry_outcomes, workers, capture,
+        _fanout(fn, tasks, failed, retry_outcomes, workers, ctx,
                 task_timeout)
         outcomes.update(retry_outcomes)
 

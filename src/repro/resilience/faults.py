@@ -156,13 +156,16 @@ class FaultyOracle(OracleWrapper):
 
     # ------------------------------------------------------------------
 
-    def _record_fault(self, kind: str) -> None:
+    def _record_fault(self, kind: str, index: int) -> None:
         self.faults_injected += 1
         self.fault_counts[kind] = self.fault_counts.get(kind, 0) + 1
         rec = recorder()
         if rec.enabled:
             rec.incr("resilience.faults_injected")
             rec.incr(f"resilience.faults.{kind}")
+            # Instant timeline marker: a trace shows *when* each fault
+            # fired relative to the phase spans around it.
+            rec.event(f"fault.{kind}", index=index)
 
     def _is_dead(self, index: int) -> bool:
         if index in self.spec.dead_indices:
@@ -182,7 +185,7 @@ class FaultyOracle(OracleWrapper):
         self._attempts[index] = attempt + 1
         spec = self.spec
         if self._is_dead(index):
-            self._record_fault("dead")
+            self._record_fault("dead", index)
             raise OraclePermanentError(f"point {index} is permanently dead")
         seq = np.random.SeedSequence(
             [spec.seed & 0xFFFFFFFF, index, attempt, _ATTEMPT_TAG]
@@ -197,20 +200,20 @@ class FaultyOracle(OracleWrapper):
         if rec.enabled and spec.latency_mean > 0.0:
             rec.observe("resilience.simulated_latency", latency)
         if u_transient < spec.transient_rate:
-            self._record_fault("transient")
+            self._record_fault("transient", index)
             raise OracleTransientError(
                 f"transient fault probing point {index} (attempt {attempt})"
             )
         if u_timeout < spec.timeout_rate or (
             self.timeout is not None and latency > self.timeout
         ):
-            self._record_fault("timeout")
+            self._record_fault("timeout", index)
             raise OracleTimeoutError(
                 f"probe of point {index} timed out (attempt {attempt})"
             )
         label = self._inner.probe(index)
         if u_flip < spec.flip_rate:
-            self._record_fault("flip")
+            self._record_fault("flip", index)
             label = 1 - label
         return label
 

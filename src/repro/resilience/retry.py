@@ -198,7 +198,18 @@ class ResilientOracle(OracleWrapper):
             if breaker is not None:
                 breaker.before_call()
             try:
-                label = self._inner.probe(index)
+                if attempt > 1 and rec.enabled:
+                    # Retries appear as *sibling* spans on the timeline —
+                    # retry[2], retry[3], ... under the phase that probed —
+                    # so a trace shows exactly where wall-clock went to
+                    # fault recovery.  First attempts stay span-free: the
+                    # hot path must not pay tracing for healthy probes.
+                    with rec.span(f"retry[{attempt}]") as span:
+                        span.set_attr("index", index)
+                        span.set_attr("attempt", attempt)
+                        label = self._inner.probe(index)
+                else:
+                    label = self._inner.probe(index)
             except OraclePermanentError:
                 if breaker is not None:
                     breaker.record_failure()

@@ -51,8 +51,14 @@ class TestPrimitives:
         for value in (2.0, 4.0, 6.0):
             hist.observe(value)
         snap = hist.snapshot()
-        assert snap == {"count": 3, "total": 12.0, "mean": 4.0,
-                        "min": 2.0, "max": 6.0, "last": 6.0}
+        expected_scalars = {"count": 3, "total": 12.0, "mean": 4.0,
+                            "min": 2.0, "max": 6.0, "last": 6.0}
+        assert {k: snap[k] for k in expected_scalars} == expected_scalars
+        # Small-n histograms report *exact* nearest-rank quantiles and
+        # carry the raw values for exact cross-process merging.
+        assert snap["p50"] == 4.0
+        assert snap["p90"] == snap["p99"] == snap["p999"] == 6.0
+        assert snap["raw"] == [2.0, 4.0, 6.0]
 
     def test_timer_standalone(self):
         with Timer() as timer:
@@ -64,6 +70,116 @@ class TestPrimitives:
         with Timer("t", sink=lambda name, s: seen.setdefault(name, s)):
             pass
         assert "t" in seen and seen["t"] >= 0.0
+
+
+class TestHistogramQuantiles:
+    """Quantile accuracy and cross-process merge fidelity."""
+
+    @staticmethod
+    def _exact_quantile(values, q):
+        """Nearest-rank reference: smallest v with rank >= ceil(q*n)."""
+        import math
+
+        ordered = sorted(values)
+        rank = max(1, math.ceil(q * len(ordered)))
+        return ordered[rank - 1]
+
+    def test_exact_path_matches_nearest_rank_reference(self):
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        values = [float(v) for v in rng.normal(5.0, 2.0, size=200)]
+        hist = Histogram("h")
+        for value in values:
+            hist.observe(value)
+        assert hist.exact
+        for q in (0.5, 0.9, 0.99, 0.999):
+            assert hist.quantile(q) == self._exact_quantile(values, q)
+
+    def test_bucketed_path_within_one_bucket_width(self):
+        """Acceptance: p50/p90/p99 within one log-bucket of the truth."""
+        import numpy as np
+
+        from repro.obs import EXACT_LIMIT, GROWTH
+
+        rng = np.random.default_rng(11)
+        values = [float(v) for v in rng.lognormal(0.0, 1.5, size=5000)]
+        assert len(values) > EXACT_LIMIT
+        hist = Histogram("h")
+        for value in values:
+            hist.observe(value)
+        assert not hist.exact
+        for q in (0.5, 0.9, 0.99):
+            truth = self._exact_quantile(values, q)
+            got = hist.quantile(q)
+            assert truth / GROWTH <= got <= truth * GROWTH, (q, got, truth)
+
+    def test_merged_quantiles_equal_single_process_exact_path(self):
+        """Satellite regression: merge fidelity on the raw-value path."""
+        values = [float(v) for v in range(100)]
+        whole = Histogram("h")
+        for value in values:
+            whole.observe(value)
+        left, right = Histogram("h"), Histogram("h")
+        for value in values[::2]:
+            left.observe(value)
+        for value in values[1::2]:
+            right.observe(value)
+        merged = Histogram("h")
+        merged.merge_summary(left.snapshot())
+        merged.merge_summary(right.snapshot())
+        got, want = merged.snapshot(), whole.snapshot()
+        # Raw values are a multiset (merge order differs from observation
+        # order); everything else — including every quantile — is equal.
+        assert sorted(got.pop("raw")) == sorted(want.pop("raw"))
+        got.pop("last"), want.pop("last")  # legitimately order-dependent
+        assert got == want
+
+    def test_merged_quantiles_equal_single_process_bucketed_path(self):
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        values = [float(v) for v in rng.lognormal(0.0, 1.0, size=2000)]
+        whole = Histogram("h")
+        for value in values:
+            whole.observe(value)
+        parts = [Histogram("h") for _ in range(4)]
+        for i, value in enumerate(values):
+            parts[i % 4].observe(value)
+        merged = Histogram("h")
+        for part in parts:
+            merged.merge_summary(part.snapshot())
+        for q in (0.5, 0.9, 0.99, 0.999):
+            assert merged.quantile(q) == whole.quantile(q)
+        assert merged.count == whole.count
+        assert merged.total == pytest.approx(whole.total)
+
+    def test_negative_and_zero_values(self):
+        hist = Histogram("h")
+        for value in (-4.0, -2.0, 0.0, 0.0, 2.0, 4.0):
+            hist.observe(value)
+        assert hist.quantile(0.5) == -2.0 or hist.quantile(0.5) == 0.0
+        assert hist.min == -4.0 and hist.max == 4.0
+        # Force the spill and re-check the mirrored-bucket walk.
+        from repro.obs import EXACT_LIMIT
+
+        for _ in range(EXACT_LIMIT):
+            hist.observe(-1.0)
+        assert hist.quantile(0.5) < 0
+        assert hist.quantile(0.999) > 0
+
+    def test_cumulative_buckets_monotone_and_complete(self):
+        import math
+
+        hist = Histogram("h")
+        for value in (-3.0, 0.0, 1.0, 5.0, 500.0):
+            hist.observe(value)
+        pairs = hist.cumulative_buckets()
+        uppers = [u for u, _ in pairs]
+        counts = [c for _, c in pairs]
+        assert uppers == sorted(uppers)
+        assert counts == sorted(counts)
+        assert uppers[-1] == math.inf and counts[-1] == hist.count
 
 
 class TestRegistry:

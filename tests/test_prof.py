@@ -1,0 +1,205 @@
+"""Tests for the phase profiler (repro.obs.prof) and OpenMetrics export.
+
+The profiler is a pure function of the span-event list, so most tests
+drive it with hand-built events where the self/cumulative arithmetic can
+be checked exactly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import obs
+from repro.obs import MetricsRegistry, profile_events, profile_report, to_collapsed
+from repro.obs.export import to_openmetrics
+
+MS = 1_000_000  # ns per millisecond
+
+
+def _event(path: str, dur_ns: int) -> dict:
+    name = path.rsplit("/", 1)[-1]
+    return {"name": name, "path": path, "cat": "span", "ts": 0,
+            "dur": dur_ns, "pid": 1, "tid": 1, "id": None, "parent": None,
+            "args": None}
+
+
+class TestProfileEvents:
+    def test_self_time_subtracts_direct_children(self):
+        rows = profile_events([
+            _event("a", 10 * MS),
+            _event("a/b", 6 * MS),
+            _event("a/c", 3 * MS),
+        ])
+        by_phase = {row["phase"]: row for row in rows}
+        assert by_phase["a"]["cum_s"] == pytest.approx(0.010)
+        assert by_phase["a"]["self_s"] == pytest.approx(0.001)
+        assert by_phase["a/b"]["self_s"] == pytest.approx(0.006)
+
+    def test_grandchildren_not_double_subtracted(self):
+        rows = profile_events([
+            _event("a", 10 * MS),
+            _event("a/b", 8 * MS),
+            _event("a/b/c", 5 * MS),
+        ])
+        by_phase = {row["phase"]: row for row in rows}
+        # a's self is cum(a) - cum(a/b); a/b/c is a/b's business.
+        assert by_phase["a"]["self_s"] == pytest.approx(0.002)
+        assert by_phase["a/b"]["self_s"] == pytest.approx(0.003)
+
+    def test_concurrent_children_clamp_self_and_report_overlap(self):
+        rows = profile_events([
+            _event("pool", 4 * MS),
+            _event("pool/w0", 3 * MS),
+            _event("pool/w1", 3 * MS),
+        ])
+        pool = {row["phase"]: row for row in rows}["pool"]
+        assert pool["self_s"] == 0.0
+        assert pool["conc"] == pytest.approx(1.5)
+
+    def test_multiple_calls_aggregate(self):
+        rows = profile_events([_event("a", 2 * MS), _event("a", 3 * MS)])
+        (row,) = rows
+        assert row["calls"] == 2
+        assert row["cum_s"] == pytest.approx(0.005)
+        assert row["mean_s"] == pytest.approx(0.0025)
+
+    def test_marks_and_pathless_events_ignored(self):
+        mark = {"name": "m", "path": "a", "cat": "mark", "ts": 0,
+                "dur": None, "pid": 1, "tid": 1, "id": None,
+                "parent": None, "args": None}
+        rows = profile_events([_event("a", MS), mark])
+        assert len(rows) == 1 and rows[0]["calls"] == 1
+
+    def test_accepts_registry_source(self):
+        reg = MetricsRegistry("p", trace=True)
+        with reg.span("phase"):
+            pass
+        rows = profile_events(reg)
+        assert rows[0]["phase"] == "phase"
+
+
+class TestProfileReport:
+    EVENTS = [_event("a", 5 * MS), _event("a/b", 2 * MS),
+              _event("c", 1 * MS)]
+
+    def test_renders_sorted_table(self):
+        text = profile_report(self.EVENTS)
+        lines = text.splitlines()
+        assert lines[0].split()[:4] == ["phase", "calls", "self_s", "cum_s"]
+        # Default sort: self time descending — a (3ms) first.
+        assert lines[2].startswith("a ")
+
+    def test_sort_by_cum_and_calls(self):
+        assert profile_report(self.EVENTS, sort="cum").splitlines()[2] \
+            .startswith("a ")
+        profile_report(self.EVENTS, sort="calls")  # must not raise
+
+    def test_invalid_sort_rejected(self):
+        with pytest.raises(ValueError, match="sort must be one of"):
+            profile_report(self.EVENTS, sort="speed")
+
+    def test_top_truncates(self):
+        text = profile_report(self.EVENTS, top=1)
+        assert len(text.splitlines()) == 3  # header + rule + 1 row
+
+    def test_empty_trace(self):
+        assert profile_report([]) == "(no span events in trace)"
+
+
+class TestCollapsed:
+    def test_collapsed_lines_use_semicolons_and_self_us(self):
+        text = to_collapsed([_event("a", 10 * MS), _event("a/b", 6 * MS)])
+        assert text.splitlines() == ["a 4000", "a;b 6000"]
+
+    def test_zero_self_parent_skipped_but_zero_leaf_kept(self):
+        text = to_collapsed([
+            _event("p", 2 * MS),
+            _event("p/q", 2 * MS),
+            _event("leaf", 0),
+        ])
+        assert text.splitlines() == ["leaf 0", "p;q 2000"]
+
+    def test_writes_file(self, tmp_path):
+        out = tmp_path / "stacks.txt"
+        to_collapsed([_event("a", MS)], out)
+        assert out.read_text() == "a 1000\n"
+
+
+class TestOpenMetrics:
+    @pytest.fixture
+    def registry(self):
+        reg = MetricsRegistry("om")
+        reg.incr("oracle.probes", 7)
+        reg.gauge("active.chain_width", 4)
+        for value in (1.0, 2.0, 4.0):
+            reg.observe("active.chain_size", value)
+        reg.record_time("active.chain_seconds", 0.25)
+        with reg.span("active"):
+            pass
+        return reg
+
+    def test_counters_and_gauges(self, registry):
+        text = to_openmetrics(registry)
+        assert "# TYPE repro_oracle_probes counter" in text
+        assert "repro_oracle_probes_total 7" in text
+        assert "# TYPE repro_active_chain_width gauge" in text
+        assert "repro_active_chain_width 4" in text
+
+    def test_histogram_exposition_is_cumulative(self, registry):
+        text = to_openmetrics(registry)
+        lines = [line for line in text.splitlines()
+                 if line.startswith("repro_active_chain_size_bucket")]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert counts == sorted(counts)  # cumulative, monotone
+        assert lines[-1].startswith(
+            'repro_active_chain_size_bucket{le="+Inf"}')
+        assert counts[-1] == 3
+        assert "repro_active_chain_size_sum 7" in text
+        assert "repro_active_chain_size_count 3" in text
+
+    def test_timers_and_spans_prefixed(self, registry):
+        text = to_openmetrics(registry)
+        assert "repro_timer_active_chain_seconds_count 1" in text
+        assert "repro_span_active_count 1" in text
+
+    def test_ends_with_eof_and_sanitized_names(self, registry):
+        registry.incr("weird name-with/junk", 1)
+        text = to_openmetrics(registry)
+        assert text.endswith("# EOF\n")
+        assert "repro_weird_name_with_junk_total 1" in text
+
+    def test_export_file_dispatches_prom_extension(self, registry, tmp_path):
+        for suffix in ("m.prom", "m.om", "m.openmetrics"):
+            out = tmp_path / suffix
+            obs.export_file(registry, out)
+            assert out.read_text().endswith("# EOF\n")
+
+    def test_report_includes_quantile_columns(self, registry):
+        text = obs.report(registry)
+        assert "p50" in text and "p99" in text
+
+
+class TestProfileOfRealRun:
+    def test_active_run_profile_is_consistent(self):
+        from repro import LabelOracle, active_classify
+        from repro.datasets.synthetic import width_controlled
+
+        points = width_controlled(200, 3, noise=0.1, rng=5)
+        oracle = LabelOracle(points)
+        with obs.metrics_session(name="run", trace=True) as reg:
+            active_classify(points.with_hidden_labels(), oracle,
+                            epsilon=0.8, rng=1)
+        rows = profile_events(reg)
+        by_phase = {row["phase"]: row for row in rows}
+        assert "active" in by_phase
+        # Cumulative dominates self for the root; children are nested.
+        root = by_phase["active"]
+        assert root["cum_s"] >= root["self_s"] >= 0.0
+        children_cum = sum(
+            row["cum_s"] for path, row in by_phase.items()
+            if path.startswith("active/") and path.count("/") == 1)
+        assert root["self_s"] == pytest.approx(
+            max(0.0, root["cum_s"] - children_cum), abs=1e-9)
+        assert not math.isnan(root["mean_s"])
