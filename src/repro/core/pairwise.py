@@ -26,6 +26,7 @@ __all__ = [
     "pairwise_weak_dominance",
     "blocked_contending_mask",
     "blocked_dominance_pairs",
+    "blocked_dominance_pair_arrays",
     "blocked_is_monotone_assignment",
 ]
 
@@ -108,6 +109,32 @@ def blocked_dominance_pairs(points: PointSet, sources: np.ndarray,
             hits = np.flatnonzero(dom[local])
             if len(hits):
                 yield int(src), targets[hits].tolist()
+
+
+def blocked_dominance_pair_arrays(points: PointSet, sources: np.ndarray,
+                                  targets: np.ndarray,
+                                  block_size: int = DEFAULT_BLOCK_SIZE
+                                  ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(source_ids, target_ids)`` dominance-pair arrays per block.
+
+    The bulk counterpart of :func:`blocked_dominance_pairs`: instead of one
+    Python ``(source, [targets])`` entry per dominating source, each block
+    yields two aligned integer arrays listing every dominating pair in
+    row-major order (sources ascending as given, targets ascending within a
+    source) — exactly the order the per-pair generator walks, ready for
+    :meth:`repro.flow.graph.FlowNetwork.add_edges`.
+    """
+    sources = np.asarray(sources, dtype=int)
+    targets = np.asarray(targets, dtype=int)
+    if len(sources) == 0 or len(targets) == 0:
+        return
+    target_coords = points.coords[targets]
+    for start, stop in _blocks(len(sources), block_size):
+        rows = points.coords[sources[start:stop]]
+        dom = pairwise_weak_dominance(rows, target_coords)
+        row_pos, col_pos = np.nonzero(dom)
+        if len(row_pos):
+            yield sources[start:stop][row_pos], targets[col_pos]
 
 
 def blocked_is_monotone_assignment(points: PointSet, predictions: np.ndarray,

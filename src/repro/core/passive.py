@@ -43,8 +43,7 @@ from .classifier import (
 from .errors import prediction_weighted_error
 from .pairwise import (
     DEFAULT_BLOCK_SIZE,
-    blocked_contending_mask,
-    blocked_dominance_pairs,
+    blocked_dominance_pair_arrays,
     blocked_is_monotone_assignment,
 )
 from .points import PointSet
@@ -245,7 +244,11 @@ def solve_passive(points: PointSet, backend: str = "dinic",
 
                     mask = contending_mask_low_dim(points)
                 elif blockwise:
-                    mask = blocked_contending_mask(points, rows_per_block)
+                    # Packed-bitset accumulator: same blockwise streaming,
+                    # but the per-block evidence is OR-ed as bitset rows.
+                    from ..poset.bitset import contending_mask_bitset
+
+                    mask = contending_mask_bitset(points, rows_per_block)
                 else:
                     mask = contending_mask(points)
                 active = np.flatnonzero(mask)
@@ -264,19 +267,21 @@ def solve_passive(points: PointSet, backend: str = "dinic",
             return PassiveResult(classifier, assignment, 0.0, 0, 0.0, backend)
 
         with rec.span("build_network"):
-            active_zeros = [int(i) for i in active if labels[i] == 0]
-            active_ones = [int(i) for i in active if labels[i] == 1]
+            zeros_arr = active[labels[active] == 0]
+            ones_arr = active[labels[active] == 1]
 
+            # vid[point index] -> network vertex id (-1 for inactive).
+            vid = np.full(n, -1, dtype=np.int64)
             if use_hasse_reduction:
                 # Vertex ids: 0 = source, 1 = sink, then one per *point* —
                 # non-terminal points serve as pass-through intermediates
                 # of covering paths.
                 network = FlowNetwork(2 + n)
-                vertex_of = {int(idx): 2 + int(idx) for idx in active}
+                vid[active] = 2 + active
             else:
                 # Vertex ids: 0 = source, 1 = sink, then one per active point.
                 network = FlowNetwork(2 + len(active))
-                vertex_of = {idx: 2 + pos for pos, idx in enumerate(active)}
+                vid[active] = 2 + np.arange(len(active))
             source, sink = 0, 1
 
             # Effective infinity: strictly larger than any finite cut,
@@ -288,35 +293,28 @@ def solve_passive(points: PointSet, backend: str = "dinic",
                     float(weights[active].sum()),
                     float(weights[active].min()))
 
-            for p in active_zeros:
-                network.add_edge(source, vertex_of[p], float(weights[p]))
-            for q in active_ones:
-                network.add_edge(vertex_of[q], sink, float(weights[q]))
+            network.add_edges(np.full(len(zeros_arr), source), vid[zeros_arr],
+                              weights[zeros_arr].astype(float))
+            network.add_edges(vid[ones_arr], np.full(len(ones_arr), sink),
+                              weights[ones_arr].astype(float))
             if use_hasse_reduction:
                 from ..poset.sparse import transitive_reduction
 
                 covering = transitive_reduction(_hasse_reduced_order(points))
                 uppers, lowers = np.nonzero(covering)
-                for up, lo in zip(uppers, lowers):
-                    network.add_edge(2 + int(up), 2 + int(lo), infinite_cap)
+                network.add_edges(2 + uppers, 2 + lowers, infinite_cap)
                 if rec.enabled:
                     rec.incr("passive.hasse_edges_kept", len(uppers))
             elif blockwise:
-                pair_stream = blocked_dominance_pairs(
-                    points, np.asarray(active_zeros), np.asarray(active_ones),
-                    rows_per_block)
-                for p, dominated in pair_stream:
-                    for q in dominated:
-                        network.add_edge(vertex_of[p], vertex_of[q],
-                                         infinite_cap)
+                for srcs, tgts in blocked_dominance_pair_arrays(
+                        points, zeros_arr, ones_arr, rows_per_block):
+                    network.add_edges(vid[srcs], vid[tgts], infinite_cap)
             else:
                 weak = points.weak_dominance_matrix()
-                for p in active_zeros:
-                    row = weak[p]
-                    for q in active_ones:
-                        if row[q]:
-                            network.add_edge(vertex_of[p], vertex_of[q],
-                                             infinite_cap)
+                row_pos, col_pos = np.nonzero(
+                    weak[np.ix_(zeros_arr, ones_arr)])
+                network.add_edges(vid[zeros_arr[row_pos]],
+                                  vid[ones_arr[col_pos]], infinite_cap)
         if rec.enabled:
             rec.incr("passive.dominance_pairs",
                      network.num_edges - len(active))
@@ -328,13 +326,13 @@ def solve_passive(points: PointSet, backend: str = "dinic",
             # Cut source edges flip label-0 points to 1; a source edge
             # (s, p) is cut iff p is NOT reachable from the source in the
             # residual graph.
-            for p in active_zeros:
-                if vertex_of[p] not in cut.source_side:
+            for p in zeros_arr.tolist():
+                if int(vid[p]) not in cut.source_side:
                     assignment[p] = 1
             # Cut sink edges flip label-1 points to 0; a sink edge (q, t)
             # is cut iff q IS reachable (t never is).
-            for q in active_ones:
-                if vertex_of[q] in cut.source_side:
+            for q in ones_arr.tolist():
+                if int(vid[q]) in cut.source_side:
                     assignment[q] = 0
 
             if blockwise:

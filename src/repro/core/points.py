@@ -15,12 +15,15 @@ dominance (the paper's ``p ≻ q`` for distinct points) is available separately.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .._util import as_float_matrix, validate_labels, validate_weights
 from ..obs import recorder
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (poset imports core)
+    from ..poset.bitset import PackedOrder
 
 __all__ = [
     "LabeledPoint",
@@ -110,7 +113,7 @@ class PointSet:
     """
 
     __slots__ = ("coords", "labels", "weights", "names", "_weak_dom",
-                 "_strict_dom", "_order")
+                 "_strict_dom", "_order", "_packed_order")
 
     def __init__(self, coords: Iterable[Sequence[float]],
                  labels: Optional[Iterable[int]] = None,
@@ -138,6 +141,10 @@ class PointSet:
         self._weak_dom: Optional[np.ndarray] = None
         self._strict_dom: Optional[np.ndarray] = None
         self._order: Optional[np.ndarray] = None
+        # Packed-bitset order cache (repro.poset.bitset.packed_order): the
+        # 8x-smaller sibling of _order, populated only by the bitset engine
+        # so large inputs never force the dense O(n^2) boolean caches.
+        self._packed_order: Optional["PackedOrder"] = None
 
     # ------------------------------------------------------------------
     # Construction helpers

@@ -10,9 +10,26 @@ Implements the combinatorial machinery the paper relies on:
 * the sparse engine (:mod:`.sparse`): block-streamed dominance in
   ``O(block * n)`` memory and packed-bitset transitive reduction, sharing
   the order-matrix cache on :class:`~repro.core.points.PointSet`
-  (see ``docs/poset.md``).
+  (see ``docs/poset.md``);
+* the packed-bitset order engine (:mod:`.bitset`): the whole order matrix
+  as ``uint8`` bitset rows, vectorized minimal/maximal/pair-count
+  consumers, and a Hopcroft–Karp whose BFS layering is bitset frontier
+  expansion — the auto-selected substrate above
+  :data:`~repro.poset.bitset.BITSET_CUTOFF` points.
 """
 
+from .bitset import (
+    BITSET_CUTOFF,
+    PackedOrder,
+    contending_mask_bitset,
+    dominance_pair_count_bitset,
+    hopcroft_karp_bitset,
+    maximal_points_bitset,
+    minimal_points_bitset,
+    packed_adjacency,
+    packed_order,
+    popcount,
+)
 from .chains import (
     ChainDecomposition,
     greedy_chain_decomposition,
@@ -66,4 +83,14 @@ __all__ = [
     "maximal_points_sparse",
     "dominance_pair_count",
     "transitive_reduction",
+    "BITSET_CUTOFF",
+    "PackedOrder",
+    "packed_order",
+    "popcount",
+    "minimal_points_bitset",
+    "maximal_points_bitset",
+    "dominance_pair_count_bitset",
+    "packed_adjacency",
+    "contending_mask_bitset",
+    "hopcroft_karp_bitset",
 ]

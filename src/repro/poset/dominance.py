@@ -24,6 +24,18 @@ __all__ = [
 ]
 
 
+def _use_bitset(points: PointSet) -> bool:
+    """Whether the packed-bitset engine should serve an order query.
+
+    The dense cached matrix wins while it exists (the answer is a free
+    slice); otherwise large inputs go through :mod:`repro.poset.bitset`,
+    which never materializes the ``O(n^2)``-byte boolean caches.
+    """
+    from .bitset import BITSET_CUTOFF
+
+    return points._order is None and points.n >= BITSET_CUTOFF
+
+
 def _order_matrix(points: PointSet) -> np.ndarray:
     """Boolean matrix of the antisymmetric order used throughout the poset code.
 
@@ -51,7 +63,15 @@ def dominance_digraph(points: PointSet) -> np.ndarray:
 
 
 def dominance_adjacency(points: PointSet) -> List[List[int]]:
-    """Adjacency lists of the DAG: ``adj[j]`` lists every ``i`` above ``j``."""
+    """Adjacency lists of the DAG: ``adj[j]`` lists every ``i`` above ``j``.
+
+    Served from the packed transpose rows of the bitset engine for large
+    inputs; from the dense cached matrix otherwise (identical lists).
+    """
+    if _use_bitset(points):
+        from .bitset import packed_adjacency
+
+        return packed_adjacency(points)
     order = _order_matrix(points)
     return [np.flatnonzero(order[:, j]).tolist() for j in range(points.n)]
 
@@ -73,6 +93,10 @@ def minimal_points(points: PointSet) -> List[int]:
     ``order[i, j]`` means ``i`` is above ``j``, so point ``i`` is minimal iff
     its row is empty.
     """
+    if _use_bitset(points):
+        from .bitset import minimal_points_bitset
+
+        return minimal_points_bitset(points)
     order = _order_matrix(points)
     has_below = np.any(order, axis=1)
     return np.flatnonzero(~has_below).tolist()
@@ -83,6 +107,10 @@ def maximal_points(points: PointSet) -> List[int]:
 
     Point ``j`` is maximal iff column ``j`` of the order matrix is empty.
     """
+    if _use_bitset(points):
+        from .bitset import maximal_points_bitset
+
+        return maximal_points_bitset(points)
     order = _order_matrix(points)
     has_above = np.any(order, axis=0)
     return np.flatnonzero(~has_above).tolist()

@@ -27,11 +27,23 @@ def heights(points: PointSet) -> np.ndarray:
     """Height of each point: length of the longest chain ending at it.
 
     Computed by a DP over a topological order of the (tie-broken)
-    dominance DAG; heights start at 1 for minimal points.
+    dominance DAG; heights start at 1 for minimal points.  For large
+    inputs the below-sets are unpacked from the bitset engine's rows
+    instead of the dense matrix (identical sets, 8x less resident memory).
     """
     n = points.n
     result = np.zeros(n, dtype=int)
     if n == 0:
+        return result
+    from .dominance import _use_bitset
+
+    if _use_bitset(points):
+        from .bitset import packed_order
+
+        packed = packed_order(points)
+        for idx in topological_order(points):
+            below = packed.below_indices(idx)
+            result[idx] = 1 + (result[below].max() if len(below) else 0)
         return result
     order_matrix = _order_matrix(points)  # order[i, j]: i above j
     for idx in topological_order(points):

@@ -94,14 +94,15 @@ def order_matrix_blocks(points: PointSet,
         return
     coords = points.coords
     idx = np.arange(n)
+    # Coordinate-equal ties come from one global duplicate grouping (two
+    # points tie iff they share a group id) instead of a reverse-dominance
+    # panel per block — that panel would double the pairwise work.
+    _, group = np.unique(coords, axis=0, return_inverse=True)
     for start in range(0, n, block_size):
         stop = min(n, start + block_size)
         rows = coords[start:stop]
         weak = pairwise_weak_dominance(rows, coords)
-        # reverse[i - start, j]: j weakly dominates i — needed to split the
-        # weak relation into strict pairs and coordinate-equal ties.
-        reverse = pairwise_weak_dominance(coords, rows).T
-        equal = weak & reverse
+        equal = group[start:stop, None] == group[None, :]
         order = weak & ~equal
         order |= equal & (idx[start:stop, None] > idx[None, :])
         yield start, stop, order

@@ -13,7 +13,7 @@ against :func:`brute_force_width` on small inputs.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import List
+from typing import List, Tuple
 
 import numpy as np
 
@@ -44,7 +44,7 @@ def is_antichain(points: PointSet, indices: List[int]) -> bool:
     return True
 
 
-def maximum_antichain(points: PointSet) -> List[int]:
+def maximum_antichain(points: PointSet, engine: str = "auto") -> List[int]:
     """An anti-chain of maximum size ``w``, as an explicit list of indices.
 
     Uses the König construction: in the split bipartite graph of the minimum
@@ -52,10 +52,37 @@ def maximum_antichain(points: PointSet) -> List[int]:
     vertex cover ``C`` via alternating reachability from the free left
     vertices, and return the points neither of whose copies lies in ``C``.
     Those points are pairwise incomparable and number ``n - |M| = w``.
+
+    ``engine`` selects the substrate (``"auto"`` / ``"bitset"`` /
+    ``"loop"``, as in :func:`~repro.poset.chains.matching_chain_decomposition`).
+    The bitset path runs the alternating König BFS as packed frontier
+    expansions; visited sets are pure reachability, so both engines return
+    the identical anti-chain.
     """
+    if engine not in ("auto", "bitset", "loop"):
+        raise ValueError(f"unknown engine {engine!r}")
     n = points.n
     if n == 0:
         return []
+    if engine == "auto":
+        from .dominance import _use_bitset
+
+        engine = "bitset" if _use_bitset(points) else "loop"
+    if engine == "bitset":
+        antichain, matching_size = _bitset_antichain(points)
+    else:
+        antichain, matching_size = _loop_antichain(points)
+    expected = n - matching_size
+    if len(antichain) != expected:
+        raise AssertionError(
+            f"König extraction produced {len(antichain)} points, expected {expected}"
+        )
+    return antichain
+
+
+def _loop_antichain(points: PointSet) -> Tuple[List[int], int]:
+    """Reference König extraction over dense adjacency lists."""
+    n = points.n
     order = _order_matrix(points)  # order[i, j]: i above j
     adjacency = [np.flatnonzero(order[:, u]).tolist() for u in range(n)]
     matching = hopcroft_karp(adjacency, n)
@@ -81,12 +108,43 @@ def maximum_antichain(points: PointSet) -> List[int]:
         v for v in range(n)
         if visited_left[v] and not visited_right[v]
     ]
-    expected = n - matching.size
-    if len(antichain) != expected:
-        raise AssertionError(
-            f"König extraction produced {len(antichain)} points, expected {expected}"
-        )
-    return antichain
+    return antichain, matching.size
+
+
+def _bitset_antichain(points: PointSet) -> Tuple[List[int], int]:
+    """König extraction with packed-bitset alternating BFS.
+
+    The alternating reachability from free left vertices is computed one
+    layer at a time: OR the packed adjacency rows of the left frontier,
+    mask off rights already visited, and map the fresh rights through the
+    matching to the next left frontier.  Reachable sets do not depend on
+    traversal order, so the result equals :func:`_loop_antichain` exactly.
+    """
+    from .bitset import _unpack_indices, hopcroft_karp_bitset, packed_order
+
+    n = points.n
+    packed = packed_order(points)
+    matching = hopcroft_karp_bitset(packed.above, n)
+    right_match = np.asarray(matching.right_match, dtype=np.int64)
+
+    visited_left = np.asarray(matching.left_match, dtype=np.int64) == -1
+    visited_right_packed = np.zeros(packed.above.shape[1], dtype=np.uint8)
+    frontier = visited_left.copy()
+    while frontier.any():
+        reach = np.bitwise_or.reduce(packed.above[frontier], axis=0)
+        fresh = reach & ~visited_right_packed
+        if not fresh.any():
+            break
+        visited_right_packed |= fresh
+        owners = right_match[_unpack_indices(fresh, n)]
+        owners = owners[owners != -1]
+        owners = owners[~visited_left[owners]]
+        visited_left[owners] = True
+        frontier = np.zeros(n, dtype=bool)
+        frontier[owners] = True
+    visited_right = np.unpackbits(visited_right_packed, count=n).astype(bool)
+    antichain = np.flatnonzero(visited_left & ~visited_right).tolist()
+    return antichain, matching.size
 
 
 def brute_force_width(points: PointSet, max_n: int = 18) -> int:
