@@ -62,3 +62,52 @@ def test_min_cut_extraction(benchmark):
         "cut_value": round(cut.value, 4),
         "cut_edges": len(cut.cut_arcs),
     })
+
+
+# ---------------------------------------------------------------------------
+# Loop-vs-array engine pairs (PR: array-native flow solver engine).
+#
+# Same instance, same seed, loop engine vs its CSR array sibling, at a size
+# below the kernels' full-scale runs so the pair fits the bench-smoke gate.
+# solve_min_cut is benchmarked (not bare max-flow) because the array path
+# also replaces the cut extraction above FLOW_ARRAY_CUTOFF.
+# ---------------------------------------------------------------------------
+
+_PAIR_SIZES = [512, 1024]
+_PAIR_DENSITY = 0.05
+_pair_reference: dict = {}
+
+
+def _pair_value(size: int) -> float:
+    """Loop-dinic reference value for the paired instance of ``size``."""
+    if size not in _pair_reference:
+        net = random_flow_network(size, _PAIR_DENSITY, seed=13)
+        _pair_reference[size] = solve_max_flow(net, 0, size - 1, backend="dinic")
+    return _pair_reference[size]
+
+
+@pytest.mark.parametrize("engine", ["dinic", "push_relabel"])
+@pytest.mark.parametrize("size", _PAIR_SIZES)
+def test_flow_solver_loop(benchmark, engine, size):
+    def job():
+        net = random_flow_network(size, _PAIR_DENSITY, seed=13)
+        return solve_min_cut(net, 0, size - 1, backend=engine)
+
+    cut = benchmark(job)
+    assert cut.value == pytest.approx(_pair_value(size), rel=1e-9, abs=1e-12)
+    benchmark.extra_info.update({"V": size, "flow_value": round(cut.value, 4)})
+
+
+@pytest.mark.parametrize("engine", ["dinic", "push_relabel"])
+@pytest.mark.parametrize("size", _PAIR_SIZES)
+def test_flow_solver_array(benchmark, engine, size):
+    def job():
+        net = random_flow_network(size, _PAIR_DENSITY, seed=13)
+        return solve_min_cut(net, 0, size - 1, backend=f"{engine}_array")
+
+    cut = benchmark(job)
+    if engine == "dinic":
+        assert cut.value == _pair_value(size)  # bit-identical by contract
+    else:
+        assert cut.value == pytest.approx(_pair_value(size), rel=1e-9, abs=1e-12)
+    benchmark.extra_info.update({"V": size, "flow_value": round(cut.value, 4)})

@@ -1,0 +1,520 @@
+"""Array-native max-flow solvers over a frozen CSR snapshot.
+
+The loop engines (:mod:`.dinic`, :mod:`.push_relabel`) spend almost all of
+their time iterating Python adjacency lists arc by arc; above a few
+thousand vertices that per-arc interpreter cost dominates the whole
+passive solve (ROADMAP item 1).  This module rebuilds the two production
+backends on top of :class:`CSRFlowSnapshot`, a frozen CSR view of
+:class:`~repro.flow.graph.FlowNetwork`:
+
+* :func:`dinic_array_max_flow` — Dinic with a *vectorized frontier BFS*
+  (one ``np.flatnonzero`` admissibility pass over the frontier's CSR slice
+  per level) and a scaled-down Python DFS that walks only the level-graph
+  *survivors* (arcs admissible at BFS time), not the full adjacency.  The
+  survivor DFS replays the loop engine's traversal exactly — same levels,
+  same per-node candidate order, same pointer/retreat semantics — and the
+  per-push writeback applies the identical ``+b`` / ``-b`` sequences with
+  ``np.ufunc.at`` (unbuffered, in index order), so values *and* final
+  flows are bit-identical to :func:`~repro.flow.dinic.dinic_max_flow`.
+
+* :func:`push_relabel_array_max_flow` — FIFO push-relabel with the gap
+  heuristic of the loop engine plus the *global-relabeling* heuristic: a
+  periodic backward BFS from the sink, run as a vectorized distance sweep
+  over the CSR arrays, replaces height labels with exact residual
+  distances.  Heights are updated monotonically (``max`` of old label and
+  BFS distance; sink-disconnected nodes lift to ``n + 1``), which keeps
+  the distance-labeling valid, so correctness is untouched while useless
+  relabel chains collapse.
+
+Both solvers share the epsilon-boundary contract of
+:data:`~repro.flow.graph.RESIDUAL_EPS` with the loop engines and write
+their results back into the mutable network, so
+:func:`~repro.flow.mincut.min_cut_from_residual` reads the residual graph
+exactly as it would after a loop-engine run.
+
+``solve_passive`` auto-selects the array engines above
+:data:`FLOW_ARRAY_CUTOFF` network vertices (mirroring
+``repro.poset.bitset.BITSET_CUTOFF``); see ``docs/algorithms.md`` for the
+measured crossover.
+"""
+
+from __future__ import annotations
+
+from itertools import chain
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..obs import recorder
+from .graph import RESIDUAL_EPS, FlowNetwork
+
+__all__ = [
+    "CSRFlowSnapshot",
+    "dinic_array_max_flow",
+    "push_relabel_array_max_flow",
+    "FLOW_ARRAY_CUTOFF",
+    "ARRAY_UPGRADES",
+    "array_backend_for",
+]
+
+_EPS = RESIDUAL_EPS
+
+#: Network-vertex count above which ``solve_passive`` upgrades a loop
+#: backend to its array sibling.  Measured on passive-reduction networks
+#: (min_cut span, best of 3): the array engines are neutral at ~176
+#: vertices (0.94x/1.04x for dinic/push-relabel) and win from ~355
+#: (1.4x/2.4x), with the gap growing with size (2.1x/1.9x at ~1860,
+#: 3.8x/5.7x flow-span at ~15k); see BENCH_flow_solvers.json.
+FLOW_ARRAY_CUTOFF = 256
+
+#: Loop backend -> array sibling used by the ``solve_passive`` auto-upgrade.
+ARRAY_UPGRADES: Dict[str, str] = {
+    "dinic": "dinic_array",
+    "push_relabel": "push_relabel_array",
+}
+
+#: Relabels between global-relabeling sweeps in ``push_relabel_array``,
+#: as a fraction of the vertex count.  The vectorized backward BFS makes
+#: a sweep so cheap (~0.015 s on an 8192-vertex passive network) that
+#: the optimum sits far below the classic one-sweep-per-n-relabels
+#: cadence: measured on passive networks at n = 8192, the min-cut span
+#: falls monotonically from scale 1.0 (2.20 s, 23.5 k relabels) to
+#: 1/32 (1.36 s, 2.4 k relabels) and climbs again by 1/128 (1.72 s,
+#: 24 sweeps) as sweep cost overtakes the relabels saved.
+GLOBAL_RELABEL_INTERVAL_SCALE = 0.03125
+
+
+def array_backend_for(backend: str) -> Optional[str]:
+    """Array sibling of a loop backend, or ``None`` when there is none."""
+    return ARRAY_UPGRADES.get(backend)
+
+
+class CSRFlowSnapshot:
+    """Frozen CSR view of a :class:`FlowNetwork`.
+
+    Layout
+    ------
+    ``indptr`` (int64, ``num_nodes + 1``) and ``csr_arcs`` (int64) encode
+    the per-vertex adjacency: ``csr_arcs[indptr[u]:indptr[u + 1]]`` are the
+    arc ids leaving ``u`` in the network's adjacency order (the order the
+    loop engines traverse).  ``arc_heads`` (int64), ``caps`` and ``flows``
+    (float64) are indexed by *arc id*, so the ``arc ^ 1`` reverse-arc
+    pairing of the storage format is preserved and residual pushes stay
+    O(1) (``flows[a] += x; flows[a ^ 1] -= x``).  ``csr_tails`` /
+    ``csr_heads`` mirror tail and head per CSR *position* for vectorized
+    admissibility passes.
+
+    The snapshot is frozen: topology and capacities never change after
+    construction, and solvers that mutate ``flows`` must call
+    :meth:`writeback` so the owning network's residual state (used by
+    ``min_cut_from_residual``) reflects the solve.
+    """
+
+    __slots__ = (
+        "num_nodes",
+        "num_arcs",
+        "indptr",
+        "csr_arcs",
+        "csr_tails",
+        "csr_heads",
+        "arc_heads",
+        "caps",
+        "flows",
+    )
+
+    def __init__(self, network: FlowNetwork) -> None:
+        n = network.num_nodes
+        adjacency = network.adjacency
+        self.num_nodes = n
+        self.num_arcs = len(network.heads)
+        self.flows = np.asarray(network.flows, dtype=np.float64)
+        # Topology and capacities are append-only on FlowNetwork, so the
+        # (num_nodes, num_arcs) key fully identifies them; memoize the
+        # frozen arrays on the network so repeated snapshots (solver, then
+        # cut extraction) pay the list-to-array conversion only once.
+        cache = network._csr_cache
+        if cache is not None and cache[0] == (n, self.num_arcs):
+            (self.arc_heads, self.caps, self.indptr, self.csr_arcs,
+             self.csr_tails, self.csr_heads) = cache[1]
+            return
+        self.arc_heads = np.asarray(network.heads, dtype=np.int64)
+        self.caps = np.asarray(network.caps, dtype=np.float64)
+        degrees = np.fromiter(
+            (len(arcs) for arcs in adjacency), dtype=np.int64, count=n
+        )
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        self.indptr = indptr
+        self.csr_arcs = np.fromiter(
+            chain.from_iterable(adjacency), dtype=np.int64, count=self.num_arcs
+        )
+        self.csr_tails = np.repeat(np.arange(n, dtype=np.int64), degrees)
+        self.csr_heads = (
+            self.arc_heads[self.csr_arcs]
+            if self.num_arcs
+            else np.empty(0, dtype=np.int64)
+        )
+        network._csr_cache = (
+            (n, self.num_arcs),
+            (self.arc_heads, self.caps, self.indptr, self.csr_arcs,
+             self.csr_tails, self.csr_heads),
+        )
+
+    def writeback(self, network: FlowNetwork) -> None:
+        """Copy the snapshot's flow state back into the mutable network."""
+        network.flows = self.flows.tolist()
+
+
+def _frontier_positions(
+    indptr: np.ndarray, frontier: np.ndarray
+) -> np.ndarray:
+    """CSR positions of every arc leaving a frontier vertex (ragged gather)."""
+    starts = indptr[frontier]
+    counts = indptr[frontier + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    inclusive = np.cumsum(counts)
+    offsets = np.repeat(starts - (inclusive - counts), counts)
+    return np.arange(total, dtype=np.int64) + offsets
+
+
+def _level_bfs(
+    snap: CSRFlowSnapshot, residual: np.ndarray, source: int
+) -> np.ndarray:
+    """Vectorized BFS level assignment over usable residual arcs.
+
+    Levels are exact shortest residual distances from ``source`` — the
+    same values the loop engine's scalar BFS computes, independent of
+    visit order.
+    """
+    level = np.full(snap.num_nodes, -1, dtype=np.int64)
+    level[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    depth = 0
+    while frontier.size:
+        positions = _frontier_positions(snap.indptr, frontier)
+        if positions.size == 0:
+            break
+        admissible = positions[residual[snap.csr_arcs[positions]] > _EPS]
+        candidates = snap.csr_heads[admissible]
+        candidates = candidates[level[candidates] < 0]
+        if candidates.size == 0:
+            break
+        frontier = np.unique(candidates)
+        depth += 1
+        level[frontier] = depth
+    return level
+
+
+def dinic_array_max_flow(network: FlowNetwork, source: int, sink: int) -> float:
+    """Array-native Dinic; bit-identical flows/value to the loop engine.
+
+    Per phase: one vectorized residual/level pass builds the level graph,
+    one ``np.flatnonzero`` admissibility pass compacts the *survivor* arcs
+    (usable residual, ``level[head] == level[tail] + 1``), and the
+    blocking-flow DFS runs over compacted ndarray mirrors of just those
+    survivors.  Within a phase no reverse arc of a survivor can become
+    admissible (its level points backwards), so the survivor set is
+    exactly the arc set the loop DFS could ever use — the augmenting
+    sequence, and hence every float operation, is identical.
+    """
+    network._check_node(source)
+    network._check_node(sink)
+    if source == sink:
+        raise ValueError("source and sink must differ")
+
+    rec = recorder()
+    with rec.span("csr_snapshot"):
+        snap = CSRFlowSnapshot(network)
+    if rec.enabled:
+        rec.incr("flow.array.snapshots")
+        rec.gauge("flow.array.snapshot_arcs", snap.num_arcs)
+
+    n = snap.num_nodes
+    caps = snap.caps
+    flows = snap.flows
+    arc_heads = snap.arc_heads
+
+    total = 0.0
+    phases = 0
+    paths = 0
+    pushes = 0
+
+    while True:
+        residual = caps - flows
+        level = _level_bfs(snap, residual, source)
+        if level[sink] < 0:
+            break
+        phases += 1
+
+        # Survivor compaction: admissible level-graph arcs, in (vertex,
+        # adjacency-order) position order — the loop DFS candidate order.
+        keep = np.flatnonzero(
+            (residual[snap.csr_arcs] > _EPS)
+            & (level[snap.csr_tails] >= 0)
+            & (level[snap.csr_heads] == level[snap.csr_tails] + 1)
+        )
+        kept_arcs = snap.csr_arcs[keep]
+        sub_bounds = np.searchsorted(
+            snap.csr_tails[keep], np.arange(n + 1, dtype=np.int64)
+        ).tolist()
+        # Survivor mirrors stay ndarrays: the DFS touches only the arcs on
+        # attempted paths plus one pointer pass per saturated/pruned arc —
+        # a tiny fraction of the survivors on large networks — so scalar
+        # ndarray reads beat converting millions of entries to lists.
+        # np.float64 arithmetic is IEEE double, identical to the loop
+        # engine's floats, so bit-identity is unaffected.
+        sub_heads = arc_heads[kept_arcs]
+        sub_caps = caps[kept_arcs]
+        sub_flow = flows[kept_arcs]
+        ptr: List[int] = sub_bounds[:n]
+        lv: List[int] = level.tolist()
+
+        push_seq: List[int] = []  # survivor indices, in push order
+        amount_seq: List[float] = []
+
+        while True:
+            # Walk a path of admissible survivor arcs from source to sink,
+            # tracking the vertex stack so retreats need no tail lookup.
+            path: List[int] = []
+            nodes: List[int] = [source]
+            u = source
+            while u != sink:
+                advanced = False
+                bound = sub_bounds[u + 1]
+                while ptr[u] < bound:
+                    p = ptr[u]
+                    v = sub_heads[p]
+                    if sub_caps[p] - sub_flow[p] > _EPS and lv[v] == lv[u] + 1:
+                        path.append(p)
+                        nodes.append(v)
+                        u = v
+                        advanced = True
+                        break
+                    ptr[u] += 1
+                if not advanced:
+                    if u == source:
+                        break
+                    # Retreat: prune u from the level graph for this phase.
+                    lv[u] = -1
+                    path.pop()
+                    nodes.pop()
+                    u = nodes[-1]
+                    ptr[u] += 1
+            if u != sink:
+                break  # no more augmenting paths in this phase
+            bottleneck = min(sub_caps[p] - sub_flow[p] for p in path)
+            for p in path:
+                sub_flow[p] += bottleneck
+                push_seq.append(p)
+                amount_seq.append(bottleneck)
+            total += bottleneck
+            paths += 1
+            pushes += len(path)
+
+        if not push_seq:
+            break  # defensive: a leveled sink guarantees >= 1 path
+        # Replay the phase's pushes on the master arrays in order.
+        # ufunc.at is unbuffered and applies repeated indices in sequence,
+        # so each arc receives the identical rounding sequence the loop
+        # engine's per-push updates produce.
+        arcs_seq = kept_arcs[np.asarray(push_seq, dtype=np.int64)]
+        amounts = np.asarray(amount_seq, dtype=np.float64)
+        np.add.at(flows, arcs_seq, amounts)
+        np.subtract.at(flows, arcs_seq ^ 1, amounts)
+
+    snap.writeback(network)
+    if rec.enabled:
+        rec.incr("flow.dinic_array.calls")
+        rec.incr("flow.dinic_array.phases", phases)
+        rec.incr("flow.dinic_array.augmenting_paths", paths)
+        rec.incr("flow.dinic_array.pushes", pushes)
+        rec.observe("flow.dinic_array.paths_per_call", paths)
+    return float(total)
+
+
+def _distances_to_sink(
+    snap: CSRFlowSnapshot, residual: np.ndarray, source: int, sink: int
+) -> np.ndarray:
+    """Backward BFS from the sink over usable residual arcs (vectorized).
+
+    ``dist[v]`` is the length of a shortest residual path ``v -> sink``,
+    or ``-1`` when none exists.  A vertex ``u`` can take a step to a
+    frontier vertex ``v`` iff the arc ``u -> v`` has usable residual —
+    which is the residual of the *pair* (``arc ^ 1``) of each arc ``v ->
+    u`` in ``v``'s CSR slice, so the sweep never needs a reverse-adjacency
+    structure.  The source is pinned at height ``n`` and is never expanded.
+    """
+    dist = np.full(snap.num_nodes, -1, dtype=np.int64)
+    dist[sink] = 0
+    frontier = np.array([sink], dtype=np.int64)
+    depth = 0
+    while frontier.size:
+        positions = _frontier_positions(snap.indptr, frontier)
+        if positions.size == 0:
+            break
+        arcs = snap.csr_arcs[positions]
+        admissible = positions[residual[arcs ^ 1] > _EPS]
+        candidates = snap.csr_heads[admissible]
+        candidates = candidates[dist[candidates] < 0]
+        candidates = candidates[candidates != source]
+        if candidates.size == 0:
+            break
+        frontier = np.unique(candidates)
+        depth += 1
+        dist[frontier] = depth
+    return dist
+
+
+def push_relabel_array_max_flow(
+    network: FlowNetwork, source: int, sink: int
+) -> float:
+    """FIFO push-relabel with gap heuristic plus global relabeling.
+
+    The discharge loop matches the loop engine; every
+    ``max(GLOBAL_RELABEL_INTERVAL_SCALE * n, 16)`` relabels a
+    vectorized backward BFS from the sink recomputes exact residual
+    distances and lifts heights to ``max(height, distance)`` (sink-
+    disconnected vertices to at least ``n + 1``).  Exact distances are an
+    upper bound for any valid labeling and ``max`` keeps updates
+    monotone, so the relabeling is always sound; in exchange, stair-step
+    relabel chains (the dominant cost on deep networks) collapse into one
+    O(E) sweep.
+    """
+    network._check_node(source)
+    network._check_node(sink)
+    if source == sink:
+        raise ValueError("source and sink must differ")
+
+    rec = recorder()
+    with rec.span("csr_snapshot"):
+        snap = CSRFlowSnapshot(network)
+    if rec.enabled:
+        rec.incr("flow.array.snapshots")
+        rec.gauge("flow.array.snapshot_arcs", snap.num_arcs)
+
+    n = network.num_nodes
+    heads = network.heads
+    caps = network.caps
+    flows = network.flows
+    adjacency = network.adjacency
+
+    from collections import deque
+
+    height = [0] * n
+    excess = [0.0] * n
+    count_at_height = [0] * (2 * n + 1)
+    pointer = [0] * n
+    active: "deque[int]" = deque()
+    in_queue = [False] * n
+
+    height[source] = n
+    count_at_height[0] = n - 1
+    count_at_height[n] += 1
+
+    num_pushes = 0
+    num_relabels = 0
+    num_gap_lifts = 0
+    num_global_relabels = 0
+    relabels_since_sweep = 0
+    sweep_interval = max(int(GLOBAL_RELABEL_INTERVAL_SCALE * n), 16)
+
+    def push(arc: int) -> None:
+        nonlocal num_pushes
+        u, v = heads[arc ^ 1], heads[arc]
+        amount = min(excess[u], caps[arc] - flows[arc])
+        if amount <= _EPS:
+            # Shared with the loop engine: sub-epsilon pushes move no
+            # usable flow and would strand invisible excess at v.
+            return
+        network.push(arc, amount)
+        num_pushes += 1
+        excess[u] -= amount
+        excess[v] += amount
+        if v not in (source, sink) and not in_queue[v]:
+            active.append(v)
+            in_queue[v] = True
+
+    def global_relabel() -> None:
+        nonlocal height, count_at_height, pointer
+        nonlocal num_global_relabels, relabels_since_sweep
+        residual = snap.caps - np.asarray(flows, dtype=np.float64)
+        dist = _distances_to_sink(snap, residual, source, sink)
+        lifted = np.where(dist >= 0, dist, n + 1)
+        new_heights = np.maximum(np.asarray(height, dtype=np.int64), lifted)
+        new_heights[source] = n
+        height = new_heights.tolist()
+        count_at_height = np.bincount(
+            new_heights.clip(max=2 * n), minlength=2 * n + 1
+        ).tolist()
+        pointer = [0] * n
+        num_global_relabels += 1
+        relabels_since_sweep = 0
+
+    def relabel(u: int) -> None:
+        nonlocal num_relabels, num_gap_lifts, relabels_since_sweep
+        old = height[u]
+        best = 2 * n
+        for arc in adjacency[u]:
+            if caps[arc] - flows[arc] > _EPS:
+                candidate = height[heads[arc]] + 1
+                if candidate < best:
+                    best = candidate
+        count_at_height[old] -= 1
+        height[u] = best
+        count_at_height[best] += 1
+        pointer[u] = 0
+        num_relabels += 1
+        relabels_since_sweep += 1
+        # Gap heuristic (as in the loop engine).
+        if count_at_height[old] == 0 and old < n:
+            for v in range(n):
+                if old < height[v] < n and v != source:
+                    count_at_height[height[v]] -= 1
+                    height[v] = n + 1
+                    count_at_height[n + 1] += 1
+                    num_gap_lifts += 1
+
+    # Saturate all source arcs, then start from exact distance labels.
+    for arc in adjacency[source]:
+        if caps[arc] > _EPS:
+            excess[source] += caps[arc]
+            push(arc)
+    if active:
+        global_relabel()
+
+    while active:
+        u = active.popleft()
+        in_queue[u] = False
+        adj_u = adjacency[u]
+        deg_u = len(adj_u)
+        while excess[u] > _EPS:
+            if height[u] >= 2 * n:
+                break
+            if pointer[u] == deg_u:
+                relabel(u)
+                if height[u] >= 2 * n:
+                    break
+                continue
+            arc = adj_u[pointer[u]]
+            v = heads[arc]
+            if caps[arc] - flows[arc] > _EPS and height[u] == height[v] + 1:
+                push(arc)
+            else:
+                pointer[u] += 1
+        if relabels_since_sweep >= sweep_interval and active:
+            global_relabel()
+
+    if rec.enabled:
+        rec.incr("flow.push_relabel_array.calls")
+        rec.incr("flow.push_relabel_array.pushes", num_pushes)
+        rec.incr("flow.push_relabel_array.relabels", num_relabels)
+        rec.incr("flow.push_relabel_array.gap_lifts", num_gap_lifts)
+        rec.incr(
+            "flow.push_relabel_array.global_relabels", num_global_relabels
+        )
+        rec.observe("flow.push_relabel_array.pushes_per_call", num_pushes)
+    # Sink-side measurement, as in the loop engine: stranded sub-epsilon
+    # excess never counts toward the delivered flow value.
+    return -network.flow_value(sink)

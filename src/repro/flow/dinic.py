@@ -12,11 +12,11 @@ from collections import deque
 from typing import List
 
 from ..obs import recorder
-from .graph import FlowNetwork
+from .graph import RESIDUAL_EPS, FlowNetwork
 
 __all__ = ["dinic_max_flow"]
 
-_EPS = 1e-12
+_EPS = RESIDUAL_EPS
 
 
 def dinic_max_flow(network: FlowNetwork, source: int, sink: int) -> float:

@@ -13,11 +13,11 @@ from collections import deque
 from typing import List
 
 from ..obs import recorder
-from .graph import FlowNetwork
+from .graph import RESIDUAL_EPS, FlowNetwork
 
 __all__ = ["edmonds_karp_max_flow"]
 
-_EPS = 1e-12
+_EPS = RESIDUAL_EPS
 
 
 def edmonds_karp_max_flow(network: FlowNetwork, source: int, sink: int) -> float:

@@ -8,11 +8,33 @@ Capacities are floats because Problem 2 weights are positive reals.
 
 from __future__ import annotations
 
-from typing import Iterator, List, NamedTuple, Tuple, Union
+from typing import Iterator, List, NamedTuple, Optional, Tuple, Union
 
 import numpy as np
 
-__all__ = ["FlowNetwork", "Arc"]
+__all__ = ["FlowNetwork", "Arc", "RESIDUAL_EPS", "has_residual"]
+
+#: Shared residual tolerance for every max-flow backend.  A residual
+#: capacity is *usable* iff it strictly exceeds this value; anything at or
+#: below it is treated as saturated.  All backends (and the min-cut
+#: extraction) must route their admissibility decisions through this one
+#: constant/predicate pair: a backend that admits residual exactly
+#: ``RESIDUAL_EPS`` while another rejects it makes the two disagree on
+#: boundary-capacity arcs, which the differential fuzzer flags as a
+#: finding (historically: capacity-scaling's exactness pass used ``>=``
+#: where the other backends used ``>``).
+RESIDUAL_EPS = 1e-12
+
+
+def has_residual(value: float) -> bool:
+    """True iff ``value`` is usable residual capacity (strictly above eps).
+
+    The single admissibility predicate shared by every backend.  Hot loops
+    inline the equivalent ``value > RESIDUAL_EPS`` comparison against the
+    imported constant; this function is the readable form for the
+    non-critical call sites and the documentation anchor for the contract.
+    """
+    return value > RESIDUAL_EPS
 
 
 class Arc(NamedTuple):
@@ -40,7 +62,8 @@ class FlowNetwork:
     can be solved by several backends (used by the cross-check tests).
     """
 
-    __slots__ = ("num_nodes", "heads", "caps", "flows", "adjacency", "_tails")
+    __slots__ = ("num_nodes", "heads", "caps", "flows", "adjacency", "_tails",
+                 "_csr_cache")
 
     def __init__(self, num_nodes: int) -> None:
         if num_nodes < 0:
@@ -51,6 +74,10 @@ class FlowNetwork:
         self.flows: List[float] = []
         self._tails: List[int] = []
         self.adjacency: List[List[int]] = [[] for _ in range(num_nodes)]
+        # Topology/capacity arrays memoized by CSRFlowSnapshot.  Arcs are
+        # append-only, so the (num_nodes, num_arcs) key fully identifies
+        # the frozen structure; flows are never cached here.
+        self._csr_cache: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # Construction

@@ -15,11 +15,11 @@ from __future__ import annotations
 from collections import deque
 
 from ..obs import recorder
-from .graph import FlowNetwork
+from .graph import RESIDUAL_EPS, FlowNetwork
 
 __all__ = ["push_relabel_max_flow"]
 
-_EPS = 1e-12
+_EPS = RESIDUAL_EPS
 
 
 def push_relabel_max_flow(network: FlowNetwork, source: int, sink: int) -> float:
@@ -54,11 +54,19 @@ def push_relabel_max_flow(network: FlowNetwork, source: int, sink: int) -> float
         nonlocal num_pushes
         u, v = heads[arc ^ 1], heads[arc]
         amount = min(excess[u], caps[arc] - flows[arc])
+        if amount <= _EPS:
+            # A sub-epsilon push moves no usable flow: it would deposit
+            # excess at v without ever activating it (activation requires
+            # amount > _EPS), stranding invisible excess at interior
+            # nodes, and it would inflate the push counter.  Reachable on
+            # warm-started networks whose source arcs carry sub-epsilon
+            # residuals; skip the push entirely.
+            return
         network.push(arc, amount)
         num_pushes += 1
         excess[u] -= amount
         excess[v] += amount
-        if amount > _EPS and v not in (source, sink) and not in_queue[v]:
+        if v not in (source, sink) and not in_queue[v]:
             active.append(v)
             in_queue[v] = True
 
@@ -114,4 +122,10 @@ def push_relabel_max_flow(network: FlowNetwork, source: int, sink: int) -> float
         rec.incr("flow.push_relabel.relabels", num_relabels)
         rec.incr("flow.push_relabel.gap_lifts", num_gap_lifts)
         rec.observe("flow.push_relabel.pushes_per_call", num_pushes)
-    return network.flow_value(source)
+    # Measure the delivered flow at the sink.  The strict push/discharge
+    # guards may strand sub-epsilon excess at interior nodes; the
+    # source-side sum counts that stranded excess as if it had reached
+    # the sink (e.g. reporting ~1e-12 on a network whose sink is
+    # unreachable), while the sink-side sum is exactly the flow the
+    # preflow actually delivered — matching the path-based backends.
+    return -network.flow_value(sink)

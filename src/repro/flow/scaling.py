@@ -15,16 +15,24 @@ from collections import deque
 from typing import List
 
 from ..obs import recorder
-from .graph import FlowNetwork
+from .graph import RESIDUAL_EPS, FlowNetwork
 
 __all__ = ["capacity_scaling_max_flow"]
 
-_EPS = 1e-12
+_EPS = RESIDUAL_EPS
 
 
 def _augment_once(network: FlowNetwork, source: int, sink: int,
                   delta: float) -> float:
-    """One BFS augmentation using only residual arcs >= delta; 0 if none."""
+    """One BFS augmentation over usable residual arcs >= delta; 0 if none.
+
+    Admissibility is the conjunction of the scaling filter (``residual >=
+    delta``) and the shared residual predicate (``residual > RESIDUAL_EPS``,
+    see :mod:`.graph`).  The conjunction matters at the epsilon boundary:
+    a bare ``>= delta`` admits residual exactly ``RESIDUAL_EPS`` during the
+    exactness pass, which every other backend rejects — the backends would
+    disagree on boundary-capacity arcs.
+    """
     heads = network.heads
     caps = network.caps
     flows = network.flows
@@ -40,7 +48,8 @@ def _augment_once(network: FlowNetwork, source: int, sink: int,
             break
         for arc in adjacency[u]:
             v = heads[arc]
-            if parent_arc[v] == -1 and caps[arc] - flows[arc] >= delta:
+            residual = caps[arc] - flows[arc]
+            if parent_arc[v] == -1 and residual >= delta and residual > _EPS:
                 parent_arc[v] = arc
                 queue.append(v)
     if parent_arc[sink] == -1:
@@ -86,9 +95,10 @@ def capacity_scaling_max_flow(network: FlowNetwork, source: int,
             total += pushed
             paths += 1
         delta /= 2.0
-    # Exactness pass: plain augmentation over any positive residual.
+    # Exactness pass: plain augmentation over any usable residual (the
+    # shared strict-epsilon predicate inside _augment_once is the filter).
     while True:
-        pushed = _augment_once(network, source, sink, _EPS)
+        pushed = _augment_once(network, source, sink, 0.0)
         if pushed <= 0:
             break
         total += pushed

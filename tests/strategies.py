@@ -15,9 +15,9 @@ import numpy as np
 from hypothesis import strategies as st
 
 from repro import PointSet
-from repro.flow import FlowNetwork
+from repro.flow import RESIDUAL_EPS, FlowNetwork
 
-__all__ = ["point_sets", "flow_networks"]
+__all__ = ["point_sets", "flow_networks", "boundary_flow_networks"]
 
 
 @st.composite
@@ -63,4 +63,41 @@ def flow_networks(draw, max_nodes: int = 10, max_edges: int = 25
             continue
         capacity = draw(st.sampled_from([0.0, 0.5, 1.0, 2.0, 3.0, 1e6]))
         network.add_edge(u, v, capacity)
+    return network, 0, n - 1
+
+
+#: Capacities straddling the shared residual tolerance: exactly at the
+#: epsilon boundary, one ulp to either side, sub-epsilon, and a couple of
+#: ordinary values so boundary arcs interact with real flow.
+_BOUNDARY_CAPACITIES = [
+    0.0,
+    RESIDUAL_EPS,
+    float(np.nextafter(RESIDUAL_EPS, 0.0)),
+    float(np.nextafter(RESIDUAL_EPS, 1.0)),
+    RESIDUAL_EPS / 2,
+    2 * RESIDUAL_EPS,
+    1e-9,
+    1.0,
+]
+
+
+@st.composite
+def boundary_flow_networks(draw, max_nodes: int = 8, max_edges: int = 20
+                           ) -> Tuple[FlowNetwork, int, int]:
+    """Networks whose capacities sit at the ``RESIDUAL_EPS`` boundary.
+
+    Regression strategy for the epsilon-boundary unification: every
+    backend must make the *same* admissibility decision on residuals at
+    exactly ``RESIDUAL_EPS`` (historically capacity-scaling's exactness
+    pass admitted them while the other backends rejected them).
+    """
+    n = draw(st.integers(2, max_nodes))
+    network = FlowNetwork(n)
+    edges: List[Tuple[int, int]] = draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+        max_size=max_edges))
+    for u, v in edges:
+        if u == v:
+            continue
+        network.add_edge(u, v, draw(st.sampled_from(_BOUNDARY_CAPACITIES)))
     return network, 0, n - 1

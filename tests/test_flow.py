@@ -9,12 +9,16 @@ from hypothesis import strategies as st
 from repro.experiments.flow_backends import random_flow_network
 from repro.flow import (
     FLOW_BACKENDS,
+    RESIDUAL_EPS,
     FlowNetwork,
     dinic_max_flow,
+    has_residual,
     min_cut_from_residual,
+    push_relabel_max_flow,
     solve_max_flow,
     solve_min_cut,
 )
+from repro.obs import metrics_session
 
 
 def _diamond() -> FlowNetwork:
@@ -164,6 +168,104 @@ class TestMinCut:
     def test_unknown_backend(self):
         with pytest.raises(ValueError):
             solve_max_flow(_diamond(), 0, 3, backend="bogus")
+
+
+class TestEpsilonBoundary:
+    """Regressions for the shared ``RESIDUAL_EPS`` admissibility contract."""
+
+    def test_has_residual_boundary_semantics(self):
+        assert not has_residual(0.0)
+        assert not has_residual(RESIDUAL_EPS)
+        assert has_residual(2 * RESIDUAL_EPS)
+
+    def test_sub_epsilon_push_skipped_on_warm_start(self):
+        """push_relabel must not perform sub-epsilon pushes.
+
+        A warm-started network can leave a source arc with capacity above
+        the tolerance but *residual* below it.  Pre-fix, the push closure
+        moved that sub-epsilon residual anyway: the push counter counted a
+        push that moved no usable flow, and the amount was stranded as
+        invisible excess at the interior node (its discharge guard is
+        strict, so it never drains), breaking exact conservation.
+        """
+        tiny = RESIDUAL_EPS / 2
+        net = FlowNetwork(3)
+        a = net.add_edge(0, 1, 1.0)
+        b = net.add_edge(1, 2, 1.0)
+        # Warm start with a feasible flow leaving sub-epsilon residual on
+        # the source arc.
+        net.push(a, 1.0 - tiny)
+        net.push(b, 1.0 - tiny)
+        with metrics_session() as reg:
+            value = push_relabel_max_flow(net, 0, 2)
+        assert value == 1.0 - tiny
+        # No usable augmenting path exists, so not a single push happens
+        # (pre-fix: one sub-epsilon push, counter == 1).
+        assert reg.counters["flow.push_relabel.pushes"].value == 0
+        # Conservation holds *exactly*, not merely within the default
+        # 1e-9 slack that hid the stranded excess.
+        assert net.check_flow_conservation(0, 2, tol=0.0)
+
+    def test_push_relabel_value_measured_at_sink(self):
+        """Stranded sub-epsilon preflow excess must not count as flow.
+
+        With the sink unreachable the max flow is exactly 0.  Pre-fix the
+        value was read source-side, so excess parked at an interior node
+        by the strict discharge guard (here ~1e-12 of it) was reported as
+        delivered flow.
+        """
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 2 * RESIDUAL_EPS)
+        net.add_edge(1, 0, 1.0000000000000002e-12)  # nextafter(eps, 1)
+        value = push_relabel_max_flow(net, 0, 2)
+        assert value == 0.0
+
+    def test_backends_agree_at_exact_epsilon_capacity(self):
+        """A capacity of exactly ``RESIDUAL_EPS`` is unusable for everyone.
+
+        Pre-fix, capacity-scaling's exactness pass admitted residuals
+        ``>= delta`` with ``delta == 0``, so it alone pushed the 1e-12 and
+        returned a nonzero value while every other backend returned 0.0.
+        """
+        for backend in sorted(FLOW_BACKENDS):
+            net = FlowNetwork(2)
+            net.add_edge(0, 1, RESIDUAL_EPS)
+            value = solve_max_flow(net, 0, 1, backend=backend)
+            assert value == 0.0, f"{backend} admitted an epsilon-capacity arc"
+
+
+class TestCutCertificate:
+    """Regressions for the Lemma 8 cut-edge certificate."""
+
+    def test_zero_capacity_crossing_arc_excluded(self):
+        """Zero-capacity arcs crossing the cut are storage artifacts.
+
+        Pre-fix, ``min_cut_from_residual`` listed every crossing forward
+        arc whose residual was below tolerance — which includes capacity-0
+        arcs that carry no flow and no weight.
+        """
+        net = FlowNetwork(3)
+        real = net.add_edge(0, 1, 1.0)
+        phantom = net.add_edge(0, 1, 0.0)
+        net.add_edge(1, 2, 5.0)
+        cut = solve_min_cut(net, 0, 2)
+        assert cut.value == pytest.approx(1.0)
+        assert real in cut.cut_arcs
+        assert phantom not in cut.cut_arcs
+
+    def test_every_certificate_arc_is_saturated_and_positive(self):
+        """Each certificate arc individually witnesses the cut (Lemma 8)."""
+        for seed in range(25):
+            net = random_flow_network(20, 0.25, seed=seed)
+            cut = solve_min_cut(net, 0, 19, check=False)
+            for arc_id in cut.cut_arcs:
+                cap = net.caps[arc_id]
+                assert cap > 0.0
+                assert not has_residual(cap - net.flows[arc_id])
+                assert net.tail(arc_id) in cut.source_side
+                assert net.heads[arc_id] not in cut.source_side
+            assert cut.weight(net) == pytest.approx(cut.value,
+                                                    rel=1e-9, abs=1e-9)
 
 
 @settings(max_examples=30, deadline=None)

@@ -1,0 +1,329 @@
+"""Tests for the array-native flow engines (repro.flow.array).
+
+Covers the CSR snapshot contract, bit-identity of ``dinic_array`` with
+the loop engine, the six-backend solver-equivalence suite (random and
+epsilon-boundary instances plus the replayable corpus), and the
+``solve_passive`` auto-upgrade above ``FLOW_ARRAY_CUTOFF``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.passive import solve_passive
+from repro.experiments.flow_backends import random_flow_network
+from repro.flow import (
+    ARRAY_UPGRADES,
+    FLOW_BACKENDS,
+    RESIDUAL_EPS,
+    CSRFlowSnapshot,
+    FlowNetwork,
+    array_backend_for,
+    dinic_array_max_flow,
+    dinic_max_flow,
+    push_relabel_array_max_flow,
+    solve_max_flow,
+    solve_min_cut,
+)
+from repro.fuzz.corpus import iter_corpus, load_reproducer
+from repro.obs import metrics_session
+from tests.strategies import boundary_flow_networks, flow_networks
+
+CORPUS_DIR = "tests/corpus"
+
+
+def _clone(network: FlowNetwork) -> FlowNetwork:
+    """Fresh zero-flow network with identical topology and capacities."""
+    other = FlowNetwork(network.num_nodes)
+    for _arc_id, arc in network.forward_arcs():
+        other.add_edge(arc.tail, arc.head, arc.capacity)
+    return other
+
+
+class TestCSRFlowSnapshot:
+    def test_indptr_matches_adjacency(self):
+        net = random_flow_network(12, 0.3, seed=0)
+        snap = CSRFlowSnapshot(net)
+        assert snap.indptr[0] == 0
+        assert snap.indptr[-1] == snap.num_arcs == len(net.heads)
+        for u in range(net.num_nodes):
+            sl = snap.csr_arcs[snap.indptr[u]:snap.indptr[u + 1]]
+            assert sl.tolist() == net.adjacency[u]
+
+    def test_position_mirrors_consistent(self):
+        net = random_flow_network(10, 0.4, seed=1)
+        snap = CSRFlowSnapshot(net)
+        assert snap.csr_heads.tolist() == [net.heads[a] for a in snap.csr_arcs]
+        assert snap.csr_tails.tolist() == [net.tail(a) for a in snap.csr_arcs]
+
+    def test_reverse_arc_pairing_preserved(self):
+        net = random_flow_network(10, 0.4, seed=2)
+        snap = CSRFlowSnapshot(net)
+        arcs = np.arange(snap.num_arcs, dtype=np.int64)
+        # arc ^ 1 still addresses the paired reverse arc on the arrays:
+        # each pair's heads are swapped tails and capacities of reverse
+        # arcs are zero.
+        assert (snap.caps[arcs[1::2]] == 0.0).all()
+        for a in range(0, snap.num_arcs, 2):
+            assert snap.arc_heads[a ^ 1] == net.tail(a)
+
+    def test_writeback_round_trip(self):
+        net = FlowNetwork(2)
+        arc = net.add_edge(0, 1, 4.0)
+        snap = CSRFlowSnapshot(net)
+        snap.flows[arc] += 2.5
+        snap.flows[arc ^ 1] -= 2.5
+        snap.writeback(net)
+        assert net.flows[arc] == 2.5
+        assert net.residual(arc) == 1.5
+        assert net.residual(arc ^ 1) == 2.5
+
+    def test_empty_network(self):
+        net = FlowNetwork(3)
+        snap = CSRFlowSnapshot(net)
+        assert snap.num_arcs == 0
+        assert snap.indptr.tolist() == [0, 0, 0, 0]
+        assert dinic_array_max_flow(net, 0, 2) == 0.0
+
+
+class TestDinicArrayBitIdentity:
+    """dinic_array replays the loop engine's float operations exactly."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(flow_networks())
+    def test_value_and_flows_bit_identical(self, case):
+        network, source, sink = case
+        loop_net, array_net = _clone(network), _clone(network)
+        loop_value = dinic_max_flow(loop_net, source, sink)
+        array_value = dinic_array_max_flow(array_net, source, sink)
+        assert array_value == loop_value  # exact, no tolerance
+        assert array_net.flows == loop_net.flows
+
+    @settings(max_examples=25, deadline=None)
+    @given(boundary_flow_networks())
+    def test_bit_identical_at_epsilon_boundary(self, case):
+        network, source, sink = case
+        loop_net, array_net = _clone(network), _clone(network)
+        assert dinic_array_max_flow(array_net, source, sink) == \
+            dinic_max_flow(loop_net, source, sink)
+        assert array_net.flows == loop_net.flows
+
+    def test_bit_identical_on_larger_random_networks(self):
+        for seed in range(20):
+            net = random_flow_network(60, 0.15, seed=seed)
+            loop_net, array_net = _clone(net), _clone(net)
+            assert dinic_array_max_flow(array_net, 0, 59) == \
+                dinic_max_flow(loop_net, 0, 59)
+            assert array_net.flows == loop_net.flows
+
+
+class TestPushRelabelArray:
+    def test_agrees_and_is_feasible(self):
+        for seed in range(15):
+            net = random_flow_network(40, 0.2, seed=seed)
+            expected = dinic_max_flow(_clone(net), 0, 39)
+            value = push_relabel_array_max_flow(net, 0, 39)
+            assert value == pytest.approx(expected, rel=1e-9, abs=1e-9)
+            assert net.check_flow_conservation(0, 39)
+
+    def test_global_relabel_counter_recorded(self):
+        net = random_flow_network(30, 0.2, seed=7)
+        with metrics_session() as reg:
+            push_relabel_array_max_flow(net, 0, 29)
+        counters = reg.counters
+        assert counters["flow.push_relabel_array.calls"].value == 1
+        # The initial sweep after source saturation always runs.
+        assert counters["flow.push_relabel_array.global_relabels"].value >= 1
+        assert counters["flow.array.snapshots"].value == 1
+
+    def test_warm_start_sub_epsilon_residual_skipped(self):
+        """Same regression as the loop engine (shared push guard)."""
+        tiny = RESIDUAL_EPS / 2
+        net = FlowNetwork(3)
+        a = net.add_edge(0, 1, 1.0)
+        b = net.add_edge(1, 2, 1.0)
+        net.push(a, 1.0 - tiny)
+        net.push(b, 1.0 - tiny)
+        with metrics_session() as reg:
+            value = push_relabel_array_max_flow(net, 0, 2)
+        assert value == 1.0 - tiny
+        assert reg.counters["flow.push_relabel_array.pushes"].value == 0
+        assert net.check_flow_conservation(0, 2, tol=0.0)
+
+
+class TestSolverEquivalence:
+    """All six registered backends agree on value, feasibility and cuts."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(flow_networks())
+    def test_all_backends_equivalent(self, case):
+        network, source, sink = case
+        values = {}
+        for backend in sorted(FLOW_BACKENDS):
+            net = _clone(network)
+            values[backend] = solve_max_flow(net, source, sink,
+                                             backend=backend)
+            assert net.check_flow_conservation(source, sink)
+        reference = values["dinic"]
+        for backend, value in values.items():
+            assert value == pytest.approx(reference, rel=1e-9, abs=1e-9), \
+                backend
+
+    # Augmenting-path backends move per-path bottlenecks, so their values
+    # are sums of identical > RESIDUAL_EPS augmentations and must agree
+    # below the tolerance itself.  The preflow backends aggregate excess
+    # per node and may legitimately deliver up to ~RESIDUAL_EPS more per
+    # saturating arc than a bottleneck-at-a-time search admits, so their
+    # slack scales with the instance.
+    PATH_BACKENDS = ("capacity_scaling", "dinic", "dinic_array",
+                     "edmonds_karp")
+
+    @settings(max_examples=40, deadline=None)
+    @given(boundary_flow_networks())
+    def test_boundary_capacities_differential(self, case):
+        """Epsilon-boundary differential (satellite of the scaling fix).
+
+        The path-backend tolerance is *below* ``RESIDUAL_EPS``: the
+        historical bug was a disagreement of exactly 1e-12, invisible to
+        the usual 1e-9 slack.
+        """
+        network, source, sink = case
+        values = {}
+        for backend in sorted(FLOW_BACKENDS):
+            net = _clone(network)
+            values[backend] = solve_max_flow(net, source, sink,
+                                             backend=backend)
+            assert net.check_flow_conservation(source, sink)
+        reference = values["dinic"]
+        for backend in self.PATH_BACKENDS:
+            assert values[backend] == pytest.approx(
+                reference, rel=1e-9, abs=RESIDUAL_EPS / 2), backend
+        loose = (network.num_edges + 2) * RESIDUAL_EPS
+        for backend, value in values.items():
+            assert value == pytest.approx(reference, rel=1e-9,
+                                          abs=loose), backend
+
+    @settings(max_examples=25, deadline=None)
+    @given(flow_networks())
+    def test_cut_certificates_equivalent(self, case):
+        network, source, sink = case
+        weights = {}
+        for backend in sorted(FLOW_BACKENDS):
+            net = _clone(network)
+            cut = solve_min_cut(net, source, sink, backend=backend,
+                                check=False)
+            weights[backend] = cut.weight(net)
+            assert cut.weight(net) == pytest.approx(cut.value,
+                                                    rel=1e-9, abs=1e-9)
+            for arc_id in cut.cut_arcs:
+                assert net.caps[arc_id] > 0.0
+        reference = weights["dinic"]
+        for backend, weight in weights.items():
+            assert weight == pytest.approx(reference, rel=1e-9,
+                                           abs=1e-9), backend
+
+    def test_corpus_replay_machine_precision(self):
+        """Every corpus entry solves identically across all six backends.
+
+        The array engines must match to machine precision: ``dinic_array``
+        exactly, ``push_relabel_array`` within float tolerance.
+        """
+        paths = list(iter_corpus(CORPUS_DIR))
+        assert paths, "replay corpus is empty"
+        solved_one = False
+        for path in paths:
+            points, _meta = load_reproducer(path)
+            results = {}
+            rejected = {}
+            for backend in sorted(FLOW_BACKENDS):
+                try:
+                    results[backend] = solve_passive(points, backend=backend)
+                except ValueError as exc:
+                    rejected[backend] = str(exc)
+            if rejected:
+                # Input validation happens before any backend runs, so a
+                # rejected instance must be rejected for every backend.
+                assert not results, (path.name, sorted(results))
+                continue
+            solved_one = True
+            reference = results["dinic"]
+            assert results["dinic_array"].optimal_error == \
+                reference.optimal_error, path.name
+            for backend, result in results.items():
+                assert result.optimal_error == pytest.approx(
+                    reference.optimal_error, rel=1e-9, abs=1e-12), \
+                    (path.name, backend)
+        assert solved_one, "every corpus entry was rejected"
+
+
+class TestArrayMinCutExtraction:
+    """The CSR fast path of min_cut_from_residual matches the scalar path."""
+
+    def test_identical_to_scalar_path(self, monkeypatch):
+        from repro.flow.mincut import (
+            _min_cut_from_residual_array,
+            min_cut_from_residual,
+        )
+
+        for seed in range(10):
+            net = random_flow_network(25, 0.25, seed=seed)
+            value = dinic_max_flow(net, 0, 24)
+            scalar = min_cut_from_residual(net, 0, 24, value)
+            fast = _min_cut_from_residual_array(net, 0, 24, value)
+            assert fast.source_side == scalar.source_side
+            assert fast.cut_arcs == scalar.cut_arcs
+            assert fast.value == scalar.value
+
+    def test_rejects_non_max_flow(self):
+        from repro.flow.mincut import _min_cut_from_residual_array
+
+        net = random_flow_network(10, 0.5, seed=3)  # zero flow
+        with pytest.raises(AssertionError):
+            _min_cut_from_residual_array(net, 0, 9, 0.0)
+
+
+class TestAutoUpgrade:
+    def test_array_backend_for_mapping(self):
+        assert array_backend_for("dinic") == "dinic_array"
+        assert array_backend_for("push_relabel") == "push_relabel_array"
+        assert array_backend_for("edmonds_karp") is None
+        assert array_backend_for("dinic_array") is None
+        assert set(ARRAY_UPGRADES.values()) <= set(FLOW_BACKENDS)
+
+    def _points(self):
+        rng = np.random.default_rng(11)
+        from repro import PointSet
+
+        coords = rng.random((40, 2))
+        labels = (coords.sum(axis=1) + rng.normal(0, 0.3, 40) > 1.0)
+        return PointSet(coords, labels.astype(int).tolist())
+
+    def test_upgrade_above_cutoff(self, monkeypatch):
+        points = self._points()
+        baseline = solve_passive(points, backend="dinic")
+        assert baseline.backend == "dinic"
+        monkeypatch.setattr("repro.core.passive.FLOW_ARRAY_CUTOFF", 2)
+        with metrics_session() as reg:
+            upgraded = solve_passive(points, backend="dinic")
+        assert upgraded.backend == "dinic_array"
+        assert reg.counters["passive.array_backend_upgrades"].value == 1
+        # Bit-identical engine: identical error, flow value and labels.
+        assert upgraded.optimal_error == baseline.optimal_error
+        assert upgraded.flow_value == baseline.flow_value
+        assert (upgraded.assignment == baseline.assignment).all()
+
+    def test_no_upgrade_for_non_loop_backends(self, monkeypatch):
+        points = self._points()
+        monkeypatch.setattr("repro.core.passive.FLOW_ARRAY_CUTOFF", 2)
+        result = solve_passive(points, backend="edmonds_karp")
+        assert result.backend == "edmonds_karp"
+
+    def test_explicit_array_backend_accepted(self):
+        points = self._points()
+        direct = solve_passive(points, backend="push_relabel_array")
+        assert direct.backend == "push_relabel_array"
+        reference = solve_passive(points, backend="dinic")
+        assert direct.optimal_error == pytest.approx(
+            reference.optimal_error, rel=1e-9, abs=1e-12)
