@@ -1,0 +1,77 @@
+"""Serving-layer smoke benchmarks: query latency must stay flat.
+
+Part of the CI ``bench-smoke`` gate: each benchmark has a matching entry
+in ``benchmarks/baseline.json`` and the gate fails on a >30% mean
+regression.  Tiny inputs on purpose — this catches order-of-magnitude
+slips (a digest recomputed per query, a journal fsync per point), not
+scaling behavior.  ``BENCH_serve.json`` holds the standing throughput /
+p99 summary; refresh it with ``benchmarks/run_serve.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.points import PointSet
+from repro.serve import ServeEngine, fit_artifact, load_artifact, save_artifact
+
+
+@pytest.fixture(scope="module")
+def deployed(tmp_path_factory):
+    rng = np.random.default_rng(17)
+    coords = rng.random((300, 2))
+    labels = (coords.sum(axis=1) > 1.0).astype(int)
+    labels[:20] ^= 1
+    artifact = fit_artifact(PointSet(coords, labels), "passive")
+    path = tmp_path_factory.mktemp("bench-serve") / "model.json"
+    save_artifact(artifact, path)
+    return path
+
+
+def test_bench_serve_batch_queries(benchmark, deployed):
+    """Batched query throughput through the full engine path (queue +
+    journal off): 64 batches of 512 points per round."""
+    engine = ServeEngine(deployed)
+    engine.reload()
+    rng = np.random.default_rng(3)
+    batches = [rng.random((512, 2)) for _ in range(64)]
+
+    def job():
+        answered = 0
+        for coords in batches:
+            result = engine.classify_batch(coords)
+            assert result.ok
+            answered += result.n
+        return answered
+
+    answered = benchmark(job)
+    benchmark.extra_info["points_per_round"] = answered
+
+
+def test_bench_serve_single_queries(benchmark, deployed):
+    """Single-point query latency (the per-request overhead floor)."""
+    engine = ServeEngine(deployed)
+    engine.reload()
+    rng = np.random.default_rng(4)
+    points = [tuple(p) for p in rng.random((256, 2))]
+
+    def job():
+        labels = 0
+        for point in points:
+            result = engine.classify(point)
+            labels += result.label or 0
+        return labels
+
+    benchmark(job)
+    benchmark.extra_info["queries_per_round"] = len(points)
+
+
+def test_bench_serve_artifact_load(benchmark, deployed):
+    """Artifact load + digest verification (the reload path's cost)."""
+
+    def job():
+        return load_artifact(deployed)
+
+    artifact = benchmark(job)
+    benchmark.extra_info["digest"] = (artifact.digest or "")[:12]

@@ -13,6 +13,13 @@ Subcommands
     Report the dominance width and chain statistics of a stored point set.
 ``experiment``
     Run one or all registered experiments and print their tables.
+``fit``
+    Fit a classifier on a stored point set and write a durable,
+    digest-verified model artifact (see ``docs/serving.md``).
+``serve``
+    Answer classify queries from a model artifact through the
+    fault-tolerant :class:`~repro.serve.ServeEngine` (bounded queue,
+    deadlines, degradation ladder), or run a chaos campaign (``--chaos``).
 ``fuzz``
     Differential fuzz campaign: hostile instance families through every
     passive configuration, certificates cross-checked, disagreements
@@ -117,6 +124,54 @@ def build_parser() -> argparse.ArgumentParser:
                        help="on halting failures return a best-effort "
                             "classifier and a run report instead of failing")
 
+    fit = sub.add_parser(
+        "fit", help="fit a classifier and write a durable model artifact")
+    fit.add_argument("input", help="fully-labeled point-set file (.csv or .json)")
+    fit.add_argument("artifact", help="output artifact file (.json)")
+    fit.add_argument("--mode", choices=["passive", "active"], default="passive")
+    fit.add_argument("--backend", choices=sorted(FLOW_BACKENDS),
+                     default="dinic", help="flow backend (passive mode)")
+    fit.add_argument("--epsilon", type=float, default=0.5,
+                     help="approximation parameter (active mode)")
+    fit.add_argument("--seed", type=int, default=0,
+                     help="sampling seed (active mode)")
+    fit.add_argument("--decomposition",
+                     choices=["exact", "matching", "patience", "greedy"],
+                     default="exact", help="chain decomposition (active mode)")
+    fit.add_argument("--no-chains", action="store_true",
+                     help="omit the chain decomposition from the artifact")
+    fit.add_argument("--no-certificate", action="store_true",
+                     help="omit the min-cut certificate from the artifact")
+
+    serve = sub.add_parser(
+        "serve", help="answer classify queries from a model artifact")
+    serve.add_argument("artifact", help="model artifact written by 'fit'")
+    serve.add_argument("queries", nargs="?", default=None,
+                       help="point-set file of query coordinates "
+                            "(required unless --chaos)")
+    serve.add_argument("--output", default=None, metavar="FILE",
+                       help="write answered labels (JSON) to FILE")
+    serve.add_argument("--batch-size", type=int, default=512,
+                       help="points per admitted request (default 512)")
+    serve.add_argument("--queue-limit", type=int, default=64,
+                       help="bounded admission queue size; excess requests "
+                            "are shed with an explicit overloaded result")
+    serve.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS", help="per-request deadline")
+    serve.add_argument("--retry-max", type=int, default=None, metavar="K",
+                       help="retry budget for transient artifact loads")
+    serve.add_argument("--journal", default=None, metavar="PATH",
+                       help="crash-safe request journal (enables warm restart)")
+    serve.add_argument("--resume", action="store_true",
+                       help="warm-restart from --journal: resume the request "
+                            "sequence after a crash")
+    serve.add_argument("--chaos", default=None, metavar="SPEC",
+                       help="run the chaos load-test harness instead of "
+                            "serving a file, e.g. "
+                            "'corrupt=0.05,delay=0.1,kill=0.02,seed=7'")
+    serve.add_argument("--chaos-queries", type=int, default=100_000,
+                       help="query volume for --chaos (default 100000)")
+
     width = sub.add_parser("width", help="dominance width and chain stats")
     width.add_argument("input", help="point-set file (.csv or .json)")
 
@@ -196,8 +251,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write collapsed-stack lines to FILE "
                               "(flamegraph.pl / speedscope / inferno input)")
 
-    for command in (gen, passive, active, width, audit, repair, viz,
-                    experiment, fuzz):
+    for command in (gen, passive, active, fit, serve, width, audit, repair,
+                    viz, experiment, fuzz):
         _add_metrics_flags(command)
     return parser
 
@@ -316,6 +371,121 @@ def _cmd_active(args: argparse.Namespace) -> int:
     if result.report is not None:
         print(result.report.summary())
     return 0
+
+
+def _cmd_fit(args: argparse.Namespace) -> int:
+    from .serve import fit_artifact, save_artifact
+
+    points = _load(args.input)
+    artifact = fit_artifact(points, args.mode,
+                            epsilon=args.epsilon, seed=args.seed,
+                            backend=args.backend,
+                            decomposition=args.decomposition,
+                            include_chains=not args.no_chains,
+                            include_certificate=not args.no_certificate)
+    digest = save_artifact(artifact, args.artifact)
+    row = {"mode": args.mode, "n": points.n, "d": points.dim,
+           "digest": digest[:12]}
+    if artifact.fit.get("width") is not None:
+        row["width_w"] = artifact.fit["width"]
+    if artifact.certificate is not None:
+        row["optimal_error"] = artifact.certificate["optimal_error"]
+    if "probes" in artifact.fit:
+        row["probes"] = artifact.fit["probes"]
+    print(format_table([row]))
+    print(f"wrote model artifact to {args.artifact} (sha256 {digest})")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ServeEngine, ServeFaultSpec, run_chaos_serve
+
+    if args.chaos is not None:
+        report = run_chaos_serve(
+            args.artifact,
+            queries=args.chaos_queries,
+            batch_size=args.batch_size,
+            spec=ServeFaultSpec.parse(args.chaos),
+            deadline=args.deadline,
+        )
+        print(format_table([report.summary_row()]))
+        return 0 if report.ok else 1
+
+    if args.queries is None:
+        raise ValueError("serve: a queries file is required unless --chaos")
+    if args.resume and args.journal is None:
+        raise ValueError("--resume requires --journal PATH")
+    from pathlib import Path
+
+    from .serve import last_good_path
+
+    # A deployed artifact going bad mid-flight is survivable (the engine
+    # degrades); a path that never existed is a CLI input error — unless
+    # its last-good copy remains, the legitimate post-crash state.
+    if not Path(args.artifact).exists() and not last_good_path(args.artifact).exists():
+        raise ValueError(f"{args.artifact}: model artifact not found")
+    points = _load(args.queries)
+
+    retry = None
+    if args.retry_max is not None:
+        from .resilience import RetryPolicy
+
+        retry = RetryPolicy(max_attempts=args.retry_max)
+    kwargs = dict(queue_limit=args.queue_limit,
+                  default_deadline=args.deadline)
+    if retry is not None:
+        kwargs["retry"] = retry
+    if args.resume:
+        engine = ServeEngine.warm_restart(args.artifact, args.journal,
+                                          **kwargs)
+    else:
+        engine = ServeEngine(args.artifact, journal_path=args.journal,
+                             **kwargs)
+
+    labels: List[Optional[int]] = [None] * points.n
+    counts: dict = {}
+    with engine:
+        offsets = list(range(0, points.n, max(1, args.batch_size)))
+        pending_offsets = []
+        results = []
+        for start in offsets:
+            chunk = points.coords[start:start + args.batch_size]
+            shed = engine.submit(chunk)
+            if shed is not None:
+                results.append((start, shed))
+                continue
+            pending_offsets.append(start)
+            for answered in engine.drain():
+                results.append((pending_offsets.pop(0), answered))
+        for answered in engine.drain():
+            results.append((pending_offsets.pop(0), answered))
+        for start, result in results:
+            counts[result.status] = counts.get(result.status, 0) + 1
+            if result.labels is not None:
+                for i, label in enumerate(result.labels):
+                    labels[start + i] = int(label)
+        row = {"n": points.n, "source": engine.source,
+               "verified": engine.serving_verified,
+               "answered": engine.answered, "shed": engine.shed,
+               "quarantined": engine.quarantines}
+        row.update(sorted(counts.items()))
+    print(format_table([row]))
+    if args.output is not None:
+        import json as _json
+
+        from ._util import atomic_write_text
+
+        atomic_write_text(args.output, _json.dumps({
+            "artifact": str(args.artifact),
+            "model_digest": engine.model_digest,
+            "source": engine.source,
+            "statuses": counts,
+            "labels": labels,
+        }, indent=1))
+        print(f"wrote answers to {args.output}")
+    # Degraded serving is graceful, not an error; only a total inability
+    # to answer (no fallback either) is a failure exit.
+    return 0 if counts.get("failed", 0) == 0 else 1
 
 
 def _cmd_width(args: argparse.Namespace) -> int:
@@ -499,6 +669,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "generate": _cmd_generate,
         "passive": _cmd_passive,
         "active": _cmd_active,
+        "fit": _cmd_fit,
+        "serve": _cmd_serve,
         "width": _cmd_width,
         "audit": _cmd_audit,
         "repair": _cmd_repair,

@@ -42,7 +42,8 @@ from .generators import FAMILIES, generate, mutate_bytes, serialized_corpus_text
 from .mutants import apply_mutant
 from .shrink import shrink_instance
 
-__all__ = ["FuzzReport", "run_fuzz", "fuzz_io_roundtrip", "IO_FAMILY"]
+__all__ = ["FuzzReport", "run_fuzz", "fuzz_io_roundtrip",
+           "fuzz_artifact_roundtrip", "IO_FAMILY"]
 
 #: Pseudo-family name routing runs to the IO byte-mutation fuzzer.
 IO_FAMILY = "io"
@@ -122,6 +123,78 @@ def fuzz_io_roundtrip(points: PointSet, rng: np.random.Generator,
                     violations.append(
                         f"{suffix} loader accepted non-finite coordinates")
     return tried, violations
+
+
+def fuzz_artifact_roundtrip(
+    points: PointSet, rng: np.random.Generator,
+    mutations_per_text: int = 8,
+    corpus_dir: Optional[str] = None,
+) -> Tuple[int, List[str], List[str]]:
+    """Byte-mutate a serve model artifact against :func:`load_artifact`.
+
+    Fits a real artifact (classifier + fallback + chains + certificate) on
+    ``points``, then attacks its envelope the way :func:`fuzz_io_roundtrip`
+    attacks datasets: every mutation must either be *cleanly rejected*
+    (``ValueError`` naming the file) or load into an artifact whose digest
+    verifies and whose classifier still answers queries.  Any other
+    exception type — or an accepted artifact that then crashes on a
+    classify — is a violation of the serve validation boundary.  Offending
+    mutated bytes are archived under ``corpus_dir`` when given.  Returns
+    ``(mutations_tried, violations, archived_paths)``.
+    """
+    import hashlib
+
+    from ..serve.artifact import fit_artifact, load_artifact, save_artifact
+
+    if points.n == 0:
+        return 0, [], []
+    if (points.labels < 0).any():
+        points = points.replace(labels=np.where(points.labels < 0, 0,
+                                                points.labels))
+    artifact = fit_artifact(points, "passive")
+    violations: List[str] = []
+    archived: List[str] = []
+    tried = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        source = Path(tmp) / "artifact.json"
+        save_artifact(artifact, source)
+        text = source.read_text()
+        for k in range(mutations_per_text):
+            tried += 1
+            corrupted = mutate_bytes(text, rng, mutations=1 + k % 4)
+            target = Path(tmp) / f"mutated{k}.json"
+            target.write_bytes(corrupted)
+            finding: Optional[str] = None
+            try:
+                loaded = load_artifact(target)
+            except ValueError:
+                continue  # clean rejection: the boundary held
+            except Exception as exc:  # noqa: BLE001 - the point of the test
+                finding = (f"artifact loader raised {type(exc).__name__} on "
+                           f"mutated envelope: {exc}")
+            else:
+                # Accepted: the digest verified, so the artifact must be
+                # fully servable — a classify crash here means hostile
+                # bytes slipped past verification.
+                try:
+                    probe = np.zeros((1, points.dim))
+                    loaded.classifier.classify_matrix(probe)
+                    if loaded.fallback is not None:
+                        loaded.fallback.classify_matrix(probe)
+                except Exception as exc:  # noqa: BLE001
+                    finding = ("artifact accepted but classify raised "
+                               f"{type(exc).__name__}: {exc}")
+            if finding is None:
+                continue
+            violations.append(finding)
+            if corpus_dir is not None:
+                stem = hashlib.sha256(corrupted).hexdigest()[:16]
+                corpus = Path(corpus_dir)
+                corpus.mkdir(parents=True, exist_ok=True)
+                entry = corpus / f"artifact-{stem}.json"
+                entry.write_bytes(corrupted)
+                archived.append(str(entry))
+    return tried, violations, archived
 
 
 def _random_network(rng: np.random.Generator, max_nodes: int = 24
@@ -212,8 +285,13 @@ def run_fuzz(
         if family == IO_FAMILY:
             points = generate("random", rng, min(size, 24))
             tried, violations = fuzz_io_roundtrip(points, rng)
+            a_tried, a_violations, a_archived = fuzz_artifact_roundtrip(
+                points, rng, corpus_dir=corpus_dir)
+            tried += a_tried
+            violations = violations + a_violations
             report.io_mutations += tried
             report.io_violations.extend(violations)
+            report.reproducers.extend(a_archived)
             if rec.enabled:
                 rec.incr("fuzz.io_mutations", tried)
                 if violations:

@@ -11,6 +11,14 @@ in the package through a versioned JSON envelope:
 
 ``+/-inf`` thresholds are encoded as strings ("inf"/"-inf") because JSON
 has no infinities.
+
+Writes are atomic (temp file + ``os.replace`` via
+:func:`repro._util.atomic_write_text`), and :func:`load_classifier` is a
+strict validation boundary matching :mod:`repro.io`: any structural
+problem in a classifier file — truncation, byte corruption, wrong types,
+missing keys — surfaces as a ``ValueError`` naming the file, never as a
+raw ``TypeError``/``KeyError`` traceback.  The byte-mutation fuzzer
+(:mod:`repro.fuzz`) holds the loader to exactly this contract.
 """
 
 from __future__ import annotations
@@ -19,6 +27,8 @@ import json
 import math
 from pathlib import Path
 from typing import Union
+
+from ._util import atomic_write_text
 
 from .core.classifier import (
     ConstantClassifier,
@@ -83,33 +93,73 @@ def classifier_to_dict(classifier: AnyClassifier) -> dict:
 
 
 def classifier_from_dict(payload: dict) -> AnyClassifier:
-    """Decode a classifier from :func:`classifier_to_dict` output."""
+    """Decode a classifier from :func:`classifier_to_dict` output.
+
+    Every structural problem in the payload — wrong container types,
+    missing keys, non-numeric fields — raises ``ValueError``, so callers
+    (notably :func:`load_classifier` and the serve-artifact loader) can
+    treat "hostile bytes" as a single exception type.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"classifier payload must be an object, got {type(payload).__name__}")
     version = payload.get("format_version")
     if version != _FORMAT_VERSION:
         raise ValueError(f"unsupported classifier format version: {version!r}")
     kind = payload.get("kind")
-    if kind == "constant":
-        return ConstantClassifier(int(payload["value"]))
-    if kind == "threshold":
-        return ThresholdClassifier(_decode_float(payload["tau"]),
-                                   dim=int(payload["dim"]))
-    if kind == "upset":
-        return UpsetClassifier(payload["anchors"], dim=int(payload["dim"]))
-    if kind == "with_exceptions":
-        base = classifier_from_dict(payload["base"])
-        exceptions = {
-            tuple(float(c) for c in item["coords"]): int(item["label"])
-            for item in payload["exceptions"]
-        }
-        return ExceptionAugmentedClassifier(base, exceptions)
+    try:
+        if kind == "constant":
+            return ConstantClassifier(int(payload["value"]))
+        if kind == "threshold":
+            return ThresholdClassifier(_decode_float(payload["tau"]),
+                                       dim=int(payload["dim"]))
+        if kind == "upset":
+            anchors = payload["anchors"]
+            if not isinstance(anchors, list):
+                raise ValueError("'anchors' must be a list")
+            return UpsetClassifier(anchors, dim=int(payload["dim"]))
+        if kind == "with_exceptions":
+            base = classifier_from_dict(payload["base"])
+            items = payload["exceptions"]
+            if not isinstance(items, list):
+                raise ValueError("'exceptions' must be a list")
+            exceptions = {
+                tuple(float(c) for c in item["coords"]): int(item["label"])
+                for item in items
+            }
+            return ExceptionAugmentedClassifier(base, exceptions)
+    except ValueError:
+        raise
+    except (KeyError, TypeError, IndexError) as exc:
+        raise ValueError(
+            f"malformed {kind!r} classifier payload: {exc!r}") from None
     raise ValueError(f"unknown classifier kind: {kind!r}")
 
 
 def save_classifier(classifier: AnyClassifier, path: PathLike) -> None:
-    """Write a classifier to a JSON file."""
-    Path(path).write_text(json.dumps(classifier_to_dict(classifier), indent=1))
+    """Write a classifier to a JSON file (atomically).
+
+    An interrupted write — crash, kill, full disk — leaves the previous
+    file or no file behind, never a truncated one.
+    """
+    atomic_write_text(path, json.dumps(classifier_to_dict(classifier), indent=1))
 
 
 def load_classifier(path: PathLike) -> AnyClassifier:
-    """Read a classifier previously written by :func:`save_classifier`."""
-    return classifier_from_dict(json.loads(Path(path).read_text()))
+    """Read a classifier previously written by :func:`save_classifier`.
+
+    Malformed content — unparseable JSON, a non-object document, or any
+    structural violation — raises ``ValueError`` naming the file.
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ValueError(f"{path}: not parseable as JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"{path}: expected a JSON object, got {type(payload).__name__}")
+    try:
+        return classifier_from_dict(payload)
+    except ValueError as exc:
+        raise ValueError(f"{path}: {exc}") from None

@@ -1,0 +1,76 @@
+"""Hardened serving layer: durable model artifacts + fault-tolerant queries.
+
+The paper's regime is fit-once / query-many: Theorems 2-4 pay for a fit
+(labels, flow computations) to obtain a classifier whose queries are
+cheap.  This package is the query-many half, built to survive a real
+deployment:
+
+* :mod:`repro.serve.artifact` — versioned, SHA-256-checksummed model
+  artifacts with atomic writes, strict load-time verification, and
+  quarantine of corrupt files;
+* :mod:`repro.serve.engine` — :class:`ServeEngine`, answering single and
+  batched classify queries with deadlines, a bounded load-shedding queue,
+  retry + circuit-breaker protected reloads, a degradation ladder that
+  keeps answers flowing (explicitly flagged) when the artifact store is
+  hostile, and a crash-safe request journal for warm restarts;
+* :mod:`repro.serve.chaos` — a deterministic chaos load-test harness
+  proving the core invariant: zero silently wrong answers under artifact
+  corruption, load delays, and worker kills.
+
+See ``docs/serving.md`` for the artifact format, the degradation ladder,
+and the ``serve.*`` metric catalog.
+"""
+
+from .artifact import (
+    ARTIFACT_MAGIC,
+    ARTIFACT_SCHEMA_VERSION,
+    ModelArtifact,
+    artifact_digest,
+    fit_artifact,
+    load_artifact,
+    quarantine_artifact,
+    save_artifact,
+)
+from .chaos import (
+    ChaosServeReport,
+    FaultyArtifactLoader,
+    ServeFaultSpec,
+    run_chaos_serve,
+)
+from .engine import (
+    DEADLINE_EXCEEDED,
+    DEGRADED,
+    FAILED,
+    OK,
+    OVERLOADED,
+    QueryResult,
+    ServeEngine,
+    ServeLoadTransient,
+    last_good_path,
+    read_serve_journal,
+)
+
+__all__ = [
+    "ARTIFACT_MAGIC",
+    "ARTIFACT_SCHEMA_VERSION",
+    "ChaosServeReport",
+    "DEADLINE_EXCEEDED",
+    "DEGRADED",
+    "FAILED",
+    "FaultyArtifactLoader",
+    "ModelArtifact",
+    "OK",
+    "OVERLOADED",
+    "QueryResult",
+    "ServeEngine",
+    "ServeFaultSpec",
+    "ServeLoadTransient",
+    "artifact_digest",
+    "fit_artifact",
+    "last_good_path",
+    "load_artifact",
+    "quarantine_artifact",
+    "read_serve_journal",
+    "run_chaos_serve",
+    "save_artifact",
+]

@@ -1,0 +1,364 @@
+"""Chaos load-testing for the serving layer.
+
+:func:`run_chaos_serve` pushes a large deterministic query stream (the
+acceptance bar is >= 100k queries) through a :class:`~repro.serve.engine.ServeEngine`
+while a deterministic fault injector attacks the deployment the way PR 4's
+:class:`~repro.resilience.faults.FaultyOracle` attacks probes:
+
+* **corruptions** — the deployed artifact's bytes are mutated on disk
+  (via the fuzzer's :func:`~repro.fuzz.generators.mutate_bytes`) and the
+  engine is forced to reload: it must quarantine the corrupt file and
+  degrade (last-good copy, then fallback), never crash;
+* **delays** — artifact loads raise transient failures that the engine's
+  retry policy must absorb;
+* **kills** — the serving worker dies abruptly mid-journal
+  (:meth:`~repro.serve.engine.ServeEngine.abandon`) and is warm-restarted
+  from the request journal.
+
+Every fault is a pure function of ``(spec.seed, batch_index)`` — the same
+``SeedSequence`` discipline as the PR 4 injector — so chaos campaigns
+replay exactly.  The invariant the report checks is the serving layer's
+core promise: **zero silently wrong answers**.  A response flagged ``ok``
+must match the pristine model bit-for-bit; degraded, shed, and expired
+responses are explicitly flagged and therefore allowed to differ.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from .._util import PathLike, atomic_write_text
+from ..obs import recorder
+from ..resilience.retry import CircuitBreaker, RetryPolicy
+from .artifact import ModelArtifact, load_artifact
+from .engine import (
+    DEADLINE_EXCEEDED,
+    DEGRADED,
+    OK,
+    OVERLOADED,
+    ServeEngine,
+    ServeLoadTransient,
+)
+
+__all__ = [
+    "ServeFaultSpec",
+    "FaultyArtifactLoader",
+    "ChaosServeReport",
+    "run_chaos_serve",
+]
+
+#: Stream tags keeping fault draws, query draws, and byte mutations
+#: statistically independent of each other.
+_CHAOS_TAG = 0xC405
+_QUERY_TAG = 0x9E47
+_DELAY_TAG = 0xDE1A
+
+
+@dataclass(frozen=True)
+class ServeFaultSpec:
+    """Fault distribution for the serving chaos harness.
+
+    Rates are per-batch (``corrupt_rate``, ``kill_rate``) or per-load-
+    attempt (``delay_rate``) probabilities in ``[0, 1]``; ``seed`` roots
+    every deterministic stream.
+    """
+
+    corrupt_rate: float = 0.0
+    delay_rate: float = 0.0
+    kill_rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("corrupt_rate", "delay_rate", "kill_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]; got {rate}")
+
+    @property
+    def active(self) -> bool:
+        return bool(self.corrupt_rate or self.delay_rate or self.kill_rate)
+
+    @classmethod
+    def parse(cls, spec: str) -> "ServeFaultSpec":
+        """Parse a CLI spec like ``"corrupt=0.05,delay=0.1,kill=0.02,seed=7"``.
+
+        Unknown fields are an error, not a silent no-op — a typo must not
+        turn a chaos run into a clean one.
+        """
+        kwargs: Dict[str, Any] = {}
+        for part in filter(None, (p.strip() for p in spec.split(","))):
+            if "=" not in part:
+                raise ValueError(f"serve fault spec field {part!r} is not key=value")
+            key, _, value = part.partition("=")
+            key = key.strip()
+            if key in ("corrupt", "delay", "kill"):
+                try:
+                    kwargs[f"{key}_rate"] = float(value)
+                except ValueError:
+                    raise ValueError(
+                        f"serve fault spec field {key}={value!r} is not a number"
+                    ) from None
+            elif key == "seed":
+                kwargs["seed"] = int(value)
+            else:
+                raise ValueError(
+                    f"unknown serve fault spec field {key!r}; expected one of "
+                    "corrupt, delay, kill, seed"
+                )
+        return cls(**kwargs)
+
+
+class FaultyArtifactLoader:
+    """Deterministic transient-delay injection in front of the loader.
+
+    Each load *attempt* draws from a stream keyed on
+    ``(seed, attempt_index)``; a hit raises
+    :class:`~repro.serve.engine.ServeLoadTransient`, which the engine's
+    retry policy must absorb.  Corruption faults are injected on disk by
+    the driver, not here — the loader sees them as what they are: bytes
+    that fail verification.
+    """
+
+    def __init__(self, spec: ServeFaultSpec, inner: Any = load_artifact) -> None:
+        self.spec = spec
+        self._inner = inner
+        self.calls = 0
+        self.delays = 0
+
+    def __call__(self, path: PathLike) -> ModelArtifact:
+        attempt = self.calls
+        self.calls += 1
+        if self.spec.delay_rate > 0.0:
+            seq = np.random.SeedSequence(
+                [self.spec.seed & 0xFFFFFFFF, attempt, _DELAY_TAG]
+            )
+            if float(np.random.default_rng(seq).random()) < self.spec.delay_rate:
+                self.delays += 1
+                rec = recorder()
+                if rec.enabled:
+                    rec.incr("serve.chaos.delays")
+                raise ServeLoadTransient(f"injected load delay (attempt {attempt})")
+        return self._inner(path)
+
+
+@dataclass
+class ChaosServeReport:
+    """What the chaos campaign observed; ``ok`` is the acceptance bar."""
+
+    queries: int = 0
+    answered_points: int = 0
+    wrong_answers: int = 0
+    degraded_answers: int = 0
+    degraded_divergent: int = 0
+    shed: int = 0
+    deadline_missed: int = 0
+    failed: int = 0
+    corruptions: int = 0
+    delays: int = 0
+    kills: int = 0
+    restarts: int = 0
+    quarantines: int = 0
+    reloads: int = 0
+    batches: int = 0
+    counts_by_status: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Zero silently wrong answers and the server never went dark."""
+        return self.wrong_answers == 0 and self.failed == 0
+
+    def summary_row(self) -> Dict[str, Any]:
+        return {
+            "queries": self.queries,
+            "answered": self.answered_points,
+            "wrong": self.wrong_answers,
+            "degraded": self.degraded_answers,
+            "shed": self.shed,
+            "deadline": self.deadline_missed,
+            "corruptions": self.corruptions,
+            "delays": self.delays,
+            "kills": self.kills,
+            "quarantines": self.quarantines,
+            "ok": self.ok,
+        }
+
+
+def _query_stream(dim: int, total: int, batch_size: int, seed: int):
+    """Deterministic query batches, independent of the fault stream."""
+    seq = np.random.SeedSequence([seed & 0xFFFFFFFF, _QUERY_TAG])
+    rng = np.random.default_rng(seq)
+    produced = 0
+    while produced < total:
+        size = min(batch_size, total - produced)
+        produced += size
+        yield rng.random((size, dim)) * 2.0 - 0.5
+
+
+def run_chaos_serve(
+    artifact_path: PathLike,
+    *,
+    queries: int = 100_000,
+    batch_size: int = 512,
+    spec: Optional[ServeFaultSpec] = None,
+    queue_limit: int = 4,
+    burst_every: int = 16,
+    deadline: Optional[float] = None,
+    workdir: Optional[PathLike] = None,
+    retry: Optional[RetryPolicy] = None,
+    keep_last_good: bool = True,
+    dim: Optional[int] = None,
+) -> ChaosServeReport:
+    """Drive ``queries`` classify queries through a chaos-attacked engine.
+
+    The artifact at ``artifact_path`` is treated as the pristine deploy:
+    it is copied into a scratch deployment directory, corrupted / delayed
+    / killed per ``spec``, and re-deployed after each corruption the way
+    an operator (or a CD system) would roll a bad artifact back.  Answers
+    flagged ``ok`` are checked bit-for-bit against the pristine model;
+    any mismatch is a *silently wrong answer* and fails the report.
+
+    Every ``burst_every``-th batch is submitted as a burst of sub-chunks
+    against the bounded admission queue, so load-shedding is exercised on
+    top of the fault ladder.  Latencies and fault counters flow through
+    the ambient :mod:`repro.obs` session when one is active.
+    """
+    spec = spec or ServeFaultSpec()
+    pristine = load_artifact(artifact_path)
+    pristine_text = Path(artifact_path).read_text()
+    reference = pristine.classifier
+    if dim is None:
+        fit_dim = pristine.fit.get("dim")
+        if not isinstance(fit_dim, int) or fit_dim < 1:
+            raise ValueError(
+                f"{artifact_path}: artifact fit metadata has no usable 'dim'; "
+                "pass dim= explicitly"
+            )
+        dim = fit_dim
+
+    report = ChaosServeReport()
+    loader = FaultyArtifactLoader(spec)
+    rec = recorder()
+
+    with tempfile.TemporaryDirectory() as scratch:
+        base = Path(workdir) if workdir is not None else Path(scratch)
+        base.mkdir(parents=True, exist_ok=True)
+        deploy = base / "deployed-model.json"
+        journal = base / "serve.journal"
+        atomic_write_text(deploy, pristine_text)
+
+        def fresh_engine(warm: bool) -> ServeEngine:
+            kwargs: Dict[str, Any] = dict(
+                retry=retry or RetryPolicy(max_attempts=6),
+                breaker=CircuitBreaker(threshold=4, cooldown=2),
+                queue_limit=queue_limit,
+                default_deadline=deadline,
+                loader=loader,
+                keep_last_good=keep_last_good,
+            )
+            if warm:
+                return ServeEngine.warm_restart(deploy, journal, **kwargs)
+            return ServeEngine(deploy, journal_path=journal, **kwargs)
+
+        engine = fresh_engine(warm=False)
+        needs_redeploy = False
+
+        for batch_index, coords in enumerate(
+            _query_stream(dim, queries, batch_size, spec.seed)
+        ):
+            report.batches += 1
+            # Roll back the previous batch's corruption: a CD system
+            # re-deploys the known-good artifact; until the reload below,
+            # the engine has been serving degraded answers.
+            if needs_redeploy:
+                atomic_write_text(deploy, pristine_text)
+                engine.reload()
+                needs_redeploy = False
+
+            chaos_seq = np.random.SeedSequence(
+                [spec.seed & 0xFFFFFFFF, batch_index, _CHAOS_TAG]
+            )
+            draws = np.random.default_rng(chaos_seq)
+            u_corrupt, u_kill = (float(v) for v in draws.random(2))
+
+            if spec.corrupt_rate and u_corrupt < spec.corrupt_rate:
+                from ..fuzz.generators import mutate_bytes
+
+                report.corruptions += 1
+                if rec.enabled:
+                    rec.incr("serve.chaos.corruptions")
+                deploy.write_bytes(
+                    mutate_bytes(pristine_text, draws, mutations=1 + batch_index % 4)
+                )
+                engine.reload()  # must quarantine + degrade, never raise
+                needs_redeploy = True
+
+            if spec.kill_rate and u_kill < spec.kill_rate:
+                report.kills += 1
+                if rec.enabled:
+                    rec.incr("serve.chaos.kills")
+                engine.abandon()
+                # Counters die with the killed worker; bank them first.
+                report.quarantines += engine.quarantines
+                report.reloads += engine.reloads
+                engine = fresh_engine(warm=True)
+                report.restarts += 1
+
+            expected = reference.classify_matrix(coords)
+            results = []
+            if burst_every and batch_index % burst_every == burst_every - 1:
+                # Burst admission: more chunks than the queue holds, so
+                # the tail is shed with explicit overload results.
+                chunks = np.array_split(coords, min(len(coords), queue_limit * 2))
+                for chunk in chunks:
+                    if not len(chunk):
+                        continue
+                    outcome = engine.submit(chunk)
+                    if outcome is not None:
+                        results.append(outcome)
+                results.extend(engine.drain())
+            else:
+                outcome = engine.submit(coords)
+                if outcome is not None:
+                    results.append(outcome)
+                results.extend(engine.drain())
+
+            cursor = 0
+            for result in results:
+                report.counts_by_status[result.status] = (
+                    report.counts_by_status.get(result.status, 0) + 1
+                )
+                if result.status == OVERLOADED:
+                    report.shed += 1
+                    continue
+                if result.status == DEADLINE_EXCEEDED:
+                    report.deadline_missed += 1
+                    continue
+                if result.labels is None:
+                    report.failed += 1
+                    continue
+                n = result.n
+                truth = expected[cursor : cursor + n]
+                cursor += n
+                report.answered_points += n
+                if result.status == OK:
+                    if not np.array_equal(result.labels, truth):
+                        report.wrong_answers += int(
+                            np.count_nonzero(result.labels != truth)
+                        )
+                elif result.status == DEGRADED:
+                    report.degraded_answers += n
+                    report.degraded_divergent += int(
+                        np.count_nonzero(result.labels != truth)
+                    )
+            report.queries += len(coords)
+
+        report.delays = loader.delays
+        report.quarantines += engine.quarantines
+        report.reloads += engine.reloads
+        engine.close()
+    return report

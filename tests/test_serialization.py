@@ -99,6 +99,89 @@ class TestValidation:
             classifier_to_dict(Weird())
 
 
+class TestHardenedBoundary:
+    """`load_classifier` is a strict validation boundary: hostile or
+    truncated bytes raise ValueError naming the file — never a raw
+    TypeError/KeyError traceback — and writes are atomic."""
+
+    def test_unparseable_json_names_file(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match=str(path)):
+            load_classifier(path)
+
+    def test_non_object_document_names_file(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError, match=str(path)):
+            load_classifier(path)
+
+    def test_truncated_file_names_file(self, tmp_path):
+        path = tmp_path / "t.json"
+        save_classifier(UpsetClassifier([(0.2, 0.8)]), path)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(ValueError, match=str(path)):
+            load_classifier(path)
+
+    @pytest.mark.parametrize("payload", [
+        {"format_version": 1, "kind": "constant"},            # missing value
+        {"format_version": 1, "kind": "threshold", "tau": 0.5},  # missing dim
+        {"format_version": 1, "kind": "threshold", "tau": {}, "dim": 1},
+        {"format_version": 1, "kind": "upset", "anchors": 7, "dim": 2},
+        {"format_version": 1, "kind": "upset",
+         "anchors": [[0.1], [0.2, 0.3]], "dim": 2},           # ragged
+        {"format_version": 1, "kind": "with_exceptions",
+         "base": {"format_version": 1, "kind": "constant", "value": 0},
+         "exceptions": [{"coords": None, "label": 1}]},
+        {"format_version": 1, "kind": "with_exceptions",
+         "base": None, "exceptions": []},
+    ])
+    def test_structural_violations_raise_value_error(self, payload):
+        with pytest.raises(ValueError):
+            classifier_from_dict(payload)
+
+    def test_byte_mutation_regression(self, tmp_path, rng):
+        """Every byte-mutated classifier file either loads or raises a
+        clean ValueError — the same contract the fuzzer enforces."""
+        from repro.fuzz.generators import mutate_bytes
+
+        source = tmp_path / "source.json"
+        save_classifier(
+            ExceptionAugmentedClassifier(
+                UpsetClassifier([(0.2, 0.8), (0.7, 0.1)]),
+                {(0.25, 0.25): 1}),
+            source)
+        text = source.read_text()
+        target = tmp_path / "mutated.json"
+        for k in range(64):
+            target.write_bytes(mutate_bytes(text, rng, mutations=1 + k % 4))
+            try:
+                loaded = load_classifier(target)
+            except ValueError as exc:
+                assert str(target) in str(exc)
+            else:
+                loaded.classify_matrix(np.zeros((1, 2)))
+
+    def test_atomic_write_leaves_no_partial_file(self, tmp_path, monkeypatch):
+        """A crash mid-write must leave the previous file intact."""
+        import repro._util as util
+
+        path = tmp_path / "c.json"
+        save_classifier(ConstantClassifier(1), path)
+
+        real_replace = util.os.replace
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash before rename")
+
+        monkeypatch.setattr(util.os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            save_classifier(ConstantClassifier(0), path)
+        monkeypatch.setattr(util.os, "replace", real_replace)
+        assert load_classifier(path).value == 1
+
+
 class TestTrainedClassifierRoundTrip:
     def test_passive_solution_survives_round_trip(self, tmp_path, rng):
         from repro import solve_passive

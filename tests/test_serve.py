@@ -1,0 +1,468 @@
+"""Tests for the hardened serving layer (repro.serve)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import ConstantClassifier, ThresholdClassifier
+from repro.core.points import PointSet
+from repro.resilience import CircuitBreaker, RetryPolicy
+from repro.serve import (
+    ARTIFACT_MAGIC,
+    ARTIFACT_SCHEMA_VERSION,
+    ModelArtifact,
+    QueryResult,
+    ServeEngine,
+    ServeFaultSpec,
+    ServeLoadTransient,
+    artifact_digest,
+    fit_artifact,
+    last_good_path,
+    load_artifact,
+    quarantine_artifact,
+    read_serve_journal,
+    save_artifact,
+)
+
+
+@pytest.fixture
+def labeled_points(rng):
+    coords = rng.random((40, 2))
+    labels = (coords.sum(axis=1) > 1.0).astype(int)
+    labels[:3] ^= 1  # a little noise so the fit is non-trivial
+    return PointSet(coords, labels)
+
+
+@pytest.fixture
+def artifact(labeled_points):
+    return fit_artifact(labeled_points, "passive")
+
+
+@pytest.fixture
+def deployed(tmp_path, artifact):
+    path = tmp_path / "model.json"
+    save_artifact(artifact, path)
+    return path
+
+
+class TestArtifact:
+    def test_round_trip_preserves_predictions(self, deployed, artifact, rng):
+        loaded = load_artifact(deployed)
+        probes = rng.random((64, 2))
+        assert (loaded.classifier.classify_matrix(probes)
+                == artifact.classifier.classify_matrix(probes)).all()
+        assert loaded.digest == artifact.digest
+        assert loaded.fit["mode"] == "passive"
+        assert loaded.chains is not None
+        assert loaded.certificate is not None
+        assert loaded.fallback is not None
+
+    def test_digest_is_canonical(self, artifact):
+        body = artifact.body()
+        digest = artifact_digest(body)
+        # Key order must not matter: the digest is over sorted-key JSON.
+        reordered = dict(reversed(list(body.items())))
+        assert artifact_digest(reordered) == digest
+
+    def test_envelope_fields(self, deployed):
+        envelope = json.loads(deployed.read_text())
+        assert envelope["magic"] == ARTIFACT_MAGIC
+        assert envelope["schema_version"] == ARTIFACT_SCHEMA_VERSION
+        assert envelope["digest"] == artifact_digest(envelope["body"])
+
+    def test_content_mutation_rejected(self, deployed):
+        envelope = json.loads(deployed.read_text())
+        envelope["body"]["fit"]["n"] = 999_999  # tamper, keep stale digest
+        deployed.write_text(json.dumps(envelope))
+        with pytest.raises(ValueError, match="digest mismatch"):
+            load_artifact(deployed)
+
+    def test_truncation_rejected_naming_file(self, deployed):
+        text = deployed.read_text()
+        deployed.write_text(text[: len(text) // 2])
+        with pytest.raises(ValueError, match=str(deployed)):
+            load_artifact(deployed)
+
+    def test_wrong_magic_and_schema_rejected(self, tmp_path, artifact):
+        path = tmp_path / "m.json"
+        save_artifact(artifact, path)
+        envelope = json.loads(path.read_text())
+        envelope["magic"] = "something-else"
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(ValueError, match="not a model artifact"):
+            load_artifact(path)
+        envelope["magic"] = ARTIFACT_MAGIC
+        envelope["schema_version"] = 99
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(ValueError, match="schema version"):
+            load_artifact(path)
+
+    def test_missing_file_raises_value_error(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot read"):
+            load_artifact(tmp_path / "nope.json")
+
+    def test_cosmetic_whitespace_still_verifies(self, deployed):
+        envelope = json.loads(deployed.read_text())
+        deployed.write_text(json.dumps(envelope, indent=4))  # reformat only
+        loaded = load_artifact(deployed)
+        assert loaded.digest == envelope["digest"]
+
+    def test_quarantine_moves_bytes_aside(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("hostile")
+        target = quarantine_artifact(path, reason="test")
+        assert target is not None and target.exists()
+        assert not path.exists()
+        assert target.read_text() == "hostile"
+        # Second quarantine of the same name picks a fresh slot.
+        path.write_text("hostile2")
+        target2 = quarantine_artifact(path)
+        assert target2 != target
+
+    def test_quarantine_vanished_file(self, tmp_path):
+        assert quarantine_artifact(tmp_path / "gone.json") is None
+
+    def test_fit_active_mode(self, labeled_points):
+        art = fit_artifact(labeled_points, "active", epsilon=0.5, seed=3)
+        assert art.fit["mode"] == "active"
+        assert art.fit["probes"] > 0
+        assert art.fit["num_chains"] >= 1
+        assert art.fallback is not None
+
+    def test_fit_unknown_mode(self, labeled_points):
+        with pytest.raises(ValueError, match="unknown fit mode"):
+            fit_artifact(labeled_points, "psychic")
+
+    def test_fallback_is_weighted_majority(self):
+        pts = PointSet([[0.0], [1.0], [2.0]], [1, 1, 0], weights=[1, 1, 5])
+        art = fit_artifact(pts, "passive", include_chains=False)
+        assert isinstance(art.fallback, ConstantClassifier)
+        assert art.fallback.value == 0  # weight 5 beats 2
+
+
+class TestServeEngine:
+    def test_primary_serving_is_verified(self, deployed, rng):
+        with ServeEngine(deployed) as engine:
+            result = engine.classify_batch(rng.random((32, 2)))
+            assert result.ok and not result.degraded
+            assert result.source == "primary"
+            assert engine.serving_verified
+            single = engine.classify((0.9, 0.9))
+            assert single.label in (0, 1)
+
+    def test_corrupt_primary_falls_back_to_last_good(self, deployed, rng):
+        engine = ServeEngine(deployed)
+        engine.reload()  # writes the last-good copy
+        assert last_good_path(deployed).exists()
+        deployed.write_text("garbage")
+        assert engine.reload() is True  # last-good is digest-verified
+        assert engine.source == "last_good"
+        result = engine.classify_batch(rng.random((8, 2)))
+        assert result.ok and not result.degraded
+        assert engine.quarantines == 1
+        assert not deployed.exists()  # quarantined aside
+
+    def test_no_rungs_left_degrades_to_embedded_fallback(self, deployed, rng):
+        engine = ServeEngine(deployed)
+        engine.reload()
+        deployed.write_text("garbage")
+        last_good_path(deployed).write_text("also garbage")
+        assert engine.reload() is False
+        assert engine.source == "fallback"
+        result = engine.classify_batch(rng.random((8, 2)))
+        assert result.status == "degraded" and result.degraded
+
+    def test_cold_start_on_corrupt_uses_constructor_fallback(self, tmp_path):
+        path = tmp_path / "model.json"
+        path.write_text("garbage")
+        engine = ServeEngine(path, fallback=ConstantClassifier(1),
+                             keep_last_good=False)
+        result = engine.classify((0.5, 0.5))
+        assert result.status == "degraded"
+        assert result.label == 1
+
+    def test_no_fallback_fails_explicitly(self, tmp_path):
+        path = tmp_path / "model.json"
+        path.write_text("garbage")
+        engine = ServeEngine(path, fallback=None, keep_last_good=False)
+        result = engine.classify((0.5, 0.5))
+        assert result.status == "failed" and result.labels is None
+
+    def test_transient_loads_retry(self, deployed):
+        real = load_artifact
+        failures = {"left": 2}
+
+        def flaky(path):
+            if failures["left"] > 0:
+                failures["left"] -= 1
+                raise ServeLoadTransient("slow volume")
+            return real(path)
+
+        engine = ServeEngine(deployed, loader=flaky,
+                             retry=RetryPolicy(max_attempts=3))
+        assert engine.reload() is True
+        assert engine.source == "primary"
+
+    def test_transients_past_budget_degrade(self, deployed):
+        def always_slow(path):
+            raise ServeLoadTransient("dead volume")
+
+        engine = ServeEngine(deployed, loader=always_slow,
+                             retry=RetryPolicy(max_attempts=2),
+                             keep_last_good=False)
+        assert engine.reload() is False
+        assert engine.source == "fallback"
+
+    def test_breaker_short_circuits_flapping_store(self, deployed):
+        calls = {"n": 0}
+
+        def always_slow(path):
+            calls["n"] += 1
+            raise ServeLoadTransient("flapping")
+
+        breaker = CircuitBreaker(threshold=2, cooldown=1000)
+        engine = ServeEngine(deployed, loader=always_slow, breaker=breaker,
+                             retry=RetryPolicy(max_attempts=5),
+                             keep_last_good=False)
+        engine.reload()
+        first = calls["n"]
+        assert first == 2  # breaker opened after the threshold
+        engine.reload()
+        assert calls["n"] == first  # open breaker: no load attempts at all
+
+    def test_queue_sheds_excess_load(self, deployed, rng):
+        engine = ServeEngine(deployed, queue_limit=2)
+        outcomes = [engine.submit(rng.random((4, 2))) for _ in range(5)]
+        admitted = [o for o in outcomes if o is None]
+        shed = [o for o in outcomes if o is not None]
+        assert len(admitted) == 2 and len(shed) == 3
+        assert all(s.status == "overloaded" for s in shed)
+        assert engine.queue_depth == 2
+        answered = engine.drain()
+        assert len(answered) == 2 and all(a.ok for a in answered)
+        assert engine.queue_depth == 0
+
+    def test_deadline_expires_in_queue(self, deployed, rng):
+        now = {"t": 0.0}
+        engine = ServeEngine(deployed, clock=lambda: now["t"],
+                             queue_limit=8)
+        engine.submit(rng.random((4, 2)), deadline=1.0)
+        engine.submit(rng.random((4, 2)), deadline=100.0)
+        now["t"] = 5.0  # the first request is now stale
+        expired, fresh = engine.drain()
+        assert expired.status == "deadline_exceeded"
+        assert expired.labels is None
+        assert fresh.ok
+
+    def test_malformed_query_fails_alone(self, deployed, rng):
+        engine = ServeEngine(deployed)
+        bad = engine.classify_batch(rng.random((4, 7)))  # wrong dim
+        assert bad.status == "failed"
+        good = engine.classify_batch(rng.random((4, 2)))
+        assert good.ok  # the server survived the bad request
+
+    def test_journal_and_warm_restart(self, deployed, tmp_path, rng):
+        journal = tmp_path / "serve.journal"
+        engine = ServeEngine(deployed, journal_path=journal)
+        for _ in range(3):
+            engine.classify_batch(rng.random((5, 2)))
+        engine.abandon()  # SIGKILL-equivalent: no shutdown marker
+
+        meta, last_seq, answered, digest = read_serve_journal(journal)
+        assert meta is not None and meta["artifact_path"] == str(deployed)
+        assert answered == 3 and last_seq == 2
+        assert digest is not None
+
+        restarted = ServeEngine.warm_restart(deployed, journal)
+        assert restarted.resumed_requests == 3
+        result = restarted.classify_batch(rng.random((5, 2)))
+        assert result.ok
+        assert result.request_id == 3  # sequence resumed, not restarted
+
+    def test_journal_tolerates_truncated_tail(self, deployed, tmp_path, rng):
+        journal = tmp_path / "serve.journal"
+        engine = ServeEngine(deployed, journal_path=journal)
+        engine.classify_batch(rng.random((5, 2)))
+        engine.abandon()
+        with open(journal, "a") as handle:
+            handle.write('{"seq": 1, "n":')  # crash mid-append
+        meta, last_seq, answered, _ = read_serve_journal(journal)
+        assert last_seq == 0 and answered == 1
+
+    def test_journal_mid_file_corruption_is_an_error(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        journal.write_text('{"seq": 0, "n": 1, "status": "ok"}\n'
+                           "GARBAGE\n"
+                           '{"seq": 1, "n": 1, "status": "ok"}\n')
+        with pytest.raises(ValueError, match=str(journal)):
+            read_serve_journal(journal)
+
+    def test_query_result_views(self):
+        r = QueryResult(0, "ok", "primary", labels=np.array([1, 0]))
+        assert r.ok and r.label == 1 and r.n == 2
+        empty = QueryResult(1, "overloaded", "primary")
+        assert empty.label is None and empty.n == 0
+
+    def test_bad_queue_limit_rejected(self, deployed):
+        with pytest.raises(ValueError, match="queue_limit"):
+            ServeEngine(deployed, queue_limit=0)
+
+
+class TestServeMetrics:
+    def test_latency_histogram_and_counters(self, deployed, rng):
+        from repro import obs
+
+        registry = obs.MetricsRegistry("serve-test")
+        with obs.metrics_session(registry):
+            engine = ServeEngine(deployed, queue_limit=1)
+            engine.classify_batch(rng.random((16, 2)))
+            engine.submit(rng.random((4, 2)))
+            engine.submit(rng.random((4, 2)))  # shed
+            engine.drain()
+        counters = registry.counters
+        assert counters["serve.requests"].value == 2
+        assert counters["serve.points"].value == 20
+        assert counters["serve.shed"].value == 1
+        assert counters["serve.installs.primary"].value == 1
+        assert "serve.request_seconds" in registry.timers
+
+
+class TestFaultSpec:
+    def test_parse_round_trip(self):
+        spec = ServeFaultSpec.parse("corrupt=0.05, delay=0.1, kill=0.02, seed=7")
+        assert spec == ServeFaultSpec(0.05, 0.1, 0.02, seed=7)
+        assert spec.active
+
+    def test_parse_rejects_unknown_field(self):
+        with pytest.raises(ValueError, match="unknown serve fault spec"):
+            ServeFaultSpec.parse("corupt=0.5")
+
+    def test_parse_rejects_non_numeric(self):
+        with pytest.raises(ValueError, match="not a number"):
+            ServeFaultSpec.parse("corrupt=lots")
+
+    def test_rates_validated(self):
+        with pytest.raises(ValueError, match="corrupt_rate"):
+            ServeFaultSpec(corrupt_rate=1.5)
+
+    def test_empty_spec_inactive(self):
+        assert not ServeFaultSpec.parse("").active
+
+
+class TestServeCli:
+    def test_fit_serve_pipeline(self, tmp_path, capsys):
+        from repro.cli import main
+
+        data = tmp_path / "data.csv"
+        model = tmp_path / "model.json"
+        answers = tmp_path / "answers.json"
+        assert main(["generate", str(data), "--n", "80", "--seed", "5"]) == 0
+        assert main(["fit", str(data), str(model)]) == 0
+        out = capsys.readouterr().out
+        assert "sha256" in out
+        assert main(["serve", str(model), str(data),
+                     "--output", str(answers)]) == 0
+        doc = json.loads(answers.read_text())
+        assert len(doc["labels"]) == 80
+        assert all(label in (0, 1) for label in doc["labels"])
+        assert doc["source"] == "primary"
+
+    def test_serve_degrades_on_corrupt_artifact(self, tmp_path, capsys):
+        from repro.cli import main
+
+        data = tmp_path / "data.csv"
+        model = tmp_path / "model.json"
+        assert main(["generate", str(data), "--n", "40", "--seed", "5"]) == 0
+        assert main(["fit", str(data), str(model)]) == 0
+        model.write_text("hostile bytes")
+        # Graceful degradation: exit 0, answers flagged, file quarantined.
+        assert main(["serve", str(model), str(data)]) == 0
+        out = capsys.readouterr().out
+        assert "fallback" in out
+        assert not model.exists()
+        assert model.with_name("model.json.quarantined").exists()
+
+    def test_serve_requires_queries_or_chaos(self, tmp_path):
+        from repro.cli import main
+
+        model = tmp_path / "model.json"
+        assert main(["serve", str(model)]) == 2
+
+    def test_serve_missing_artifact_is_input_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        data = tmp_path / "data.csv"
+        assert main(["generate", str(data), "--n", "20", "--seed", "5"]) == 0
+        capsys.readouterr()
+        # A never-existed artifact path is a CLI input error (exit 2), not
+        # a degradation scenario -- there is no deployment to fall back on.
+        assert main(["serve", str(tmp_path / "nope.json"), str(data)]) == 2
+        err = capsys.readouterr().err
+        assert "nope.json" in err and "not found" in err
+
+    def test_serve_missing_primary_with_last_good_degrades_gracefully(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+        from repro.serve import last_good_path
+
+        data = tmp_path / "data.csv"
+        model = tmp_path / "model.json"
+        assert main(["generate", str(data), "--n", "30", "--seed", "5"]) == 0
+        assert main(["fit", str(data), str(model)]) == 0
+        # Prime the last-good copy, then lose the primary (post-crash state).
+        assert main(["serve", str(model), str(data)]) == 0
+        model.unlink()
+        assert last_good_path(model).exists()
+        assert main(["serve", str(model), str(data)]) == 0
+        out = capsys.readouterr().out
+        assert "last_good" in out
+
+    def test_fit_active_cli(self, tmp_path):
+        from repro.cli import main
+
+        data = tmp_path / "data.csv"
+        model = tmp_path / "model.json"
+        assert main(["generate", str(data), "--n", "30", "--seed", "1"]) == 0
+        assert main(["fit", str(data), str(model), "--mode", "active",
+                     "--epsilon", "0.5"]) == 0
+        art = load_artifact(model)
+        assert art.fit["mode"] == "active"
+
+    def test_serve_chaos_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        data = tmp_path / "data.csv"
+        model = tmp_path / "model.json"
+        assert main(["generate", str(data), "--n", "60", "--seed", "2"]) == 0
+        assert main(["fit", str(data), str(model)]) == 0
+        assert main(["serve", str(model), "--chaos",
+                     "corrupt=0.2,delay=0.2,kill=0.1,seed=3",
+                     "--chaos-queries", "3000",
+                     "--batch-size", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "wrong" in out
+
+
+class TestArtifactFuzz:
+    def test_envelope_boundary_holds(self, labeled_points, rng):
+        from repro.fuzz.runner import fuzz_artifact_roundtrip
+
+        tried, violations, archived = fuzz_artifact_roundtrip(
+            labeled_points, rng, mutations_per_text=24)
+        assert tried == 24
+        assert violations == []
+        assert archived == []
+
+    def test_threshold_artifact_serves(self, tmp_path, rng):
+        # Non-upset families ride the same envelope.
+        art = ModelArtifact(classifier=ThresholdClassifier(0.5, dim=0),
+                            fit={"mode": "manual", "dim": 1})
+        path = tmp_path / "t.json"
+        save_artifact(art, path)
+        engine = ServeEngine(path)
+        result = engine.classify_batch(rng.random((8, 1)))
+        assert result.ok

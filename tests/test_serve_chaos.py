@@ -1,0 +1,238 @@
+"""Chaos load tests for the serving layer (ISSUE 9 acceptance bar).
+
+The headline campaign pushes >= 100k queries through a
+:class:`~repro.serve.ServeEngine` while the deterministic fault injector
+corrupts artifacts on disk, delays loads, and kills workers mid-journal.
+The invariant: **zero silently wrong answers** — every response flagged
+``ok`` matches the pristine model exactly, every other response carries an
+explicit degraded/overloaded/expired flag — and a corrupt artifact never
+takes the server down (quarantine + ladder instead).
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core.points import PointSet
+from repro.serve import (
+    ServeEngine,
+    ServeFaultSpec,
+    fit_artifact,
+    last_good_path,
+    load_artifact,
+    read_serve_journal,
+    run_chaos_serve,
+    save_artifact,
+)
+
+
+@pytest.fixture(scope="module")
+def deployed_artifact(tmp_path_factory):
+    rng = np.random.default_rng(42)
+    coords = rng.random((80, 2))
+    labels = (coords.sum(axis=1) > 1.0).astype(int)
+    labels[:6] ^= 1
+    artifact = fit_artifact(PointSet(coords, labels), "passive")
+    path = tmp_path_factory.mktemp("deploy") / "model.json"
+    save_artifact(artifact, path)
+    return path
+
+
+class TestChaosCampaign:
+    def test_100k_queries_zero_silently_wrong(self, deployed_artifact,
+                                              tmp_path):
+        """The acceptance campaign: all three fault kinds active."""
+        from repro import obs
+
+        registry = obs.MetricsRegistry("serve-chaos")
+        with obs.metrics_session(registry):
+            report = run_chaos_serve(
+                deployed_artifact,
+                queries=100_000,
+                batch_size=512,
+                spec=ServeFaultSpec(corrupt_rate=0.08, delay_rate=0.15,
+                                    kill_rate=0.03, seed=13),
+                workdir=tmp_path / "chaos",
+            )
+        assert report.queries >= 100_000
+        # The core invariant: no silently wrong answers, server never dark.
+        assert report.wrong_answers == 0
+        assert report.failed == 0
+        assert report.ok
+        # All three fault kinds actually fired.
+        assert report.corruptions > 0
+        assert report.delays > 0
+        assert report.kills > 0 and report.restarts == report.kills
+        # Corruption was survived by quarantine, not by crashing.
+        assert report.quarantines >= report.corruptions
+        # Load shedding was exercised and explicit.
+        assert report.shed > 0
+        assert report.counts_by_status.get("overloaded", 0) == report.shed
+        # Latency histograms flowed through repro.obs.
+        assert "serve.request_seconds" in registry.timers
+        timer = registry.timers["serve.request_seconds"]
+        assert timer.count == report.counts_by_status.get("ok", 0) + \
+            report.counts_by_status.get("degraded", 0)
+        assert registry.counters["serve.chaos.corruptions"].value == \
+            report.corruptions
+
+    def test_degraded_rung_answers_are_flagged(self, deployed_artifact,
+                                               tmp_path):
+        """Without a last-good rung every corruption forces the fallback:
+        degraded answers must appear and must all be flagged."""
+        report = run_chaos_serve(
+            deployed_artifact,
+            queries=20_000,
+            batch_size=512,
+            spec=ServeFaultSpec(corrupt_rate=0.3, delay_rate=0.4, seed=29),
+            keep_last_good=False,
+            workdir=tmp_path / "nolg",
+        )
+        assert report.ok
+        assert report.degraded_answers > 0
+        # Degraded answers came from the trivial fallback, so they *do*
+        # diverge from the real model — visibly, never silently.
+        assert report.degraded_divergent > 0
+        assert report.counts_by_status.get("degraded", 0) > 0
+
+    def test_campaign_is_deterministic(self, deployed_artifact, tmp_path):
+        spec = ServeFaultSpec(corrupt_rate=0.2, delay_rate=0.2,
+                              kill_rate=0.1, seed=7)
+        runs = [
+            run_chaos_serve(deployed_artifact, queries=6_000, batch_size=256,
+                            spec=spec, workdir=tmp_path / f"run{i}")
+            for i in range(2)
+        ]
+        assert runs[0].summary_row() == runs[1].summary_row()
+        assert runs[0].counts_by_status == runs[1].counts_by_status
+
+    def test_clean_campaign_all_ok(self, deployed_artifact, tmp_path):
+        report = run_chaos_serve(deployed_artifact, queries=4_000,
+                                 batch_size=512, burst_every=0,
+                                 spec=ServeFaultSpec(),
+                                 workdir=tmp_path / "clean")
+        assert report.ok
+        assert report.degraded_answers == 0 and report.shed == 0
+        assert report.answered_points == 4_000
+
+
+_KILL_SCRIPT = """
+import os, signal, sys
+import numpy as np
+from repro.serve import ServeEngine
+
+artifact, journal, batches = sys.argv[1], sys.argv[2], int(sys.argv[3])
+rng = np.random.default_rng(5)
+engine = ServeEngine(artifact, journal_path=journal)
+for _ in range(batches):
+    result = engine.classify_batch(rng.random((16, 2)))
+    assert result.ok, result
+os.kill(os.getpid(), signal.SIGKILL)  # die mid-journal: no shutdown marker
+"""
+
+
+class TestSigkillWarmRestart:
+    def test_sigkill_mid_journal_then_warm_restart(self, deployed_artifact,
+                                                   tmp_path, rng):
+        """Satellite: a real SIGKILL of the serving process mid-journal.
+
+        The restarted engine must resume the request sequence from the
+        journal and — with the primary artifact corrupted by the "crash" —
+        serve digest-verified answers from the last-good copy with zero
+        wrong answers.
+        """
+        import shutil
+
+        workdir = tmp_path / "serve"
+        workdir.mkdir()
+        artifact = workdir / "model.json"
+        shutil.copyfile(deployed_artifact, artifact)
+        journal = workdir / "serve.journal"
+        batches = 5
+
+        proc = subprocess.run(
+            [sys.executable, "-c", _KILL_SCRIPT,
+             str(artifact), str(journal), str(batches)],
+            capture_output=True, text=True, timeout=120,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stderr
+
+        meta, last_seq, answered, _ = read_serve_journal(journal)
+        assert answered == batches and last_seq == batches - 1
+        assert meta is not None
+
+        # The crash also corrupted the primary deploy (worst case).
+        reference = load_artifact(artifact).classifier
+        artifact.write_text(artifact.read_text()[:-40])
+        assert last_good_path(artifact).exists()
+
+        engine = ServeEngine.warm_restart(artifact, journal)
+        assert engine.resumed_requests == batches
+        probes = rng.random((64, 2))
+        result = engine.classify_batch(probes)
+        assert result.ok and not result.degraded
+        assert result.source == "last_good"
+        assert result.request_id == batches  # sequence resumed
+        # Zero wrong answers: last-good is digest-verified and identical.
+        assert (result.labels == reference.classify_matrix(probes)).all()
+        engine.close()
+
+        # The journal now carries both lives of the server.
+        _, last_seq2, answered2, _ = read_serve_journal(journal)
+        assert answered2 == batches + 1 and last_seq2 == batches
+
+    def test_truncated_journal_tail_survives_restart(self, deployed_artifact,
+                                                     tmp_path, rng):
+        """A crash mid-append leaves a half-written line; warm restart
+        must tolerate it rather than refuse to start."""
+        import shutil
+
+        workdir = tmp_path / "serve"
+        workdir.mkdir()
+        artifact = workdir / "model.json"
+        shutil.copyfile(deployed_artifact, artifact)
+        journal = workdir / "serve.journal"
+
+        engine = ServeEngine(artifact, journal_path=journal)
+        engine.classify_batch(rng.random((8, 2)))
+        engine.abandon()
+        with open(journal, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 1, "n": 8, "stat')  # torn write
+
+        restarted = ServeEngine.warm_restart(artifact, journal)
+        result = restarted.classify_batch(rng.random((8, 2)))
+        assert result.ok
+        assert result.request_id == 1
+        restarted.close()
+
+    def test_restart_journal_records_both_models(self, deployed_artifact,
+                                                 tmp_path, rng):
+        import shutil
+
+        workdir = tmp_path / "serve"
+        workdir.mkdir()
+        artifact = workdir / "model.json"
+        shutil.copyfile(deployed_artifact, artifact)
+        journal = workdir / "serve.journal"
+
+        engine = ServeEngine(artifact, journal_path=journal)
+        engine.classify_batch(rng.random((4, 2)))
+        digest = engine.model_digest
+        engine.abandon()
+
+        restarted = ServeEngine.warm_restart(artifact, journal)
+        restarted.classify_batch(rng.random((4, 2)))
+        restarted.close()
+
+        lines = [json.loads(line) for line in
+                 journal.read_text().splitlines() if line.strip()]
+        installs = [entry for entry in lines if "model" in entry]
+        assert len(installs) == 2
+        assert all(entry["model"] == digest for entry in installs)
