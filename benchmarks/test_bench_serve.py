@@ -14,7 +14,13 @@ import numpy as np
 import pytest
 
 from repro.core.points import PointSet
-from repro.serve import ServeEngine, fit_artifact, load_artifact, save_artifact
+from repro.serve import (
+    ModelFleet,
+    ServeEngine,
+    fit_artifact,
+    load_artifact,
+    save_artifact,
+)
 
 
 @pytest.fixture(scope="module")
@@ -75,3 +81,56 @@ def test_bench_serve_artifact_load(benchmark, deployed):
 
     artifact = benchmark(job)
     benchmark.extra_info["digest"] = (artifact.digest or "")[:12]
+
+
+@pytest.fixture(scope="module")
+def fleet_dir(tmp_path_factory):
+    rng = np.random.default_rng(23)
+    directory = tmp_path_factory.mktemp("bench-fleet")
+    for k in range(4):
+        coords = rng.random((120, 2))
+        labels = (coords.sum(axis=1) > 1.0).astype(int)
+        labels[:8] ^= 1
+        artifact = fit_artifact(PointSet(coords, labels), "passive")
+        save_artifact(artifact, directory / f"m{k}.json")
+    return directory
+
+
+def test_bench_fleet_dispatch(benchmark, fleet_dir):
+    """Fleet dispatch overhead vs a bare engine: 64 batches of 256 points
+    round-robined across 4 resident models (bulkhead gate + breaker + LRU
+    bookkeeping on every call)."""
+    fleet = ModelFleet.from_directory(fleet_dir)
+    names = fleet.models
+    rng = np.random.default_rng(5)
+    batches = [rng.random((256, 2)) for _ in range(64)]
+
+    def job():
+        answered = 0
+        for i, coords in enumerate(batches):
+            result = fleet.dispatch(names[i % len(names)], coords)
+            assert result.ok
+            answered += result.n
+        return answered
+
+    answered = benchmark(job)
+    fleet.close()
+    benchmark.extra_info["points_per_round"] = answered
+
+
+def test_bench_fleet_lru_churn(benchmark, fleet_dir):
+    """Worst-case residency thrash: resident_limit=1 over 4 models, so
+    every dispatch pays an eviction plus a digest-verified cold load."""
+    fleet = ModelFleet.from_directory(fleet_dir, resident_limit=1)
+    names = fleet.models
+    rng = np.random.default_rng(6)
+    batches = [rng.random((32, 2)) for _ in range(16)]
+
+    def job():
+        for i, coords in enumerate(batches):
+            assert fleet.dispatch(names[i % len(names)], coords).ok
+        return len(batches)
+
+    benchmark(job)
+    fleet.close()
+    benchmark.extra_info["cold_loads_per_round"] = len(batches)

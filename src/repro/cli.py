@@ -19,7 +19,9 @@ Subcommands
 ``serve``
     Answer classify queries from a model artifact through the
     fault-tolerant :class:`~repro.serve.ServeEngine` (bounded queue,
-    deadlines, degradation ladder), or run a chaos campaign (``--chaos``).
+    deadlines, degradation ladder), run a chaos campaign (``--chaos``),
+    or serve a directory of artifacts as a bulkheaded multi-model fleet
+    with verified hot-swap and per-model health (``--fleet``).
 ``fuzz``
     Differential fuzz campaign: hostile instance families through every
     passive configuration, certificates cross-checked, disagreements
@@ -168,9 +170,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--chaos", default=None, metavar="SPEC",
                        help="run the chaos load-test harness instead of "
                             "serving a file, e.g. "
-                            "'corrupt=0.05,delay=0.1,kill=0.02,seed=7'")
+                            "'corrupt=0.05,delay=0.1,kill=0.02,seed=7' "
+                            "(with --fleet: fleet spec, e.g. "
+                            "'corrupt=0.1,swap=0.1,storm=0.05,seed=7')")
     serve.add_argument("--chaos-queries", type=int, default=100_000,
                        help="query volume for --chaos (default 100000)")
+    serve.add_argument("--fleet", action="store_true",
+                       help="serve a *directory* of model artifacts as a "
+                            "bulkheaded multi-model fleet (verified hot-swap, "
+                            "LRU residency, per-model health)")
+    serve.add_argument("--model", default=None, metavar="NAME",
+                       help="fleet: dispatch the queries file to this model")
+    serve.add_argument("--resident-limit", type=int, default=8,
+                       help="fleet: max resident engines (LRU beyond this)")
 
     width = sub.add_parser("width", help="dominance width and chain stats")
     width.add_argument("input", help="point-set file (.csv or .json)")
@@ -397,8 +409,80 @@ def _cmd_fit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_fleet(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .serve import FleetFaultSpec, ModelFleet, run_chaos_fleet
+
+    directory = Path(args.artifact)
+    if not directory.is_dir():
+        raise ValueError(
+            f"serve --fleet: {args.artifact} is not a directory of artifacts"
+        )
+
+    if args.chaos is not None:
+        artifacts = {
+            p.stem: p for p in sorted(directory.glob("*.json")) if p.is_file()
+        }
+        if len(artifacts) < 2:
+            raise ValueError(
+                f"serve --fleet --chaos: {directory} holds "
+                f"{len(artifacts)} artifact(s); need >= 2"
+            )
+        report = run_chaos_fleet(
+            artifacts,
+            queries=args.chaos_queries,
+            batch_size=args.batch_size,
+            spec=FleetFaultSpec.parse(args.chaos),
+        )
+        print(format_table([report.summary_row()]))
+        return 0 if report.ok else 1
+
+    retry = None
+    if args.retry_max is not None:
+        from .resilience import RetryPolicy
+
+        retry = RetryPolicy(max_attempts=args.retry_max)
+    kwargs: dict = dict(
+        resident_limit=args.resident_limit,
+        queue_limit=args.queue_limit,
+        default_deadline=args.deadline,
+        journal_dir=args.journal,
+    )
+    if retry is not None:
+        kwargs["retry"] = retry
+    counts: dict = {}
+    with ModelFleet.from_directory(directory, **kwargs) as fleet:
+        for event in fleet.poll():
+            print(f"swap {event['model']}: {event['action']} "
+                  f"({event.get('reason') or event.get('digest', '')})")
+        if args.queries is not None:
+            if args.model is None:
+                raise ValueError(
+                    "serve --fleet: --model NAME is required with a "
+                    "queries file"
+                )
+            points = _load(args.queries)
+            batch = max(1, args.batch_size)
+            for start in range(0, points.n, batch):
+                result = fleet.dispatch(
+                    args.model, points.coords[start:start + batch]
+                )
+                counts[result.status] = counts.get(result.status, 0) + 1
+        print(format_table([health.row() for health in fleet.health()]))
+        if counts:
+            print(format_table([dict(sorted(counts.items()))]))
+    # Degraded answers are survivable and explicitly flagged; only a model
+    # that cannot answer at all (or a bulkhead rejection) fails the exit.
+    bad = counts.get("failed", 0) + counts.get("unavailable", 0)
+    return 0 if bad == 0 else 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve import ServeEngine, ServeFaultSpec, run_chaos_serve
+
+    if args.fleet:
+        return _cmd_serve_fleet(args)
 
     if args.chaos is not None:
         report = run_chaos_serve(

@@ -12,13 +12,20 @@ deployment:
   batched classify queries with deadlines, a bounded load-shedding queue,
   retry + circuit-breaker protected reloads, a degradation ladder that
   keeps answers flowing (explicitly flagged) when the artifact store is
-  hostile, and a crash-safe request journal for warm restarts;
-* :mod:`repro.serve.chaos` — a deterministic chaos load-test harness
-  proving the core invariant: zero silently wrong answers under artifact
-  corruption, load delays, and worker kills.
+  hostile, and a crash-safe request journal (with size-capped rotation)
+  for warm restarts;
+* :mod:`repro.serve.fleet` — :class:`ModelFleet`, N named engines behind
+  one dispatch surface with bulkhead isolation, an LRU resident-model
+  cache, verified hot-swap with canary replay, and automatic rollback on
+  verification failure or post-promotion error-rate spikes;
+* :mod:`repro.serve.chaos` — deterministic chaos harnesses proving the
+  core invariants: zero silently wrong answers under artifact corruption,
+  load delays, and worker kills (:func:`run_chaos_serve`), and zero
+  cross-model blast radius fleet-wide (:func:`run_chaos_fleet`).
 
 See ``docs/serving.md`` for the artifact format, the degradation ladder,
-and the ``serve.*`` metric catalog.
+the fleet's swap/rollback state machine, and the ``serve.*`` /
+``serve.fleet.*`` metric catalogs.
 """
 
 from .artifact import (
@@ -32,9 +39,12 @@ from .artifact import (
     save_artifact,
 )
 from .chaos import (
+    ChaosFleetReport,
     ChaosServeReport,
     FaultyArtifactLoader,
+    FleetFaultSpec,
     ServeFaultSpec,
+    run_chaos_fleet,
     run_chaos_serve,
 )
 from .engine import (
@@ -48,29 +58,38 @@ from .engine import (
     ServeLoadTransient,
     last_good_path,
     read_serve_journal,
+    rotated_journal_segments,
 )
+from .fleet import UNAVAILABLE, FleetModelHealth, ModelFleet
 
 __all__ = [
     "ARTIFACT_MAGIC",
     "ARTIFACT_SCHEMA_VERSION",
+    "ChaosFleetReport",
     "ChaosServeReport",
     "DEADLINE_EXCEEDED",
     "DEGRADED",
     "FAILED",
     "FaultyArtifactLoader",
+    "FleetFaultSpec",
+    "FleetModelHealth",
     "ModelArtifact",
+    "ModelFleet",
     "OK",
     "OVERLOADED",
     "QueryResult",
     "ServeEngine",
     "ServeFaultSpec",
     "ServeLoadTransient",
+    "UNAVAILABLE",
     "artifact_digest",
     "fit_artifact",
     "last_good_path",
     "load_artifact",
     "quarantine_artifact",
     "read_serve_journal",
+    "rotated_journal_segments",
+    "run_chaos_fleet",
     "run_chaos_serve",
     "save_artifact",
 ]

@@ -250,20 +250,44 @@ def quarantine_artifact(path: PathLike, reason: str = "") -> Optional[Path]:
 
     The file is renamed to ``<name>.quarantined`` (or ``-k`` suffixed when
     earlier quarantines exist), preserving the bad bytes for forensics.
-    Returns the quarantine path, or ``None`` when the artifact vanished in
-    the meantime (another process may have quarantined it first).
+    Suffix selection is atomic: each slot is claimed with an
+    ``O_CREAT | O_EXCL`` placeholder before the rename, so concurrent
+    quarantines of the same artifact name race to *different* slots and
+    never overwrite each other's preserved bytes.  Returns the quarantine
+    path, or ``None`` when the artifact vanished in the meantime (another
+    process may have quarantined it first).
     """
     path = Path(path)
     if not path.exists():
         return None
-    target = path.with_name(path.name + ".quarantined")
-    for k in range(1, _MAX_QUARANTINE_SLOTS):
-        if not target.exists():
-            break
-        target = path.with_name(f"{path.name}.quarantined-{k}")
+    target: Optional[Path] = None
+    claimed = False
+    for k in range(_MAX_QUARANTINE_SLOTS):
+        suffix = ".quarantined" if k == 0 else f".quarantined-{k}"
+        candidate = path.with_name(path.name + suffix)
+        try:
+            fd = os.open(candidate, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            continue
+        except OSError:
+            return None
+        os.close(fd)
+        target = candidate
+        claimed = True
+        break
+    if target is None:
+        # Every slot taken: reuse the last one rather than probing forever.
+        target = path.with_name(
+            f"{path.name}.quarantined-{_MAX_QUARANTINE_SLOTS - 1}"
+        )
     try:
         os.replace(path, target)
     except OSError:
+        if claimed:
+            try:
+                os.unlink(target)
+            except OSError:
+                pass
         return None
     rec = recorder()
     if rec.enabled:

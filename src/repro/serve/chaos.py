@@ -26,16 +26,18 @@ responses are explicitly flagged and therefore allowed to differ.
 from __future__ import annotations
 
 import tempfile
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterator, List, Mapping, Optional
 
 import numpy as np
 
 from .._util import PathLike, atomic_write_text
+from ..core.classifier import ConstantClassifier
 from ..obs import recorder
 from ..resilience.retry import CircuitBreaker, RetryPolicy
-from .artifact import ModelArtifact, load_artifact
+from .artifact import ModelArtifact, load_artifact, save_artifact
 from .engine import (
     DEADLINE_EXCEEDED,
     DEGRADED,
@@ -44,12 +46,16 @@ from .engine import (
     ServeEngine,
     ServeLoadTransient,
 )
+from .fleet import UNAVAILABLE, ModelFleet
 
 __all__ = [
     "ServeFaultSpec",
     "FaultyArtifactLoader",
     "ChaosServeReport",
     "run_chaos_serve",
+    "FleetFaultSpec",
+    "ChaosFleetReport",
+    "run_chaos_fleet",
 ]
 
 #: Stream tags keeping fault draws, query draws, and byte mutations
@@ -57,6 +63,7 @@ __all__ = [
 _CHAOS_TAG = 0xC405
 _QUERY_TAG = 0x9E47
 _DELAY_TAG = 0xDE1A
+_FLEET_TAG = 0xF1EE
 
 
 @dataclass(frozen=True)
@@ -361,4 +368,531 @@ def run_chaos_serve(
         report.quarantines += engine.quarantines
         report.reloads += engine.reloads
         engine.close()
+    return report
+
+
+# ----------------------------------------------------------------------
+# Fleet-wide chaos certification
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetFaultSpec:
+    """Fault distribution for the fleet chaos harness.
+
+    Per-batch probabilities in ``[0, 1]``; each fault targets one model
+    drawn from the same deterministic stream (at most one fault per model
+    per batch, so every injection is attributable):
+
+    * ``corrupt_rate`` — the target's deployed bytes are mutated; the
+      fleet's next poll must reject the "candidate", quarantine it, and
+      re-pin the incumbent.
+    * ``delay_rate`` — per-load-attempt transient delays through the
+      target's own loader (per-model streams, so delays are attributable).
+    * ``evict_rate`` — the target's engine is LRU-evicted and must reload
+      on demand through the digest-verified path.
+    * ``kill_rate`` — the target's worker dies abruptly (journal torn)
+      and warm-restarts on the next dispatch.
+    * ``swap_rate`` — a *legitimate* refit (same classifier, new digest)
+      is deployed; the fleet must canary-verify and promote it.
+    * ``bad_swap_rate`` — an *incompatible* candidate is deployed; the
+      fleet must reject it at canary time, quarantine it, and re-pin.
+    * ``storm_rate`` — a promotion is immediately followed by an
+      artifact-store brownout (every load attempt for that model turns
+      transient) and an eviction, so the promoted slot degrades and its
+      post-promotion error rate spikes; the watch must auto-roll-back to
+      the pinned incumbent — from memory, without touching the browned-
+      out store — and quarantine the candidate file.
+    """
+
+    corrupt_rate: float = 0.0
+    delay_rate: float = 0.0
+    evict_rate: float = 0.0
+    kill_rate: float = 0.0
+    swap_rate: float = 0.0
+    bad_swap_rate: float = 0.0
+    storm_rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "corrupt_rate",
+            "delay_rate",
+            "evict_rate",
+            "kill_rate",
+            "swap_rate",
+            "bad_swap_rate",
+            "storm_rate",
+        ):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]; got {rate}")
+
+    @property
+    def active(self) -> bool:
+        return bool(
+            self.corrupt_rate
+            or self.delay_rate
+            or self.evict_rate
+            or self.kill_rate
+            or self.swap_rate
+            or self.bad_swap_rate
+            or self.storm_rate
+        )
+
+    @classmethod
+    def parse(cls, spec: str) -> "FleetFaultSpec":
+        """Parse ``"corrupt=0.05,swap=0.1,storm=0.02,seed=7"`` etc.
+
+        Field names: ``corrupt``, ``delay``, ``evict``, ``kill``,
+        ``swap``, ``badswap``, ``storm``, ``seed``.  Unknown fields are
+        an error, not a silent no-op.
+        """
+        field_map = {
+            "corrupt": "corrupt_rate",
+            "delay": "delay_rate",
+            "evict": "evict_rate",
+            "kill": "kill_rate",
+            "swap": "swap_rate",
+            "badswap": "bad_swap_rate",
+            "storm": "storm_rate",
+        }
+        kwargs: Dict[str, Any] = {}
+        for part in filter(None, (p.strip() for p in spec.split(","))):
+            if "=" not in part:
+                raise ValueError(f"fleet fault spec field {part!r} is not key=value")
+            key, _, value = part.partition("=")
+            key = key.strip()
+            if key in field_map:
+                try:
+                    kwargs[field_map[key]] = float(value)
+                except ValueError:
+                    raise ValueError(
+                        f"fleet fault spec field {key}={value!r} is not a number"
+                    ) from None
+            elif key == "seed":
+                kwargs["seed"] = int(value)
+            else:
+                raise ValueError(
+                    f"unknown fleet fault spec field {key!r}; expected one of "
+                    "corrupt, delay, evict, kill, swap, badswap, storm, seed"
+                )
+        return cls(**kwargs)
+
+
+@dataclass
+class ChaosFleetReport:
+    """What a fleet campaign observed; ``ok`` is the acceptance bar.
+
+    ``blast_events`` counts *cross-model blast radius*: a model with no
+    fault targeting it (and no attributable load delay) answering
+    anything but a bit-exact ``ok`` — the bulkhead promise is that one
+    tenant's faults never change another tenant's answers.
+    """
+
+    models: int = 0
+    queries: int = 0
+    batches: int = 0
+    answered_points: int = 0
+    wrong_answers: int = 0
+    degraded_answers: int = 0
+    blast_events: int = 0
+    shed: int = 0
+    unavailable: int = 0
+    failed: int = 0
+    corruptions: int = 0
+    evictions: int = 0
+    kills: int = 0
+    restarts: int = 0
+    delays: int = 0
+    swaps_injected: int = 0
+    bad_swaps_injected: int = 0
+    storms: int = 0
+    promotions: int = 0
+    rejected_swaps: int = 0
+    rollbacks: int = 0
+    quarantines: int = 0
+    counts_by_status: Dict[str, int] = field(default_factory=dict)
+    per_model: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Zero silently wrong answers, zero blast radius, every injected
+        bad swap rejected, every storm rolled back."""
+        return (
+            self.wrong_answers == 0
+            and self.blast_events == 0
+            and self.failed == 0
+            and (self.bad_swaps_injected == 0 or self.rejected_swaps > 0)
+            and (self.storms == 0 or self.rollbacks > 0)
+        )
+
+    def summary_row(self) -> Dict[str, Any]:
+        return {
+            "models": self.models,
+            "queries": self.queries,
+            "answered": self.answered_points,
+            "wrong": self.wrong_answers,
+            "blast": self.blast_events,
+            "degraded": self.degraded_answers,
+            "shed": self.shed,
+            "corruptions": self.corruptions,
+            "evictions": self.evictions,
+            "kills": self.kills,
+            "promotions": self.promotions,
+            "rejects": self.rejected_swaps,
+            "rollbacks": self.rollbacks,
+            "ok": self.ok,
+        }
+
+
+def _model_query_stream(
+    name: str, dim: int, batch_size: int, seed: int
+) -> Iterator[np.ndarray]:
+    """Endless deterministic per-model query batches."""
+    seq = np.random.SeedSequence(
+        [
+            seed & 0xFFFFFFFF,
+            zlib.crc32(name.encode("utf-8")) & 0xFFFFFFFF,
+            _QUERY_TAG,
+        ]
+    )
+    rng = np.random.default_rng(seq)
+    while True:
+        yield rng.random((batch_size, dim)) * 2.0 - 0.5
+
+
+def _refit_artifact(pristine: ModelArtifact, marker: int) -> ModelArtifact:
+    """A legitimate refit: identical classifier, new fit metadata/digest."""
+    return ModelArtifact(
+        classifier=pristine.classifier,
+        fallback=pristine.fallback,
+        fit={**pristine.fit, "refit": marker},
+        chains=pristine.chains,
+        certificate=pristine.certificate,
+    )
+
+
+def _incompatible_artifact(pristine: ModelArtifact, marker: int) -> ModelArtifact:
+    """A verifiable but *wrong-shaped* candidate (dim bumped): the canary
+    gate must reject it before it ever serves."""
+    dim = pristine.fit.get("dim", 1)
+    return ModelArtifact(
+        classifier=ConstantClassifier(0),
+        fallback=pristine.fallback,
+        fit={**pristine.fit, "dim": int(dim) + 1, "refit": -marker},
+    )
+
+
+def run_chaos_fleet(
+    artifacts: Mapping[str, PathLike],
+    *,
+    queries: int = 100_000,
+    batch_size: int = 256,
+    spec: Optional[FleetFaultSpec] = None,
+    resident_limit: Optional[int] = None,
+    queue_limit: int = 4,
+    burst_every: int = 16,
+    journal_max_bytes: Optional[int] = 4096,
+    workdir: Optional[PathLike] = None,
+    retry: Optional[RetryPolicy] = None,
+) -> ChaosFleetReport:
+    """Certify a :class:`~repro.serve.fleet.ModelFleet` under chaos.
+
+    ``artifacts`` maps model names to pristine artifact files.  Each is
+    copied into a scratch deployment directory and served behind one
+    fleet while seeded injectors corrupt, delay, evict, kill, hot-swap,
+    bad-swap, and storm individual models concurrently.  Every batch
+    dispatches queries to *every* model, so each model continuously
+    witnesses the others' faults:
+
+    * every ``ok`` answer is checked bit-for-bit against that model's
+      pristine classifier (``wrong_answers``);
+    * every answer from a model with **no fault targeting it** must be a
+      bit-exact ``ok`` — anything else is a cross-model ``blast_event``.
+
+    Every fault is a pure function of ``(spec.seed, batch_index)``, so
+    campaigns replay exactly.  The LRU resident cache defaults to one
+    slot fewer than the fleet, so residency churns throughout.
+    """
+    spec = spec or FleetFaultSpec()
+    names = sorted(artifacts)
+    if len(names) < 2:
+        raise ValueError(f"fleet chaos needs >= 2 models; got {len(names)}")
+    pristine: Dict[str, ModelArtifact] = {}
+    dims: Dict[str, int] = {}
+    for name in names:
+        art = load_artifact(artifacts[name])
+        dim = art.fit.get("dim")
+        if not isinstance(dim, int) or dim < 1:
+            raise ValueError(
+                f"{artifacts[name]}: artifact fit metadata has no usable 'dim'"
+            )
+        pristine[name] = art
+        dims[name] = dim
+
+    report = ChaosFleetReport(models=len(names))
+    rec = recorder()
+    loaders = {
+        name: FaultyArtifactLoader(
+            ServeFaultSpec(
+                delay_rate=spec.delay_rate,
+                seed=(spec.seed ^ zlib.crc32(name.encode("utf-8"))) & 0x7FFFFFFF,
+            )
+        )
+        for name in names
+    }
+
+    with tempfile.TemporaryDirectory() as scratch:
+        base = Path(workdir) if workdir is not None else Path(scratch)
+        base.mkdir(parents=True, exist_ok=True)
+        deploy_dir = base / "deploy"
+        journal_dir = base / "journals"
+        deploy_dir.mkdir(exist_ok=True)
+        journal_dir.mkdir(exist_ok=True)
+        deploys: Dict[str, Path] = {}
+        deploy_text: Dict[str, str] = {}
+        for name in names:
+            deploys[name] = deploy_dir / f"{name}.json"
+            text = Path(artifacts[name]).read_text()
+            atomic_write_text(deploys[name], text)
+            deploy_text[name] = text
+
+        storm_active: set = set()
+        forced_delays = {name: 0 for name in names}
+
+        def fleet_loader(path: PathLike) -> ModelArtifact:
+            stem = Path(path).name.partition(".json")[0]
+            if stem in storm_active:
+                # Store brownout: every load attempt for a storming
+                # model fails transiently until the watch rolls back.
+                forced_delays[stem] += 1
+                raise ServeLoadTransient(f"storm brownout ({stem})")
+            inner = loaders.get(stem)
+            if inner is None:
+                return load_artifact(path)
+            return inner(path)
+
+        fleet = ModelFleet(
+            {name: deploys[name] for name in names},
+            resident_limit=resident_limit or max(2, len(names) - 1),
+            queue_limit=queue_limit,
+            retry=retry or RetryPolicy(max_attempts=6),
+            canary_count=16,
+            watch_min=3,
+            watch_window=24,
+            watch_threshold=0.5,
+            journal_dir=journal_dir,
+            journal_max_bytes=journal_max_bytes,
+            journal_keep=4,
+            loader=fleet_loader,
+        )
+        streams = {
+            name: _model_query_stream(name, dims[name], batch_size, spec.seed)
+            for name in names
+        }
+        for name in names:
+            report.per_model[name] = {
+                "queries": 0,
+                "wrong": 0,
+                "degraded": 0,
+                "blast": 0,
+            }
+
+        def check_results(
+            name: str,
+            results: List[Any],
+            expected: np.ndarray,
+            clean: bool,
+        ) -> None:
+            cursor = 0
+            for result in results:
+                report.counts_by_status[result.status] = (
+                    report.counts_by_status.get(result.status, 0) + 1
+                )
+                if result.status == OVERLOADED:
+                    report.shed += 1
+                    continue
+                if result.status == UNAVAILABLE:
+                    report.unavailable += 1
+                    if clean:
+                        report.blast_events += 1
+                        report.per_model[name]["blast"] += 1
+                    continue
+                if result.status == DEADLINE_EXCEEDED:
+                    continue
+                if result.labels is None:
+                    report.failed += 1
+                    if clean:
+                        report.blast_events += 1
+                        report.per_model[name]["blast"] += 1
+                    continue
+                n = result.n
+                truth = expected[cursor : cursor + n]
+                cursor += n
+                report.answered_points += n
+                if result.status == OK:
+                    wrong = int(np.count_nonzero(result.labels != truth))
+                    if wrong:
+                        report.wrong_answers += wrong
+                        report.per_model[name]["wrong"] += wrong
+                else:
+                    report.degraded_answers += n
+                    report.per_model[name]["degraded"] += n
+                    if clean:
+                        report.blast_events += 1
+                        report.per_model[name]["blast"] += 1
+
+        # Warm every model once so each slot pins a verified incumbent
+        # (the re-pin target for every later reject/rollback).
+        for name in names:
+            coords = next(streams[name])
+            expected = pristine[name].classifier.classify_matrix(coords)
+            check_results(name, [fleet.dispatch(name, coords)], expected, True)
+            report.queries += len(coords)
+            report.per_model[name]["queries"] += len(coords)
+        report.batches += 1
+
+        rollback_seen = {name: 0 for name in names}
+        batch_index = 0
+
+        def corrupt_bytes(name: str, draws: np.random.Generator) -> bytes:
+            from ..fuzz.generators import mutate_bytes
+
+            return mutate_bytes(
+                deploy_text[name], draws, mutations=1 + batch_index % 4
+            )
+
+        while report.queries < queries:
+            batch_index += 1
+            report.batches += 1
+            draws = np.random.default_rng(
+                np.random.SeedSequence(
+                    [spec.seed & 0xFFFFFFFF, batch_index, _FLEET_TAG]
+                )
+            )
+            u = draws.random(6)
+            picks = draws.integers(0, len(names), 6)
+            targeted = set(storm_active)
+
+            def pick(i: int) -> Optional[str]:
+                name = names[int(picks[i])]
+                if name in targeted:
+                    return None
+                targeted.add(name)
+                return name
+
+            if spec.corrupt_rate and u[0] < spec.corrupt_rate:
+                name = pick(0)
+                if name is not None:
+                    deploys[name].write_bytes(corrupt_bytes(name, draws))
+                    report.corruptions += 1
+                    if rec.enabled:
+                        rec.incr("serve.chaos.corruptions")
+            if spec.evict_rate and u[1] < spec.evict_rate:
+                name = pick(1)
+                if name is not None and fleet.evict(name):
+                    report.evictions += 1
+            if spec.kill_rate and u[2] < spec.kill_rate:
+                name = pick(2)
+                if name is not None and fleet.abandon(name):
+                    report.kills += 1
+                    report.restarts += 1
+                    if rec.enabled:
+                        rec.incr("serve.chaos.kills")
+            if spec.swap_rate and u[3] < spec.swap_rate:
+                name = pick(3)
+                if name is not None:
+                    save_artifact(
+                        _refit_artifact(pristine[name], batch_index),
+                        deploys[name],
+                    )
+                    report.swaps_injected += 1
+            if spec.bad_swap_rate and u[4] < spec.bad_swap_rate:
+                name = pick(4)
+                if name is not None:
+                    save_artifact(
+                        _incompatible_artifact(pristine[name], batch_index),
+                        deploys[name],
+                    )
+                    report.bad_swaps_injected += 1
+            if spec.storm_rate and u[5] < spec.storm_rate:
+                name = pick(5)
+                if name is not None:
+                    save_artifact(
+                        _refit_artifact(pristine[name], -batch_index),
+                        deploys[name],
+                    )
+                    events = fleet.poll([name])
+                    if any(e["action"] == "promote" for e in events):
+                        # The refit just promoted; now its artifact store
+                        # browns out and the engine is evicted, so every
+                        # post-promotion answer degrades.  Only the watch
+                        # rollback — re-pinning the incumbent from memory
+                        # — can save this model.
+                        report.promotions += 1
+                        deploy_text[name] = deploys[name].read_text()
+                        storm_active.add(name)
+                        fleet.evict(name)
+                        report.storms += 1
+                    elif deploys[name].exists():
+                        deploy_text[name] = deploys[name].read_text()
+
+            for event in fleet.poll(
+                [n for n in names if n not in storm_active]
+            ):
+                if event["action"] == "promote":
+                    report.promotions += 1
+                elif event["action"] == "reject":
+                    report.rejected_swaps += 1
+                ev_name = str(event["model"])
+                if deploys[ev_name].exists():
+                    deploy_text[ev_name] = deploys[ev_name].read_text()
+
+            burst_model: Optional[str] = None
+            if burst_every and batch_index % burst_every == burst_every - 1:
+                burst_model = names[batch_index % len(names)]
+
+            for name in names:
+                coords = next(streams[name])
+                expected = pristine[name].classifier.classify_matrix(coords)
+                delays_before = loaders[name].delays
+                results: List[Any] = []
+                if name == burst_model:
+                    chunks = np.array_split(
+                        coords, min(len(coords), queue_limit * 2)
+                    )
+                    for chunk in chunks:
+                        if not len(chunk):
+                            continue
+                        outcome = fleet.submit(name, chunk)
+                        if outcome is not None:
+                            results.append(outcome)
+                    results.extend(fleet.drain(name))
+                else:
+                    results.append(fleet.dispatch(name, coords))
+                delayed = loaders[name].delays > delays_before
+                clean = name not in targeted and not delayed
+                check_results(name, results, expected, clean)
+                report.queries += len(coords)
+                report.per_model[name]["queries"] += len(coords)
+
+            if storm_active:
+                rows = {row.name: row for row in fleet.health()}
+                for name in list(storm_active):
+                    if rows[name].rollbacks > rollback_seen[name]:
+                        rollback_seen[name] = rows[name].rollbacks
+                        storm_active.discard(name)
+                        report.rollbacks += 1
+                        if deploys[name].exists():
+                            deploy_text[name] = deploys[name].read_text()
+
+        report.delays = sum(
+            loader.delays for loader in loaders.values()
+        ) + sum(forced_delays.values())
+        report.quarantines = (
+            sum(row.quarantines for row in fleet.health())
+            + report.rejected_swaps
+        )
+        fleet.close()
     return report

@@ -39,7 +39,7 @@ from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
 from time import sleep as _sleep
-from typing import Any, Callable, Deque, Dict, Optional, Sequence, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -61,6 +61,7 @@ __all__ = [
     "ServeLoadTransient",
     "last_good_path",
     "read_serve_journal",
+    "rotated_journal_segments",
 ]
 
 #: Response statuses.  ``ok`` answers come from a digest-verified artifact
@@ -128,67 +129,161 @@ class _Pending:
     deadline_at: Optional[float]
 
 
+def rotated_journal_segments(path: PathLike) -> List[Path]:
+    """Rotated segments paired with a journal path, oldest first.
+
+    Rotation names segments ``<journal>.1`` (most recently rotated) up
+    through ``<journal>.k`` (oldest retained), so the stitching order is
+    ``.k, ..., .1`` followed by the live file itself.
+    """
+    path = Path(path)
+    segments: List[Path] = []
+    k = 1
+    while True:
+        segment = path.with_name(f"{path.name}.{k}")
+        if not segment.exists():
+            break
+        segments.append(segment)
+        k += 1
+    segments.reverse()
+    return segments
+
+
+def _journal_entries(path: Path, tolerate_tail: bool) -> List[Dict[str, Any]]:
+    """Parse one journal file into entries, policing corruption.
+
+    A maximal *suffix* of malformed lines is tolerated when
+    ``tolerate_tail`` — a crash mid-append (or several crash/append
+    cycles in a row) can tear multiple trailing records, and none of
+    them ever happened.  A malformed line *followed by a valid one*
+    means the journal body itself is corrupt and raises ``ValueError``
+    naming the file, as does any malformed line in a rotated segment
+    (segments are only ever rotated between complete, fsynced lines).
+    """
+    lines = path.read_text(errors="replace").splitlines()
+    entries: List[Dict[str, Any]] = []
+    first_corrupt: Optional[int] = None
+    for lineno, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            entry: Any = json.loads(line)
+        except json.JSONDecodeError:
+            entry = None
+        if not isinstance(entry, dict):
+            if first_corrupt is None:
+                first_corrupt = lineno
+            continue
+        if first_corrupt is not None:
+            raise ValueError(
+                f"{path}:{first_corrupt + 1}: corrupt journal line"
+            )
+        entries.append(entry)
+    if first_corrupt is not None and not tolerate_tail:
+        raise ValueError(f"{path}:{first_corrupt + 1}: corrupt journal line")
+    return entries
+
+
 def read_serve_journal(
     path: PathLike,
 ) -> Tuple[Optional[Dict[str, Any]], int, int, Optional[str]]:
     """Load ``(meta, last_seq, answered, last_model_digest)`` from a journal.
 
-    A truncated final line (crash mid-append) is tolerated; malformed
-    lines elsewhere raise ``ValueError`` naming the file, because they
-    mean the journal itself is corrupt rather than merely cut short.
+    Rotated segments (``<journal>.1..k``, see :class:`_ServeJournal`)
+    are stitched in oldest-first order before the live file, so warm
+    restart accounting spans rotation boundaries.  A torn tail — one or
+    more truncated trailing lines from a crash mid-append — is tolerated
+    in the newest file; malformed lines anywhere else raise
+    ``ValueError`` naming the file, because they mean the journal itself
+    is corrupt rather than merely cut short.
     """
     path = Path(path)
     meta: Optional[Dict[str, Any]] = None
     last_seq = -1
     answered = 0
     last_digest: Optional[str] = None
-    if not path.exists():
-        return meta, last_seq, answered, last_digest
-    lines = path.read_text(errors="replace").splitlines()
-    for lineno, line in enumerate(lines):
-        if not line.strip():
-            continue
-        try:
-            entry = json.loads(line)
-        except json.JSONDecodeError:
-            if lineno == len(lines) - 1:
-                break  # crash mid-append: the tail entry never happened
-            raise ValueError(f"{path}:{lineno + 1}: corrupt journal line") from None
-        if not isinstance(entry, dict):
-            if lineno == len(lines) - 1:
-                break
-            raise ValueError(f"{path}:{lineno + 1}: corrupt journal line")
-        if "meta" in entry:
-            meta = entry["meta"]
-        elif "model" in entry:
-            last_digest = entry.get("model")
-        elif "seq" in entry:
-            last_seq = max(last_seq, int(entry["seq"]))
-            answered += 1
+    files = rotated_journal_segments(path)
+    if path.exists():
+        files.append(path)
+    for index, file in enumerate(files):
+        for entry in _journal_entries(file, tolerate_tail=index == len(files) - 1):
+            if "meta" in entry:
+                meta = entry["meta"]
+            elif "model" in entry:
+                last_digest = entry.get("model")
+            elif "seq" in entry:
+                last_seq = max(last_seq, int(entry["seq"]))
+                answered += 1
     return meta, last_seq, answered, last_digest
 
 
 class _ServeJournal:
-    """Append-only fsynced request journal (crash-safe accounting)."""
+    """Append-only fsynced request journal (crash-safe accounting).
+
+    With ``max_bytes`` set the journal rotates: when an append would push
+    the live file past the cap it is renamed to ``<journal>.1`` (existing
+    segments shift to ``.2..k``, the oldest beyond ``keep_segments`` is
+    dropped) and a fresh live file starts with its own meta line, so every
+    segment is self-describing.  :func:`read_serve_journal` stitches the
+    retained segments back together.
+    """
 
     def __init__(
-        self, path: PathLike, meta: Optional[Dict[str, Any]] = None
+        self,
+        path: PathLike,
+        meta: Optional[Dict[str, Any]] = None,
+        max_bytes: Optional[int] = None,
+        keep_segments: int = 8,
     ) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1; got {max_bytes}")
+        if keep_segments < 1:
+            raise ValueError(f"keep_segments must be >= 1; got {keep_segments}")
         self.path = Path(path)
+        self.max_bytes = max_bytes
+        self.keep_segments = int(keep_segments)
+        self._meta = meta
+        self.rotations = 0
         fresh = not self.path.exists() or self.path.stat().st_size == 0
         self._handle = open(self.path, "a", encoding="utf-8")
+        self._size = self.path.stat().st_size
         self.appends = 0
         if fresh and meta is not None:
             self.write({"meta": meta})
 
     def write(self, payload: Dict[str, Any]) -> None:
-        self._handle.write(json.dumps(payload, sort_keys=True) + "\n")
+        line = json.dumps(payload, sort_keys=True) + "\n"
+        if (
+            self.max_bytes is not None
+            and self._size > 0
+            and self._size + len(line) > self.max_bytes
+        ):
+            self._rotate()
+        self._handle.write(line)
         self._handle.flush()
         os.fsync(self._handle.fileno())
+        self._size += len(line)
         self.appends += 1
         rec = recorder()
         if rec.enabled:
             rec.incr("serve.journal_appends")
+
+    def _rotate(self) -> None:
+        """Shift ``.k-1 -> .k`` (dropping the oldest), live ``-> .1``."""
+        self._handle.close()
+        for k in range(self.keep_segments - 1, 0, -1):
+            src = self.path.with_name(f"{self.path.name}.{k}")
+            if src.exists():
+                os.replace(src, self.path.with_name(f"{self.path.name}.{k + 1}"))
+        os.replace(self.path, self.path.with_name(f"{self.path.name}.1"))
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._size = 0
+        self.rotations += 1
+        rec = recorder()
+        if rec.enabled:
+            rec.incr("serve.journal_rotations")
+        if self._meta is not None:
+            self.write({"meta": self._meta})
 
     def close(self) -> None:
         if not self._handle.closed:
@@ -222,6 +317,11 @@ class ServeEngine:
         Default per-request deadline in seconds (``None`` = no deadline).
     journal_path:
         Enables the crash-safe request journal.
+    journal_max_bytes:
+        Size cap on the live journal file; exceeding it rotates the file
+        to ``<journal>.1..k`` (``None`` disables rotation).
+    journal_keep:
+        Rotated segments retained before the oldest is dropped.
     loader:
         Artifact loader hook (default :func:`load_artifact`); the chaos
         harness injects deterministic delay faults here.
@@ -243,6 +343,8 @@ class ServeEngine:
         queue_limit: int = 1024,
         default_deadline: Optional[float] = None,
         journal_path: Optional[PathLike] = None,
+        journal_max_bytes: Optional[int] = None,
+        journal_keep: int = 8,
         loader: Optional[Callable[[PathLike], ModelArtifact]] = None,
         clock: Optional[Callable[[], float]] = None,
         keep_last_good: bool = True,
@@ -285,6 +387,8 @@ class ServeEngine:
                     "schema": 1,
                     "pid": os.getpid(),
                 },
+                max_bytes=journal_max_bytes,
+                keep_segments=journal_keep,
             )
 
     # ------------------------------------------------------------------
@@ -442,6 +546,29 @@ class ServeEngine:
             self.model_digest = None
         return False
 
+    def install_verified(self, artifact: ModelArtifact) -> None:
+        """Atomically install an already digest-verified artifact as primary.
+
+        The hot-swap promotion path: a fleet shadow-loads a candidate
+        (digest-verified by :func:`~repro.serve.artifact.load_artifact`)
+        and canary-checks it against the incumbent, then promotes the
+        in-memory object directly — no second disk read, no window where
+        a half-written file could be picked up.  The last-good copy is
+        refreshed so the ladder's second rung tracks the promotion.
+        """
+        if artifact.digest is None:
+            raise ValueError(
+                "install_verified requires a digest-verified artifact "
+                "(load it through load_artifact or save it first)"
+            )
+        self._loaded_once = True
+        self._install(artifact.classifier, _PRIMARY, artifact)
+        if self.keep_last_good:
+            try:
+                save_artifact(artifact, last_good_path(self.artifact_path))
+            except OSError:
+                pass  # a full disk must not fail the swap path
+
     def _ensure_model(self) -> None:
         if not self._loaded_once:
             self.reload()
@@ -556,9 +683,9 @@ class ServeEngine:
             rec.gauge_max("serve.queue_depth", len(self._queue))
         return None
 
-    def drain(self, max_requests: Optional[int] = None) -> list:
+    def drain(self, max_requests: Optional[int] = None) -> List[QueryResult]:
         """Answer queued requests in admission order; returns the results."""
-        results = []
+        results: List[QueryResult] = []
         budget = len(self._queue) if max_requests is None else max_requests
         while self._queue and budget > 0:
             results.append(self._answer(self._queue.popleft()))

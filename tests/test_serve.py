@@ -24,6 +24,7 @@ from repro.serve import (
     load_artifact,
     quarantine_artifact,
     read_serve_journal,
+    rotated_journal_segments,
     save_artifact,
 )
 
@@ -466,3 +467,176 @@ class TestArtifactFuzz:
         engine = ServeEngine(path)
         result = engine.classify_batch(rng.random((8, 1)))
         assert result.ok
+
+
+class TestJournalRotation:
+    def test_rotation_caps_live_file(self, deployed, tmp_path, rng):
+        journal = tmp_path / "serve.journal"
+        engine = ServeEngine(deployed, journal_path=journal,
+                             journal_max_bytes=256, journal_keep=4)
+        for _ in range(20):
+            engine.classify_batch(rng.random((3, 2)))
+        engine.close()
+        assert journal.stat().st_size <= 256
+        segments = rotated_journal_segments(journal)
+        assert segments  # at least one rotation happened
+        # Oldest-first stitching order: .k, ..., .1
+        names = [segment.name for segment in segments]
+        assert names == [f"serve.journal.{k}"
+                         for k in range(len(segments), 0, -1)]
+
+    def test_rotated_segments_each_self_describing(self, deployed, tmp_path,
+                                                   rng):
+        journal = tmp_path / "serve.journal"
+        engine = ServeEngine(deployed, journal_path=journal,
+                             journal_max_bytes=256)
+        for _ in range(20):
+            engine.classify_batch(rng.random((3, 2)))
+        engine.close()
+        for segment in rotated_journal_segments(journal) + [journal]:
+            first = json.loads(segment.read_text().splitlines()[0])
+            assert "meta" in first  # every segment re-writes the meta line
+
+    def test_oldest_segment_dropped_beyond_keep(self, deployed, tmp_path,
+                                                rng):
+        journal = tmp_path / "serve.journal"
+        engine = ServeEngine(deployed, journal_path=journal,
+                             journal_max_bytes=128, journal_keep=2)
+        for _ in range(40):
+            engine.classify_batch(rng.random((3, 2)))
+        engine.close()
+        assert len(rotated_journal_segments(journal)) <= 2
+
+    def test_read_stitches_rotated_segments(self, deployed, tmp_path, rng):
+        journal = tmp_path / "serve.journal"
+        engine = ServeEngine(deployed, journal_path=journal,
+                             journal_max_bytes=256, journal_keep=8)
+        for _ in range(15):
+            engine.classify_batch(rng.random((3, 2)))
+        engine.close()
+        assert rotated_journal_segments(journal)
+        meta, last_seq, answered, digest = read_serve_journal(journal)
+        assert meta is not None
+        assert answered == 15 and last_seq == 14
+        assert digest is not None
+
+    def test_warm_restart_across_rotation_boundary(self, deployed, tmp_path,
+                                                   rng):
+        journal = tmp_path / "serve.journal"
+        engine = ServeEngine(deployed, journal_path=journal,
+                             journal_max_bytes=256, journal_keep=8)
+        for _ in range(15):
+            engine.classify_batch(rng.random((3, 2)))
+        engine.abandon()  # SIGKILL-equivalent mid-stream
+
+        restarted = ServeEngine.warm_restart(
+            deployed, journal, journal_max_bytes=256, journal_keep=8)
+        assert restarted.resumed_requests == 15
+        result = restarted.classify_batch(rng.random((3, 2)))
+        assert result.ok
+        assert result.request_id == 15  # sequence spans the rotation
+        restarted.close()
+
+    def test_corruption_in_rotated_segment_is_an_error(self, deployed,
+                                                       tmp_path, rng):
+        journal = tmp_path / "serve.journal"
+        engine = ServeEngine(deployed, journal_path=journal,
+                             journal_max_bytes=256)
+        for _ in range(15):
+            engine.classify_batch(rng.random((3, 2)))
+        engine.close()
+        segment = rotated_journal_segments(journal)[0]
+        with open(segment, "a") as handle:
+            handle.write('{"seq": 99, "n":')  # torn tail in an OLD segment
+        # Only the *newest* file may have a torn tail; rotation only ever
+        # happens between complete fsynced lines.
+        with pytest.raises(ValueError, match=str(segment)):
+            read_serve_journal(journal)
+
+    def test_journal_params_validated(self, deployed, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            ServeEngine(deployed, journal_path=tmp_path / "j",
+                        journal_max_bytes=0)
+        with pytest.raises(ValueError, match="keep_segments"):
+            ServeEngine(deployed, journal_path=tmp_path / "j",
+                        journal_keep=0)
+
+
+class TestTornTail:
+    @pytest.mark.parametrize("cut", [3, 11, 23])
+    def test_multi_record_torn_tail_tolerated(self, deployed, tmp_path, rng,
+                                              cut):
+        """A crash can tear *several* trailing records (repeated
+        crash/append cycles); warm restart must survive all of them."""
+        journal = tmp_path / "serve.journal"
+        engine = ServeEngine(deployed, journal_path=journal)
+        for _ in range(4):
+            engine.classify_batch(rng.random((3, 2)))
+        engine.abandon()
+        torn_a = '{"seq": 4, "n": 3, "status": "ok", "source": "primary"}'
+        torn_b = '{"seq": 5, "n": 3, "status"'
+        with open(journal, "a") as handle:
+            # Record 4 is cut mid-record at a parametrized byte offset and
+            # record 5 is cut as well: two partial trailing records.
+            handle.write(torn_a[:cut] + "\n")
+            handle.write(torn_b)
+        meta, last_seq, answered, _ = read_serve_journal(journal)
+        assert meta is not None
+        assert last_seq == 3 and answered == 4  # torn records never happened
+
+        restarted = ServeEngine.warm_restart(deployed, journal)
+        assert restarted.resumed_requests == 4
+        result = restarted.classify_batch(rng.random((3, 2)))
+        assert result.ok and result.request_id == 4
+        restarted.close()
+
+    def test_torn_then_valid_line_is_corruption(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        journal.write_text('{"seq": 0, "n": 1, "status": "ok"}\n'
+                           '{"seq": 1, "n"\n'
+                           '{"seq": 2, "n": 1, "status": "ok"}\n')
+        with pytest.raises(ValueError, match="corrupt journal line"):
+            read_serve_journal(journal)
+
+
+class TestQuarantineConcurrency:
+    def test_concurrent_quarantines_never_collide(self, tmp_path):
+        """5 threads quarantining the same path race on suffix slots; the
+        O_EXCL claim must give every file a distinct destination."""
+        import threading
+
+        path = tmp_path / "bad.json"
+        results: list = [None] * 5
+        barrier = threading.Barrier(5)
+
+        def attempt(i: int) -> None:
+            barrier.wait()
+            results[i] = quarantine_artifact(path, reason=f"t{i}")
+
+        for round_no in range(5):
+            path.write_text(f"hostile-{round_no}")
+            threads = [threading.Thread(target=attempt, args=(i,))
+                       for i in range(5)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            # Exactly one thread wins the os.replace of the single source
+            # file; the others either claim-and-release or lose the race,
+            # but nobody may clobber a prior quarantine's bytes.
+            winners = [r for r in results if r is not None]
+            assert len(winners) == 1
+            assert not path.exists()
+        quarantined = sorted(tmp_path.glob("bad.json.quarantined*"))
+        contents = {p.read_text() for p in quarantined}
+        assert contents == {f"hostile-{k}" for k in range(5)}
+
+    def test_sequential_quarantines_take_fresh_slots(self, tmp_path):
+        path = tmp_path / "bad.json"
+        seen = set()
+        for k in range(5):
+            path.write_text(f"v{k}")
+            target = quarantine_artifact(path)
+            assert target is not None and target not in seen
+            seen.add(target)
+        assert {p.read_text() for p in seen} == {f"v{k}" for k in range(5)}

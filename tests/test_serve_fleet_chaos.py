@@ -1,0 +1,152 @@
+"""Fleet-wide chaos certification (repro.serve.chaos.run_chaos_fleet).
+
+The acceptance gate for the serve fleet: a deterministic 100k-query
+campaign across 4 models with concurrent corruption, hot-swap, eviction,
+kill, and artifact-store-brownout injection must finish with zero
+silently wrong answers, zero cross-model blast radius, and at least one
+exercised rollback re-pinning the incumbent.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.points import PointSet
+from repro.serve import (
+    FleetFaultSpec,
+    fit_artifact,
+    run_chaos_fleet,
+    save_artifact,
+)
+
+#: The certification fault mix: every injector active at once.
+FULL_SPEC = FleetFaultSpec(
+    corrupt_rate=0.15,
+    delay_rate=0.1,
+    evict_rate=0.2,
+    kill_rate=0.1,
+    swap_rate=0.12,
+    bad_swap_rate=0.12,
+    storm_rate=0.08,
+    seed=3,
+)
+
+
+@pytest.fixture(scope="module")
+def fleet_artifacts(tmp_path_factory):
+    """Four deployed models of varying size and dimension."""
+    tmp = tmp_path_factory.mktemp("fleet-chaos")
+    rng = np.random.default_rng(7)
+    artifacts = {}
+    for i, (n, dim) in enumerate([(60, 1), (60, 2), (80, 2), (60, 3)]):
+        coords = rng.random((n, dim))
+        labels = (coords.sum(axis=1) > dim * 0.5).astype(int)
+        labels[rng.random(n) < 0.1] ^= 1
+        artifact = fit_artifact(PointSet(coords, labels), seed=i)
+        path = tmp / f"m{i}.json"
+        save_artifact(artifact, path)
+        artifacts[f"m{i}"] = path
+    return artifacts
+
+
+class TestFleetChaosCertification:
+    def test_100k_campaign_all_invariants_hold(
+        self, fleet_artifacts, tmp_path
+    ):
+        workdir = tmp_path / "campaign"
+        report = run_chaos_fleet(
+            fleet_artifacts,
+            queries=100_000,
+            batch_size=256,
+            spec=FULL_SPEC,
+            workdir=workdir,
+        )
+        assert report.queries >= 100_000
+        assert report.models == 4
+        # Invariant 1: zero silently wrong answers — every `ok` answer was
+        # checked bit-for-bit against the pristine per-model reference.
+        assert report.wrong_answers == 0
+        # Invariant 2: zero cross-model blast radius — a model with no
+        # fault targeting it always answered bit-exact `ok`.
+        assert report.blast_events == 0
+        # No answer ever fell off the bottom of the degradation ladder.
+        assert report.failed == 0
+        # The campaign actually exercised every injector...
+        assert report.corruptions > 0
+        assert report.evictions > 0
+        assert report.kills > 0 and report.restarts > 0
+        assert report.swaps_injected > 0 and report.promotions > 0
+        assert report.bad_swaps_injected > 0
+        assert report.delays > 0
+        # ...including at least one verification rejection (bad candidate
+        # quarantined, incumbent re-pinned)...
+        assert report.rejected_swaps >= 1
+        # ...and at least one post-promotion rollback.
+        assert report.storms > 0
+        assert report.rollbacks >= 1
+        assert report.ok
+        # The rejected candidates are preserved on disk for forensics.
+        assert list((workdir / "deploy").glob("*.quarantined*"))
+        # Every model answered; per-model rows cover the whole fleet.
+        assert sorted(report.per_model) == ["m0", "m1", "m2", "m3"]
+        assert all(
+            row["queries"] > 0 and row["wrong"] == 0 and row["blast"] == 0
+            for row in report.per_model.values()
+        )
+
+    def test_campaign_is_deterministic(self, fleet_artifacts):
+        first = run_chaos_fleet(
+            fleet_artifacts, queries=8_000, batch_size=128, spec=FULL_SPEC
+        )
+        second = run_chaos_fleet(
+            fleet_artifacts, queries=8_000, batch_size=128, spec=FULL_SPEC
+        )
+        assert dataclasses.asdict(first) == dataclasses.asdict(second)
+
+    def test_clean_campaign_is_all_ok(self, fleet_artifacts):
+        report = run_chaos_fleet(
+            fleet_artifacts, queries=4_000, batch_size=128, spec=None
+        )
+        assert report.ok
+        assert report.wrong_answers == 0
+        assert report.blast_events == 0
+        assert report.degraded_answers == 0
+        assert report.failed == 0
+        assert report.corruptions == 0 and report.kills == 0
+
+    def test_requires_at_least_two_models(self, fleet_artifacts):
+        (name, path), *_ = fleet_artifacts.items()
+        with pytest.raises(ValueError, match=">= 2 models"):
+            run_chaos_fleet({name: path}, queries=100)
+
+
+class TestFleetFaultSpec:
+    def test_parse_round_trip(self):
+        spec = FleetFaultSpec.parse(
+            "corrupt=0.1, evict=0.2, kill=0.05, swap=0.1, "
+            "badswap=0.1, storm=0.05, seed=9"
+        )
+        assert spec == FleetFaultSpec(
+            corrupt_rate=0.1,
+            evict_rate=0.2,
+            kill_rate=0.05,
+            swap_rate=0.1,
+            bad_swap_rate=0.1,
+            storm_rate=0.05,
+            seed=9,
+        )
+        assert spec.active
+
+    def test_parse_rejects_unknown_field(self):
+        with pytest.raises(ValueError, match="unknown"):
+            FleetFaultSpec.parse("corrupt=0.1, flood=0.5")
+
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            FleetFaultSpec(corrupt_rate=1.5)
+
+    def test_inactive_spec(self):
+        assert not FleetFaultSpec().active
